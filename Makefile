@@ -1,0 +1,38 @@
+# Convenience targets for the bsolo-go reproduction.
+
+GO ?= go
+
+.PHONY: all build test race fuzz bench table examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing session on the OPB parser (seed corpus always runs in `test`).
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/opb
+
+# Table 1 benches + ablations A1-A6 (see DESIGN.md section 4).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .
+
+# Regenerate the paper's Table 1 at reproduction scale (minutes).
+table:
+	$(GO) run ./cmd/pbbench -all -n 10 -time 10s
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/mincov
+	$(GO) run ./examples/scheduling
+	$(GO) run ./examples/comparison
+	$(GO) run ./examples/routing
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,157 @@
+// Command bsolo is the reproduction's pseudo-Boolean optimizer CLI: it reads
+// an OPB instance and solves it with a selectable lower-bound method and
+// search strategy, printing results in the pseudo-Boolean-evaluation style
+// (c comments, "s" status line, "o" objective line, "v" value line).
+//
+// Usage:
+//
+//	bsolo [flags] [instance.opb]
+//
+// With no file argument the instance is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/opb"
+	"repro/internal/portfolio"
+	"repro/internal/preprocess"
+	"repro/internal/verify"
+)
+
+func main() {
+	var (
+		lbFlag       = flag.String("lb", "lpr", "lower bound method: plain|mis|lgr|lpr")
+		strategy     = flag.String("strategy", "bb", "search strategy: bb (branch-and-bound) | linear")
+		timeLimit    = flag.Duration("time", 0, "wall-clock limit (e.g. 30s; 0 = none)")
+		maxConflicts = flag.Int64("conflicts", 0, "conflict limit (0 = none)")
+		chrono       = flag.Bool("chrono", false, "chronological backtracking on bound conflicts (§4 ablation)")
+		noLPBranch   = flag.Bool("no-lp-branching", false, "disable §5 LP-guided branching")
+		noKnapsack   = flag.Bool("no-knapsack", false, "disable the eq. 10 incumbent constraint")
+		cardInf      = flag.Bool("card-inference", true, "enable eq. 11-13 cardinality inference")
+		lgrIters     = flag.Int("lgr-iters", 50, "Lagrangian subgradient iterations per bound")
+		pre          = flag.Bool("preprocess", false, "apply probing/strengthening/subsumption first")
+		coverRed     = flag.Bool("cover", false, "apply covering-problem reductions (implies -preprocess machinery)")
+		pbLearn      = flag.Bool("pb-learning", false, "derive Galena-style cutting-plane constraints at conflicts")
+		portfolioRun = flag.Bool("portfolio", false, "race all four lower-bound methods concurrently")
+		showStats    = flag.Bool("stats", false, "print solver statistics")
+		showModel    = flag.Bool("model", true, "print the v (values) line")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	prob, err := opb.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("c parsed %d variables, %d constraints\n", prob.NumVars, len(prob.Constraints))
+
+	if *pre || *coverRed {
+		var info preprocess.Info
+		prob, info, err = preprocess.Apply(prob, preprocess.Options{
+			Probing:         *pre,
+			Strengthening:   *pre,
+			Subsumption:     *pre,
+			CoverReductions: *coverRed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("c preprocess: fixed=%d implications=%d subsumed=%d essential=%d domRows=%d domCols=%d\n",
+			info.FixedLiterals, info.Implications, info.SubsumedRemoved,
+			info.Cover.EssentialColumns, info.Cover.DominatedRows, info.Cover.DominatedColumns)
+	}
+
+	opt := core.Options{
+		TimeLimit:            *timeLimit,
+		MaxConflicts:         *maxConflicts,
+		ChronologicalBounds:  *chrono,
+		NoLPBranching:        *noLPBranch,
+		NoKnapsackCuts:       *noKnapsack,
+		CardinalityInference: *cardInf,
+		LGRIterations:        *lgrIters,
+		PBLearning:           *pbLearn,
+	}
+	switch strings.ToLower(*lbFlag) {
+	case "plain":
+		opt.LowerBound = core.LBNone
+	case "mis":
+		opt.LowerBound = core.LBMIS
+	case "lgr":
+		opt.LowerBound = core.LBLGR
+	case "lpr":
+		opt.LowerBound = core.LBLPR
+	default:
+		fatal(fmt.Errorf("unknown -lb %q", *lbFlag))
+	}
+	switch strings.ToLower(*strategy) {
+	case "bb":
+		opt.Strategy = core.StrategyBranchBound
+	case "linear":
+		opt.Strategy = core.StrategyLinearSearch
+	default:
+		fatal(fmt.Errorf("unknown -strategy %q", *strategy))
+	}
+
+	start := time.Now()
+	var res core.Result
+	if *portfolioRun {
+		configs := portfolio.DefaultConfigs()
+		for i := range configs {
+			configs[i].Options.TimeLimit = opt.TimeLimit
+			configs[i].Options.MaxConflicts = opt.MaxConflicts
+		}
+		pres := portfolio.Solve(prob, configs)
+		res = pres.Result
+		fmt.Printf("c portfolio winner: %s\n", pres.Winner)
+	} else {
+		res = core.Solve(prob, opt)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("c solved in %v\n", elapsed)
+
+	switch res.Status {
+	case core.StatusOptimal:
+		fmt.Printf("o %d\n", res.Best)
+		fmt.Println("s OPTIMUM FOUND")
+	case core.StatusSatisfiable:
+		fmt.Println("s SATISFIABLE")
+	case core.StatusUnsat:
+		fmt.Println("s UNSATISFIABLE")
+	case core.StatusLimit:
+		if res.HasSolution {
+			fmt.Printf("c best upper bound %d\n", res.Best)
+			fmt.Printf("o %d\n", res.Best)
+		}
+		fmt.Println("s UNKNOWN")
+	}
+	if *showModel && res.HasSolution {
+		fmt.Println(verify.FormatValueLine(prob, res.Values))
+	}
+	if *showStats {
+		st := res.Stats
+		fmt.Printf("c decisions=%d conflicts=%d boundConflicts=%d boundCalls=%d boundPrunes=%d\n",
+			st.Decisions, st.Conflicts, st.BoundConflicts, st.BoundCalls, st.BoundPrunes)
+		fmt.Printf("c solutions=%d restarts=%d knapsackCuts=%d cardCuts=%d ncbSavedLevels=%d learned=%d\n",
+			st.Solutions, st.Restarts, st.KnapsackCuts, st.CardCuts, st.NCBSavedLevels, st.LearnedClauses)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bsolo:", err)
+	os.Exit(1)
+}

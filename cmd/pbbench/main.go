@@ -1,0 +1,123 @@
+// Command pbbench regenerates the paper's Table 1: it runs the seven solver
+// columns (pbs, galena, the MILP stand-in for cplex, and bsolo with
+// plain/MIS/LGR/LPR lower bounding) over the four benchmark families and
+// prints the results in the paper's layout, with "ub" entries for
+// budget-exhausted runs and the #Solved summary row.
+//
+// Usage:
+//
+//	pbbench -all -time 10s
+//	pbbench -family grout -solvers lpr,plain -time 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		family    = flag.String("family", "", "family to run: grout|synth|mcnc|acc (empty with -all = all)")
+		all       = flag.Bool("all", false, "run all four families")
+		solvers   = flag.String("solvers", "", "comma-separated solver subset (default: all seven columns)")
+		timeLimit = flag.Duration("time", 10*time.Second, "per-run wall-clock limit")
+		conflicts = flag.Int64("conflicts", 0, "per-run conflict limit (0 = none)")
+		milpNodes = flag.Int64("milp-nodes", 0, "MILP node limit (0 = default)")
+		perFamily = flag.Int("n", 10, "instances per family")
+
+		groutNets  = flag.Int("grout-nets", 0, "override grout net count")
+		synthNodes = flag.Int("synth-nodes", 0, "override synth node count")
+		mcncInputs = flag.Int("mcnc-inputs", 0, "override mcnc input count")
+		accTeams   = flag.Int("acc-teams", 0, "override acc team count")
+		csvOut     = flag.String("csv", "", "also write machine-readable results to this file")
+		ablations  = flag.Bool("ablations", false, "run the A1-A6 ablations instead of Table 1")
+	)
+	flag.Parse()
+
+	if *ablations {
+		sc := harness.Scale{GroutNets: 18, SynthNodes: 24, McncInputs: 7, AccTeams: 8, PerFamily: 3}
+		insts, err := harness.AblationInstances(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pbbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("running ablations A1-A6 over %d instances (limit %v per run)\n\n", len(insts), *timeLimit)
+		var rows []harness.AblationResult
+		for _, id := range harness.Ablations() {
+			rows = append(rows, harness.RunAblation(id, insts, *timeLimit, *conflicts)...)
+		}
+		fmt.Print(harness.FormatAblations(rows))
+		return
+	}
+
+	var fams []harness.Family
+	switch {
+	case *all || *family == "":
+		fams = harness.Families()
+	default:
+		for _, f := range strings.Split(*family, ",") {
+			fams = append(fams, harness.Family(strings.TrimSpace(f)))
+		}
+	}
+
+	cols := harness.Solvers()
+	if *solvers != "" {
+		cols = nil
+		for _, s := range strings.Split(*solvers, ",") {
+			cols = append(cols, harness.SolverID(strings.TrimSpace(s)))
+		}
+	}
+
+	sc := harness.DefaultScale()
+	sc.PerFamily = *perFamily
+	if *groutNets > 0 {
+		sc.GroutNets = *groutNets
+	}
+	if *synthNodes > 0 {
+		sc.SynthNodes = *synthNodes
+	}
+	if *mcncInputs > 0 {
+		sc.McncInputs = *mcncInputs
+	}
+	if *accTeams > 0 {
+		sc.AccTeams = *accTeams
+	}
+
+	insts, err := harness.Instances(fams, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("running %d instances x %d solvers (limit %v per run)\n",
+		len(insts), len(cols), *timeLimit)
+
+	lim := harness.Limits{Time: *timeLimit, MaxConflicts: *conflicts, MilpNodes: *milpNodes}
+	var results []harness.RunResult
+	for _, inst := range insts {
+		for _, id := range cols {
+			r := harness.Run(inst, id, lim)
+			results = append(results, r)
+			status := "solved"
+			if !r.Solved {
+				status = "limit"
+				if r.HasUB {
+					status = fmt.Sprintf("ub %d", r.Best)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "  %-18s %-7s %-10s %v\n", inst.Name, id, status, r.Duration.Round(time.Millisecond))
+		}
+	}
+	fmt.Println()
+	fmt.Print(harness.FormatTable(results, cols))
+	if *csvOut != "" {
+		if err := os.WriteFile(*csvOut, []byte(harness.FormatCSV(results)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pbbench: writing csv:", err)
+			os.Exit(1)
+		}
+	}
+}

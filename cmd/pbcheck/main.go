@@ -1,0 +1,62 @@
+// Command pbcheck validates a solver's output against an OPB instance: it
+// reads the instance, a "v ..." value line (from bsolo or any
+// PB-competition-style solver), and reports whether the assignment is
+// feasible and what it costs. Exit status 0 = feasible, 1 = infeasible or
+// error. The checking logic lives in internal/verify.
+//
+// Usage:
+//
+//	bsolo -lb lpr f.opb | pbcheck f.opb
+//	pbcheck -v "x1 -x2 x3" f.opb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/opb"
+	"repro/internal/verify"
+)
+
+func main() {
+	valueLine := flag.String("v", "", "value line (default: read a 'v' line from stdin)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("usage: pbcheck [-v literals] instance.opb"))
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	prob, err := opb.Parse(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	var a verify.Assignment
+	if *valueLine != "" {
+		a, err = verify.ParseValueLine(prob, *valueLine)
+	} else {
+		a, err = verify.ScanValueLine(prob, os.Stdin)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if a.Missing > 0 {
+		fmt.Printf("c %d variables missing from the value line (assumed 0)\n", a.Missing)
+	}
+
+	rep := verify.Check(prob, a.Values)
+	if !rep.Feasible {
+		fmt.Printf("s INFEASIBLE (constraint %d violated: %v)\n", rep.ViolatedIdx, rep.Violated)
+		os.Exit(1)
+	}
+	fmt.Printf("s FEASIBLE\no %d\n", rep.Objective)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pbcheck:", err)
+	os.Exit(1)
+}

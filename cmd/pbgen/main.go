@@ -1,0 +1,112 @@
+// Command pbgen generates the reproduction's benchmark instances in OPB
+// format (see internal/gen for the family definitions and DESIGN.md for how
+// each family substitutes for the paper's original suite).
+//
+// Usage:
+//
+//	pbgen -family grout -seed 7 > grout.opb
+//	pbgen -family synth -nodes 40 -o synth.opb
+//	pbgen -family mcnc  -inputs 8
+//	pbgen -family acc   -teams 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/opb"
+	"repro/internal/pb"
+)
+
+func main() {
+	var (
+		family = flag.String("family", "grout", "benchmark family: grout|synth|mcnc|acc|sym")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		out    = flag.String("o", "", "output file (default stdout)")
+
+		// grout
+		width    = flag.Int("width", 5, "grout: grid width")
+		height   = flag.Int("height", 5, "grout: grid height")
+		nets     = flag.Int("nets", 12, "grout: number of nets")
+		paths    = flag.Int("paths", 6, "grout: candidate paths per net")
+		capacity = flag.Int("capacity", 3, "grout: edge capacity")
+
+		// synth
+		nodes    = flag.Int("nodes", 28, "synth: netlist nodes")
+		impls    = flag.Int("impls", 4, "synth: implementations per node")
+		fanout   = flag.Float64("fanout", 1.5, "synth: average fanout")
+		incompat = flag.Float64("incompat", 0.3, "synth: cross-family incompatibility probability")
+		buffer   = flag.Int64("buffer", 0, "synth: level-restoring buffer area (0 = hard incompatibilities)")
+
+		// mcnc
+		inputs = flag.Int("inputs", 7, "mcnc: function inputs")
+		onDen  = flag.Float64("on", 0.3, "mcnc: ON-set density")
+		dcDen  = flag.Float64("dc", 0.1, "mcnc: don't-care density")
+
+		// acc
+		teams     = flag.Int("teams", 8, "acc: teams (even)")
+		fixed     = flag.Int("fixed", 4, "acc: pre-fixed matches")
+		forbidden = flag.Int("forbidden", 10, "acc: forbidden (pair,round) combos")
+		homeAway  = flag.Bool("homeaway", false, "acc: add home/away balance constraints")
+
+		// grout extras / sym
+		multiPin = flag.Float64("multipin", 0, "grout: fraction of three-pin nets")
+		lowK     = flag.Int("lowk", 3, "sym: lower popcount bound")
+		highK    = flag.Int("highk", 6, "sym: upper popcount bound")
+	)
+	flag.Parse()
+
+	var prob *pb.Problem
+	var err error
+	switch *family {
+	case "grout":
+		prob, err = gen.Grout(gen.GroutConfig{
+			Width: *width, Height: *height, Nets: *nets,
+			PathsPerNet: *paths, Capacity: *capacity,
+			MultiPinFraction: *multiPin, Seed: *seed,
+		})
+	case "sym":
+		// The exact symmetric-function covering instance (9sym with the
+		// defaults); ignores -seed (the instance is fully determined).
+		prob, err = gen.Sym(gen.SymConfig{Inputs: *inputs, LowK: *lowK, HighK: *highK})
+	case "synth":
+		prob, err = gen.Synthesis(gen.SynthesisConfig{
+			Nodes: *nodes, Impls: *impls, Fanout: *fanout,
+			Incompat: *incompat, BufferArea: *buffer, Seed: *seed,
+		})
+	case "mcnc":
+		prob, err = gen.MinCover(gen.MinCoverConfig{
+			Inputs: *inputs, OnDensity: *onDen, DcDensity: *dcDen, Seed: *seed,
+		})
+	case "acc":
+		prob, err = gen.ACC(gen.ACCConfig{
+			Teams: *teams, FixedMatches: *fixed, ForbiddenMatches: *forbidden,
+			HomeAway: *homeAway, Seed: *seed,
+		})
+	default:
+		err = fmt.Errorf("unknown family %q", *family)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := opb.Write(w, prob); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pbgen:", err)
+	os.Exit(1)
+}

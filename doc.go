@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of Manquinho &
+// Marques-Silva, "Effective Lower Bounding Techniques for Pseudo-Boolean
+// Optimization" (DATE 2005).
+//
+// The root package holds the benchmark suite that regenerates the paper's
+// evaluation (see bench_test.go: Table 1 benches and the ablations A1–A6);
+// the implementation lives under internal/ and the runnable entry points
+// under cmd/ and examples/. Start with README.md for the tour, DESIGN.md
+// for the system inventory and experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results.
+package repro

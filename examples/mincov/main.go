@@ -1,0 +1,57 @@
+// Mincov: two-level logic minimization, the paper's MCNC benchmark family.
+// Compute the prime implicants of a Boolean function with Quine–McCluskey,
+// formulate minimum-literal covering as PBO, solve it with bsolo+LPR, and
+// print the chosen sum-of-products cover.
+//
+//	go run ./examples/mincov
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/pb"
+	"repro/internal/qm"
+)
+
+func main() {
+	// f(a,b,c,d) = Σ m(0,1,2,5,6,7,8,9,10,14) — a classic teaching example.
+	const inputs = 4
+	on := []uint32{0, 1, 2, 5, 6, 7, 8, 9, 10, 14}
+
+	primes, err := qm.Primes(inputs, on, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("function has %d ON-set minterms and %d prime implicants:\n", len(on), len(primes))
+	for i, pr := range primes {
+		fmt.Printf("  p%-2d %s  (%d literals)\n", i, pr.StringN(inputs), pr.Literals(inputs))
+	}
+
+	// Minimum-literal cover: cost = literals + 1 per chosen cube.
+	prob := pb.NewProblem(len(primes))
+	for i, pr := range primes {
+		prob.SetCost(pb.Var(i), int64(pr.Literals(inputs)+1))
+	}
+	for _, row := range qm.CoverTable(on, primes) {
+		lits := make([]pb.Lit, len(row))
+		for k, pi := range row {
+			lits[k] = pb.PosLit(pb.Var(pi))
+		}
+		if err := prob.AddClause(lits...); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res := core.Solve(prob, core.Options{LowerBound: core.LBLPR})
+	if res.Status != core.StatusOptimal {
+		log.Fatalf("unexpected status %v", res.Status)
+	}
+	fmt.Printf("\nminimum cover (cost %d):\n", res.Best)
+	for i, used := range res.Values {
+		if used {
+			fmt.Printf("  %s\n", primes[i].StringN(inputs))
+		}
+	}
+}

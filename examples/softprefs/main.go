@@ -1,0 +1,84 @@
+// Softprefs: designer preferences as weighted soft constraints on top of a
+// hard technology-selection problem — the standard "penalty variable"
+// modeling idiom for PBO in EDA flows, built on internal/soft.
+//
+// Each of a row of gates picks exactly one drive strength (hard). The
+// design brief adds soft preferences: adjacent gates should not both use
+// the strongest drive (noise, weight 4 each), and gate 0 would ideally use
+// strength 2 (weight 3). The solver balances area cost against penalties.
+//
+//	go run ./examples/softprefs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/pb"
+	"repro/internal/soft"
+)
+
+func main() {
+	const gates = 6
+	const strengths = 3
+	area := [strengths]int64{2, 3, 5} // per strength
+
+	b := soft.NewBuilder(gates * strengths)
+	v := func(g, s int) pb.Var { return pb.Var(g*strengths + s) }
+
+	for g := 0; g < gates; g++ {
+		lits := make([]pb.Lit, strengths)
+		for s := 0; s < strengths; s++ {
+			b.SetCost(v(g, s), area[s])
+			lits[s] = pb.PosLit(v(g, s))
+		}
+		// Exactly one strength per gate (hard).
+		terms := make([]pb.Term, strengths)
+		for s := 0; s < strengths; s++ {
+			terms[s] = pb.Term{Coef: 1, Lit: lits[s]}
+		}
+		b.Hard(terms, pb.EQ, 1)
+	}
+	// Every odd gate drives a long wire: strength 0 is too weak (hard).
+	for g := 1; g < gates; g += 2 {
+		b.HardClause(pb.NegLit(v(g, 0)))
+	}
+
+	// Soft: no two adjacent gates both at the strongest drive.
+	var noisePrefs []int
+	for g := 0; g+1 < gates; g++ {
+		idx := b.SoftClause(4, pb.NegLit(v(g, strengths-1)), pb.NegLit(v(g+1, strengths-1)))
+		noisePrefs = append(noisePrefs, idx)
+	}
+	// Soft: gate 0 ideally at strength 2.
+	wish := b.SoftClause(3, pb.PosLit(v(0, 2)))
+
+	sol, err := b.Solve(core.Options{LowerBound: core.LBLPR})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sol.Status != core.StatusOptimal {
+		log.Fatalf("unexpected status %v", sol.Status)
+	}
+	fmt.Printf("optimal total cost %d (area + penalties), penalty share %d\n", sol.Best, sol.Penalty)
+	for g := 0; g < gates; g++ {
+		for s := 0; s < strengths; s++ {
+			if sol.Values[v(g, s)] {
+				fmt.Printf("  gate %d: strength %d (area %d)\n", g, s, area[s])
+			}
+		}
+	}
+	for _, i := range sol.Violated {
+		switch {
+		case i == wish:
+			fmt.Println("  violated: gate-0 strength wish (paid 3)")
+		default:
+			for k, np := range noisePrefs {
+				if i == np {
+					fmt.Printf("  violated: noise preference between gates %d and %d (paid 4)\n", k, k+1)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package bounds
+
+import (
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/lp"
+	"repro/internal/pb"
+)
+
+// LPR is the linear-programming-relaxation lower bound (§3.1): relax the
+// reduced problem's variables to [0,1] and take ⌈z*_lpr⌉.
+//
+// Rather than the primal
+//
+//	min c·x  s.t.  G·x ≥ d,  0 ≤ x ≤ 1,
+//
+// the estimator solves the equivalent dual
+//
+//	min −d·y + Σ_j w_j  s.t.  −Gᵀ·y + w ≥ −c,  y, w ≥ 0,
+//
+// which is always feasible at (y,w) = 0 for non-negative costs, so the
+// simplex needs no phase 1 and every iterate is feasible: under an iteration
+// cap the current y still yields a valid (merely weaker) Lagrangian bound —
+// per-node cost is bounded without ever compromising soundness. At
+// optimality the duals of the dual are the primal x values, which feed the
+// §5 LP-guided branching heuristic.
+//
+// The responsible set S (§4.2) is the set of rows with positive multiplier
+// y_i — a subset of the paper's zero-slack rows, giving a stronger (smaller)
+// explanation that remains sound by weak duality: the final bound is
+// recomputed from the multipliers restricted to S.
+type LPR struct {
+	// MaxIter bounds simplex iterations per call (0 = 4·(m+n)+200, a cap
+	// that keeps per-node cost proportional to the reduced problem size).
+	MaxIter int
+	// AlphaFilter enables the §4.3-style α refinement on the LP duals
+	// (the paper applies it to Lagrangian relaxation; it is equally valid
+	// for LP duals and off by default to match the paper).
+	AlphaFilter bool
+	// ZeroSlackExplanations selects the paper's literal §4.2 responsible
+	// set — every row whose slack is zero in the LP solution — instead of
+	// the default positive-dual rows. The zero-slack set is a superset
+	// (complementary slackness), so the explanation clause is weaker but
+	// matches the paper's formulation exactly.
+	ZeroSlackExplanations bool
+}
+
+// Name implements Estimator.
+func (LPR) Name() string { return "lpr" }
+
+// Estimate implements Estimator.
+func (l LPR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64) Result {
+	if red.Infeasible {
+		return Result{Bound: InfBound, Responsible: []int{red.InfeasibleRow}}
+	}
+	if len(red.Rows) == 0 {
+		return Result{}
+	}
+	xp := toXSpace(red, cost)
+	m, n := len(xp.rows), len(xp.vars)
+
+	maxIter := l.MaxIter
+	if maxIter == 0 {
+		maxIter = 4*(m+n) + 200
+	}
+	prob := &lp.Problem{
+		NumVars: m + n,
+		Cost:    make([]float64, m+n),
+		Rows:    make([]lp.Row, n),
+		Lo:      make([]float64, m+n),
+		Hi:      make([]float64, m+n),
+		MaxIter: maxIter,
+	}
+	for i := range prob.Hi {
+		prob.Hi[i] = math.Inf(1)
+	}
+	for i, xr := range xp.rows {
+		prob.Cost[i] = -xr.rhs // minimize −d·y
+	}
+	for j := 0; j < n; j++ {
+		prob.Cost[m+j] = 1 // + Σ w_j
+		prob.Rows[j] = lp.Row{
+			RHS:     -xp.cost[j],
+			Entries: []lp.Entry{{Var: m + j, Coef: 1}},
+		}
+	}
+	for i, xr := range xp.rows {
+		for _, en := range xr.entries {
+			prob.Rows[en.local].Entries = append(prob.Rows[en.local].Entries,
+				lp.Entry{Var: i, Coef: -en.coef})
+		}
+	}
+
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return Result{} // cannot happen for Extract output; fail soft
+	}
+	switch sol.Status {
+	case lp.Unbounded:
+		// The dual is unbounded iff the primal relaxation is infeasible:
+		// no completion satisfies the reduced rows.
+		return Result{Bound: InfBound, Responsible: allRows(red)}
+	case lp.Optimal, lp.IterLimit:
+		if sol.X == nil {
+			return Result{}
+		}
+		// Recompute the bound from the multipliers (sound for any y ≥ 0;
+		// under IterLimit this is the anytime bound).
+		y := sol.X[:m]
+		val, s, _ := xp.lagrangianValue(y, 1e-9)
+		res := Result{Bound: ceilBound(val)}
+		res.Responsible = make([]int, len(s))
+		for k, i := range s {
+			res.Responsible[k] = xp.rows[i].engIdx
+		}
+		if l.ZeroSlackExplanations && sol.Status == lp.Optimal {
+			// §4.2 literally: all rows with zero slack at the LP optimum.
+			// The primal x values are the duals of the dual LP's rows.
+			inS := map[int]bool{}
+			for _, i := range s {
+				inS[i] = true
+			}
+			for i, xr := range xp.rows {
+				if inS[i] {
+					continue
+				}
+				lhs := 0.0
+				for _, en := range xr.entries {
+					x := sol.Dual[en.local]
+					lhs += en.coef * x
+				}
+				if lhs-xr.rhs < 1e-6 {
+					res.Responsible = append(res.Responsible, xr.engIdx)
+				}
+			}
+		}
+		if sol.Status == lp.Optimal {
+			// Primal x values are the duals of the dual rows.
+			res.FracX = make(map[pb.Var]float64, n)
+			for j, v := range xp.vars {
+				x := sol.Dual[j]
+				if x < 0 {
+					x = 0
+				} else if x > 1 {
+					x = 1
+				}
+				res.FracX[v] = x
+			}
+		}
+		if l.AlphaFilter {
+			res.ExcludedVars = l.filter(e, xp, s, y, cost)
+		}
+		return res
+	default:
+		return Result{}
+	}
+}
+
+func (l LPR) filter(e *engine.Engine, xp *xProblem, s []int, y []float64, cost []int64) map[pb.Var]bool {
+	return alphaFilter(s, y, cost,
+		func(rowIdx int, visit func(v pb.Var, xCoef float64)) {
+			c := e.Cons(xp.rows[rowIdx].engIdx)
+			for _, t := range c.Terms {
+				xc := float64(t.Coef)
+				if t.Lit.IsNeg() {
+					xc = -xc
+				}
+				visit(t.Lit.Var(), xc)
+			}
+		},
+		func(v pb.Var) (bool, bool) {
+			switch e.Value(v) {
+			case engine.True:
+				return true, true
+			case engine.False:
+				return false, true
+			}
+			return false, false
+		})
+}

@@ -1,0 +1,125 @@
+package bounds
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/pb"
+)
+
+// MIS approximates a maximum independent set of constraints (§3, refs [5,9]):
+// a set of unsatisfied constraints that are pairwise disjoint on unassigned
+// variables. Because the constraints share no variables, the minimum cost of
+// satisfying each can be summed into a lower bound on the cost of any
+// completion.
+//
+// The per-constraint minimum satisfaction cost is the single-row LP bound:
+// literals sorted by cost density (cost/coefficient, negative literals are
+// free), accumulated until the residual degree is reached, with the last
+// literal counted fractionally. That is exact for clauses (the cheapest
+// literal) and a valid relaxation for general rows.
+type MIS struct {
+	// MaxRows caps how many constraints are examined (0 = no cap).
+	MaxRows int
+}
+
+// Name implements Estimator.
+func (MIS) Name() string { return "mis" }
+
+// rowLPBound returns the single-row LP lower bound for satisfying
+// Σ terms ≥ degree in isolation.
+func rowLPBound(cost []int64, row *Row) float64 {
+	if row.Degree <= 0 {
+		return 0
+	}
+	type cand struct {
+		c    int64 // literal cost
+		a    int64 // coefficient
+		dens float64
+	}
+	cands := make([]cand, 0, len(row.Terms))
+	var freeWeight int64
+	for _, t := range row.Terms {
+		c := litCost(cost, t.Lit)
+		if c == 0 {
+			freeWeight += t.Coef
+			continue
+		}
+		cands = append(cands, cand{c: c, a: t.Coef, dens: float64(c) / float64(t.Coef)})
+	}
+	need := row.Degree - freeWeight
+	if need <= 0 {
+		return 0
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].dens < cands[j].dens })
+	var bound float64
+	for _, cd := range cands {
+		if cd.a >= need {
+			bound += cd.dens * float64(need)
+			return bound
+		}
+		bound += float64(cd.c)
+		need -= cd.a
+	}
+	// need > 0 with all literals used: the row alone is unsatisfiable; the
+	// caller has already flagged red.Infeasible in that case. Return the
+	// accumulated bound (sound).
+	return bound
+}
+
+// Estimate implements Estimator with a greedy weighted independent set:
+// rows are ranked by bound contribution (density per variable) and picked
+// greedily subject to disjointness on unassigned variables.
+func (m MIS) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64) Result {
+	if red.Infeasible {
+		return Result{Bound: InfBound, Responsible: []int{red.InfeasibleRow}}
+	}
+	type scored struct {
+		idx   int // index into red.Rows
+		bound float64
+	}
+	rows := red.Rows
+	if m.MaxRows > 0 && len(rows) > m.MaxRows {
+		rows = rows[:m.MaxRows]
+	}
+	scoredRows := make([]scored, 0, len(rows))
+	for i := range rows {
+		b := rowLPBound(cost, &rows[i])
+		if b <= 0 {
+			continue
+		}
+		scoredRows = append(scoredRows, scored{idx: i, bound: b})
+	}
+	// Prefer high bound per blocked variable: a cheap row that blocks many
+	// variables starves better rows.
+	sort.Slice(scoredRows, func(a, b int) bool {
+		sa := scoredRows[a].bound / float64(1+len(rows[scoredRows[a].idx].Terms))
+		sb := scoredRows[b].bound / float64(1+len(rows[scoredRows[b].idx].Terms))
+		if sa != sb {
+			return sa > sb
+		}
+		return rows[scoredRows[a].idx].EngIdx < rows[scoredRows[b].idx].EngIdx
+	})
+	used := map[pb.Var]bool{}
+	var total float64
+	var responsible []int
+	for _, s := range scoredRows {
+		row := &rows[s.idx]
+		clash := false
+		for _, t := range row.Terms {
+			if used[t.Lit.Var()] {
+				clash = true
+				break
+			}
+		}
+		if clash {
+			continue
+		}
+		for _, t := range row.Terms {
+			used[t.Lit.Var()] = true
+		}
+		total += s.bound
+		responsible = append(responsible, row.EngIdx)
+	}
+	return Result{Bound: ceilBound(total), Responsible: responsible}
+}

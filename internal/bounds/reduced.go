@@ -1,0 +1,156 @@
+// Package bounds implements the three lower-bound estimation procedures the
+// paper integrates into bsolo (§3): the maximum-independent-set-of-constraints
+// approximation (MIS), linear-programming relaxation (LPR) and Lagrangian
+// relaxation (LGR). All three operate on the *reduced problem* at a search
+// node — the unsatisfied constraints with assigned literals substituted,
+// restricted to unassigned variables — and return, alongside the numeric
+// bound, the set of constraints responsible for it, from which the
+// bound-conflict explanation ω_pl of §4 is assembled.
+//
+// Soundness note. Rather than trusting the floating-point LP objective
+// directly, the LPR and LGR estimators recompute the bound from the dual
+// multipliers restricted to the responsible set S via the Lagrangian formula
+//
+//	z_S = Σ_{i∈S} y_i·d_i + Σ_j min(0, c_j − Σ_{i∈S} y_i·G_ij)
+//
+// which is a valid lower bound for *any* y ≥ 0 (weak duality), so numerical
+// error in the simplex can only weaken the bound, never unsound-ify the
+// pruning or the learned explanation clause.
+package bounds
+
+import (
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/pb"
+)
+
+// InfBound is the bound value returned when the reduced problem is detected
+// infeasible (the search node admits no completion at all). It is large
+// enough to trigger any bound conflict yet far from int64 overflow.
+const InfBound int64 = math.MaxInt64 / 4
+
+// Row is one reduced constraint: Σ Terms ≥ Degree over unassigned variables
+// only, with coefficients clipped to the residual degree.
+type Row struct {
+	// EngIdx is the index of the originating constraint in the engine store,
+	// used to assemble the ω_pl explanation.
+	EngIdx int
+	Terms  []pb.Term
+	Degree int64
+}
+
+// Reduced is the reduced problem at a search node.
+type Reduced struct {
+	Rows []Row
+	// Infeasible is set when some residual constraint cannot be satisfied
+	// even with all its unassigned literals true. (Propagation normally
+	// detects this first; the flag guards the window between a decision and
+	// the next propagation fixpoint.)
+	Infeasible bool
+	// InfeasibleRow is the engine index of the witnessing constraint.
+	InfeasibleRow int
+}
+
+// Extract builds the reduced problem from the engine's current assignment.
+// Only problem (non-learned) constraints participate: learned bound clauses
+// and incumbent cuts depend on the current upper bound and would make the
+// explanation circular.
+func Extract(e *engine.Engine) *Reduced {
+	red := &Reduced{}
+	e.UnsatisfiedCons(func(idx int, c *engine.Cons, residual int64) {
+		row := Row{EngIdx: idx, Degree: residual}
+		var sum int64
+		for _, t := range c.Terms {
+			if e.LitValue(t.Lit) != engine.Unassigned {
+				continue
+			}
+			coef := t.Coef
+			if coef > residual {
+				coef = residual
+			}
+			row.Terms = append(row.Terms, pb.Term{Coef: coef, Lit: t.Lit})
+			sum += coef
+		}
+		if sum < residual && !red.Infeasible {
+			red.Infeasible = true
+			red.InfeasibleRow = idx
+		}
+		red.Rows = append(red.Rows, row)
+	})
+	return red
+}
+
+// Result is the outcome of a lower-bound estimation.
+type Result struct {
+	// Bound is a valid lower bound on the cost of any completion of the
+	// current partial assignment restricted to unassigned variables
+	// (0 when nothing can be inferred; InfBound when the node is hopeless).
+	Bound int64
+	// Responsible lists the engine constraint indices whose current false
+	// literals explain the bound (the set S of §4.2/§4.3).
+	Responsible []int
+	// ExcludedVars, when non-nil, lists assigned variables that the §4.3
+	// α-filter proves irrelevant: their false literals may be dropped from
+	// ω_pl even though they appear in responsible constraints.
+	ExcludedVars map[pb.Var]bool
+	// FracX, when non-nil, maps unassigned variables to their LP-relaxation
+	// values; the §5 LP-guided branching heuristic selects the variable
+	// closest to 0.5.
+	FracX map[pb.Var]float64
+}
+
+// Estimator is a lower-bound procedure (§3.1–§3.2, or the MIS of [5,9]).
+type Estimator interface {
+	// Estimate returns a lower bound for the reduced problem. cost is the
+	// global per-variable cost vector; only unassigned variables matter.
+	// target is the bound that would suffice to prune (upper − path);
+	// iterative estimators may stop early once they reach it.
+	Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64) Result
+	// Name identifies the estimator in logs and stats.
+	Name() string
+}
+
+// litCost returns the cost of making literal l true: the variable's cost for
+// a positive literal (x=1 pays c), zero for a negative one (x=0 is free).
+func litCost(cost []int64, l pb.Lit) int64 {
+	if l.IsNeg() {
+		return 0
+	}
+	return cost[l.Var()]
+}
+
+// ceilBound converts a floating lower bound into a sound integer bound:
+// any value within numeric noise below an integer rounds to that integer.
+func ceilBound(v float64) int64 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= float64(InfBound) {
+		return InfBound
+	}
+	return int64(math.Ceil(v - 1e-6))
+}
+
+// None is the "plain" configuration: no lower bound estimation (the paper's
+// bsolo-plain column). It always returns a zero bound.
+type None struct{}
+
+// Name implements Estimator.
+func (None) Name() string { return "plain" }
+
+// Estimate implements Estimator: no information.
+func (None) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64) Result {
+	if red.Infeasible {
+		return Result{Bound: InfBound, Responsible: allRows(red)}
+	}
+	return Result{}
+}
+
+func allRows(red *Reduced) []int {
+	out := make([]int, len(red.Rows))
+	for i, r := range red.Rows {
+		out[i] = r.EngIdx
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package bounds
+
+import (
+	"repro/internal/pb"
+)
+
+// xEntry is one coefficient of a reduced row converted to x-space
+// (literals ¬x_v replaced by 1−x_v).
+type xEntry struct {
+	local int // index into xProblem.vars
+	coef  float64
+}
+
+// xRow is a reduced row in x-space: Σ coef·x ≥ rhs.
+type xRow struct {
+	engIdx  int
+	entries []xEntry
+	rhs     float64
+}
+
+// xProblem is the x-space view of a reduced problem, shared by the LPR and
+// LGR estimators.
+type xProblem struct {
+	vars   []pb.Var // unassigned variables appearing in the rows
+	varIdx map[pb.Var]int
+	rows   []xRow
+	cost   []float64 // per local variable
+}
+
+// toXSpace converts the reduced rows to x-space over a compact local
+// variable indexing.
+func toXSpace(red *Reduced, cost []int64) *xProblem {
+	xp := &xProblem{varIdx: make(map[pb.Var]int)}
+	local := func(v pb.Var) int {
+		if i, ok := xp.varIdx[v]; ok {
+			return i
+		}
+		i := len(xp.vars)
+		xp.varIdx[v] = i
+		xp.vars = append(xp.vars, v)
+		xp.cost = append(xp.cost, float64(cost[v]))
+		return i
+	}
+	for _, row := range red.Rows {
+		xr := xRow{engIdx: row.EngIdx, rhs: float64(row.Degree)}
+		for _, t := range row.Terms {
+			j := local(t.Lit.Var())
+			a := float64(t.Coef)
+			if t.Lit.IsNeg() {
+				// a·(1−x) = a − a·x: coefficient −a, rhs reduced by a.
+				xr.entries = append(xr.entries, xEntry{j, -a})
+				xr.rhs -= a
+			} else {
+				xr.entries = append(xr.entries, xEntry{j, a})
+			}
+		}
+		xp.rows = append(xp.rows, xr)
+	}
+	return xp
+}
+
+// lagrangianValue computes the weak-duality bound
+//
+//	L(y) = Σ_{i∈S} y_i·rhs_i + Σ_j min(0, α_j),  α_j = c_j − Σ_{i∈S} y_i·G_ij
+//
+// for the multipliers y (indexed like xp.rows; entries ≤ eps are treated as
+// zero and excluded from S). It returns the bound value, the set S of row
+// indices with positive multipliers, and the α vector (for the §4.3 filter
+// and the free minimizer x_j = 1 iff α_j < 0).
+func (xp *xProblem) lagrangianValue(y []float64, eps float64) (val float64, s []int, alpha []float64) {
+	alpha = make([]float64, len(xp.vars))
+	copy(alpha, xp.cost)
+	for i, yi := range y {
+		if yi <= eps {
+			continue
+		}
+		s = append(s, i)
+		val += yi * xp.rows[i].rhs
+		for _, e := range xp.rows[i].entries {
+			alpha[e.local] -= yi * e.coef
+		}
+	}
+	for _, a := range alpha {
+		if a < 0 {
+			val += a
+		}
+	}
+	return val, s, alpha
+}
+
+// alphaFilter implements the §4.3 refinement: for each *assigned* variable
+// occurring in the responsible constraints, compute
+//
+//	α_v = c_v − Σ_{i∈S} y_i·G_iv
+//
+// using the original constraints' x-space coefficients, and exclude
+//
+//	v assigned 0 with α_v > margin   (freeing v cannot lower the bound)
+//	v assigned 1 with α_v < −margin  (the bound already pays for freeing v)
+//
+// from the ω_pl explanation. isTrue/isFalse report the assignment; coefAt
+// enumerates (variable, x-space coefficient) pairs of original constraint i.
+func alphaFilter(
+	sRows []int,
+	y []float64,
+	cost []int64,
+	rowVars func(rowIdx int, visit func(v pb.Var, xCoef float64)),
+	assignedValue func(v pb.Var) (value bool, assigned bool),
+) map[pb.Var]bool {
+	const margin = 1e-4
+	alphaV := map[pb.Var]float64{}
+	for _, i := range sRows {
+		yi := y[i]
+		if yi <= 0 {
+			continue
+		}
+		rowVars(i, func(v pb.Var, xCoef float64) {
+			if _, ok := alphaV[v]; !ok {
+				alphaV[v] = float64(cost[v])
+			}
+			alphaV[v] -= yi * xCoef
+		})
+	}
+	var excluded map[pb.Var]bool
+	for v, av := range alphaV {
+		val, assigned := assignedValue(v)
+		if !assigned {
+			continue
+		}
+		drop := (!val && av > margin) || (val && av < -margin)
+		if drop {
+			if excluded == nil {
+				excluded = map[pb.Var]bool{}
+			}
+			excluded[v] = true
+		}
+	}
+	return excluded
+}

@@ -1,0 +1,796 @@
+// Package core implements bsolo, the paper's pseudo-Boolean optimizer: a
+// branch-and-bound search built on a SAT-style engine (boolean constraint
+// propagation, conflict-based learning, non-chronological backtracking),
+// extended with
+//
+//   - lower bound estimation at every search node (§3): plain (none), MIS,
+//     linear-programming relaxation, or Lagrangian relaxation;
+//   - bound-based conflicts (§4): when path + lower ≥ upper, the clause
+//     ω_bc = ω_pp ∪ ω_pl is built from the assignments responsible for the
+//     path cost and for the lower bound, and analyzed like an ordinary
+//     conflict, enabling non-chronological backtracking;
+//   - the additional techniques of §5: LP-guided branching, the incumbent
+//     knapsack constraint (eq. 10) and cardinality-based cost inference
+//     (eqs. 11–13).
+//
+// The same search loop, run with StrategyLinearSearch, reproduces the
+// SAT-based linear search on the cost function used by PBS and Galena
+// (§3, [2,4]): each solution adds the constraint cost ≤ upper−1 and search
+// restarts, until unsatisfiability proves the last solution optimal.
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/engine"
+	"repro/internal/pb"
+)
+
+// Method selects the lower bound estimation procedure (§3).
+type Method int
+
+const (
+	// LBNone disables lower bounding (the paper's "plain" column).
+	LBNone Method = iota
+	// LBMIS uses the maximum-independent-set approximation.
+	LBMIS
+	// LBLGR uses Lagrangian relaxation.
+	LBLGR
+	// LBLPR uses linear-programming relaxation.
+	LBLPR
+)
+
+func (m Method) String() string {
+	switch m {
+	case LBNone:
+		return "plain"
+	case LBMIS:
+		return "mis"
+	case LBLGR:
+		return "lgr"
+	default:
+		return "lpr"
+	}
+}
+
+// Strategy selects the overall search organization.
+type Strategy int
+
+const (
+	// StrategyBranchBound is bsolo's branch-and-bound: solutions update the
+	// incumbent in-place and search continues from a bound conflict.
+	StrategyBranchBound Strategy = iota
+	// StrategyLinearSearch is the PBS/Galena organization: each solution
+	// adds cost ≤ upper−1 and the search restarts from the root.
+	StrategyLinearSearch
+)
+
+// Options configures a solve. The zero value is bsolo-plain with no limits.
+type Options struct {
+	LowerBound Method
+	Strategy   Strategy
+
+	// MaxConflicts bounds the total number of conflicts (BCP + bound);
+	// 0 means unlimited.
+	MaxConflicts int64
+	// MaxDecisions bounds the number of decisions; 0 means unlimited.
+	MaxDecisions int64
+	// TimeLimit bounds wall-clock time; 0 means unlimited.
+	TimeLimit time.Duration
+
+	// ChronologicalBounds disables §4's conflict analysis on bound
+	// conflicts: the explanation degrades to the full set of decision
+	// assignments, forcing chronological backtracking (ablation A1).
+	ChronologicalBounds bool
+	// NoLPBranching disables the §5 branching heuristic (branch on the LP
+	// variable closest to 0.5) even when LowerBound is LBLPR.
+	NoLPBranching bool
+	// NoKnapsackCuts disables the eq. 10 incumbent constraint.
+	NoKnapsackCuts bool
+	// CardinalityInference enables the eq. 11–13 inference on new
+	// incumbents.
+	CardinalityInference bool
+
+	// BoundEvery computes the lower bound only at every k-th eligible node
+	// (default 1 = every node). Higher values trade pruning for speed.
+	BoundEvery int
+
+	// PBLearning additionally derives a cutting-plane (pseudo-Boolean)
+	// constraint at every conflict, Galena-style [4], alongside the 1UIP
+	// clause: the clause drives the backjump, the cutting plane adds
+	// pruning power.
+	PBLearning bool
+	// MaxPBLearned caps how many cutting-plane constraints are retained
+	// (default 20000); beyond the cap only clauses are learned.
+	MaxPBLearned int64
+
+	// LGRIterations bounds subgradient iterations per bound call
+	// (default 50; ablation A5).
+	LGRIterations int
+	// LGRColdStart disables the greedy dual-ascent warm start of the
+	// Lagrangian multipliers, leaving the plain subgradient scheme of the
+	// paper's reference [12] — whose slow convergence the paper reports
+	// (ablation A5).
+	LGRColdStart bool
+	// LPRAlphaFilter applies the §4.3 α-filter to LP duals as well.
+	LPRAlphaFilter bool
+	// LPRZeroSlack uses the paper's literal §4.2 responsible set (all
+	// zero-slack rows of the LP solution) instead of the stronger
+	// positive-dual subset.
+	LPRZeroSlack bool
+
+	// RestartBase is the Luby restart unit in conflicts (default 128;
+	// 0 uses the default, negative disables restarts).
+	RestartBase int
+
+	// OnIncumbent, when non-nil, is invoked with the objective value
+	// (including CostOffset) each time a better solution is found —
+	// matching the "ub" progress reporting of the paper's Table 1.
+	OnIncumbent func(best int64)
+
+	// Cancel, when non-nil, aborts the search (StatusLimit with the best
+	// incumbent) as soon as the channel is closed. Used by the portfolio
+	// driver to stop the losing configurations.
+	Cancel <-chan struct{}
+}
+
+// Status reports how a solve ended.
+type Status int
+
+const (
+	// StatusOptimal: an optimal solution was found and proved.
+	StatusOptimal Status = iota
+	// StatusSatisfiable: the instance has no objective and a satisfying
+	// assignment was found.
+	StatusSatisfiable
+	// StatusUnsat: the constraints are unsatisfiable.
+	StatusUnsat
+	// StatusLimit: a budget expired; Result carries the best incumbent.
+	StatusLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusSatisfiable:
+		return "satisfiable"
+	case StatusUnsat:
+		return "unsatisfiable"
+	default:
+		return "limit"
+	}
+}
+
+// Stats counts solver events.
+type Stats struct {
+	Decisions      int64
+	Conflicts      int64 // BCP conflicts
+	BoundConflicts int64 // §4 bound conflicts
+	BoundCalls     int64 // lower bound estimations
+	BoundPrunes    int64 // estimations that triggered a bound conflict
+	Solutions      int64
+	Restarts       int64
+	KnapsackCuts   int64
+	CardCuts       int64
+	// NCBSavedLevels accumulates, over bound conflicts, how many decision
+	// levels each backjump skipped beyond the chronological single level.
+	NCBSavedLevels int64
+	Propagations   int64
+	LearnedClauses int64
+	// PBLearned counts cutting-plane constraints derived by PB learning.
+	PBLearned int64
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status Status
+	// HasSolution reports whether any feasible assignment was found.
+	HasSolution bool
+	// Best is the objective value (including the problem's CostOffset) of
+	// the best solution found; only meaningful when HasSolution.
+	Best int64
+	// Values is the best assignment (length NumVars).
+	Values []bool
+	Stats  Stats
+}
+
+const upperInf = int64(math.MaxInt64 / 2)
+
+type solver struct {
+	prob *pb.Problem
+	opt  Options
+	eng  *engine.Engine
+	est  bounds.Estimator
+
+	upper    int64 // best objective found so far, excluding CostOffset
+	bestVals []bool
+
+	stats        Stats
+	deadline     time.Time
+	hasDeadline  bool
+	nodeCounter  int
+	restartIdx   int64
+	conflictsCur int64 // conflicts since last restart
+	lastReduceAt int64 // Stats.Learned at the last ReduceDB
+
+	// cardinality sets precomputed for eq. 11–13.
+	cardSets []cardSet
+
+	// knapCut is the engine index of the eq. 10 incumbent constraint
+	// (created at the first incumbent, tightened in place afterwards;
+	// -1 until created). cardCutIdx likewise for the eq. 13 cuts.
+	knapCut    int
+	cardCutIdx []int
+}
+
+type cardSet struct {
+	inK []bool // per variable
+	v   int64  // sum of the U smallest costs within K
+	// sumOutside is Σ c_j over j ∉ K (the eq. 13 left-hand side total).
+	sumOutside int64
+}
+
+// Solve runs the configured search on p and returns the result. The input
+// problem is not modified.
+func Solve(p *pb.Problem, opt Options) Result {
+	if opt.BoundEvery <= 0 {
+		opt.BoundEvery = 1
+	}
+	s := &solver{prob: p, opt: opt, upper: upperInf, knapCut: -1}
+	if opt.TimeLimit > 0 {
+		s.deadline = time.Now().Add(opt.TimeLimit)
+		s.hasDeadline = true
+	}
+	switch opt.LowerBound {
+	case LBMIS:
+		s.est = bounds.MIS{}
+	case LBLGR:
+		s.est = bounds.LGR{Iterations: opt.LGRIterations, WarmStart: !opt.LGRColdStart}
+	case LBLPR:
+		s.est = bounds.LPR{AlphaFilter: opt.LPRAlphaFilter, ZeroSlackExplanations: opt.LPRZeroSlack}
+	default:
+		s.est = bounds.None{}
+	}
+	s.eng = engine.New(p)
+	if opt.CardinalityInference {
+		s.prepareCardSets()
+	}
+	res := s.search()
+	res.Stats = s.stats
+	res.Stats.Decisions = s.eng.Stats.Decisions
+	res.Stats.Conflicts = s.eng.Stats.Conflicts
+	res.Stats.Propagations = s.eng.Stats.Propagations
+	res.Stats.LearnedClauses = s.eng.Stats.Learned
+	return res
+}
+
+func (s *solver) pathCost() int64 {
+	var c int64
+	for i := 0; i < s.eng.TrailSize(); i++ {
+		l := s.eng.TrailLit(i)
+		if !l.IsNeg() {
+			c += s.prob.Cost[l.Var()]
+		}
+	}
+	return c
+}
+
+func (s *solver) budgetExpired() bool {
+	if s.opt.MaxConflicts > 0 && s.stats.BoundConflicts+s.eng.Stats.Conflicts >= s.opt.MaxConflicts {
+		return true
+	}
+	if s.opt.MaxDecisions > 0 && s.eng.Stats.Decisions >= s.opt.MaxDecisions {
+		return true
+	}
+	if s.hasDeadline && s.nodeCounter%64 == 0 && time.Now().After(s.deadline) {
+		return true
+	}
+	if s.opt.Cancel != nil && s.nodeCounter%64 == 0 {
+		select {
+		case <-s.opt.Cancel:
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// finish converts the incumbent state into a terminal result.
+func (s *solver) finish(proved bool) Result {
+	if s.bestVals != nil {
+		status := StatusLimit
+		if proved {
+			status = StatusOptimal
+			if !s.prob.HasObjective() {
+				status = StatusSatisfiable
+			}
+		}
+		return Result{
+			Status:      status,
+			HasSolution: true,
+			Best:        s.upper + s.prob.CostOffset,
+			Values:      s.bestVals,
+		}
+	}
+	if proved {
+		return Result{Status: StatusUnsat}
+	}
+	return Result{Status: StatusLimit}
+}
+
+func (s *solver) search() Result {
+	if s.eng.SeedUnits() < 0 {
+		return Result{Status: StatusUnsat}
+	}
+	hasObjective := s.prob.HasObjective()
+	var fracX map[pb.Var]float64
+
+	for {
+		s.nodeCounter++
+		if s.budgetExpired() {
+			return s.finish(false)
+		}
+
+		if confl := s.eng.Propagate(); confl >= 0 {
+			if !s.resolveConstraintConflict(confl) {
+				return s.finish(true)
+			}
+			s.maybeRestart()
+			continue
+		}
+
+		// Propagation fixpoint.
+		path := int64(0)
+		if hasObjective {
+			path = s.pathCost()
+			if path >= s.upper {
+				if !s.boundConflict(nil, nil) {
+					return s.finish(true)
+				}
+				continue
+			}
+		}
+
+		// Lower bound estimation (§3) and bound conflict detection (§4).
+		fracX = nil
+		if hasObjective && s.upper < upperInf && s.opt.LowerBound != LBNone &&
+			s.nodeCounter%s.opt.BoundEvery == 0 {
+			red := bounds.Extract(s.eng)
+			s.stats.BoundCalls++
+			res := s.est.Estimate(s.eng, red, s.prob.Cost, s.upper-path)
+			if path+res.Bound >= s.upper {
+				s.stats.BoundPrunes++
+				if !s.boundConflict(res.Responsible, res.ExcludedVars) {
+					return s.finish(true)
+				}
+				continue
+			}
+			fracX = res.FracX
+		}
+
+		// Solution? Every problem constraint satisfied; unassigned variables
+		// take value 0, the cheapest polarity, so the cost is exactly path.
+		if s.eng.NumUnsatisfied() == 0 {
+			s.stats.Solutions++
+			if !hasObjective {
+				s.upper = 0
+				s.bestVals = s.eng.Values()
+				return s.finish(true)
+			}
+			if path < s.upper {
+				s.upper = path
+				s.bestVals = s.eng.Values()
+				if s.opt.OnIncumbent != nil {
+					s.opt.OnIncumbent(s.upper + s.prob.CostOffset)
+				}
+				s.addIncumbentCuts()
+			}
+			if s.opt.Strategy == StrategyLinearSearch {
+				// addIncumbentCuts restarted the search from the root; the
+				// eq. 10 constraint now drives it toward a cheaper solution.
+				continue
+			}
+			// Branch-and-bound: the incumbent now equals the path, so raise
+			// a bound conflict with the path explanation ω_pp (lower = 0).
+			if !s.boundConflict(nil, nil) {
+				return s.finish(true)
+			}
+			continue
+		}
+
+		// Branch.
+		lit := s.pickBranch(fracX)
+		if lit == pb.NoLit {
+			// All variables assigned yet constraints remain unsatisfied:
+			// propagation must have caught this. Defensive.
+			return s.finish(false)
+		}
+		s.eng.Decide(lit)
+	}
+}
+
+// resolveConstraintConflict analyzes a BCP conflict; returns false when the
+// search space is exhausted.
+func (s *solver) resolveConstraintConflict(confl int) bool {
+	for round := 0; ; round++ {
+		var cpTerms []pb.Term
+		var cpDegree int64
+		maxPB := s.opt.MaxPBLearned
+		if maxPB == 0 {
+			maxPB = 20000
+		}
+		if s.opt.PBLearning && s.stats.PBLearned < maxPB {
+			cpTerms, cpDegree = s.eng.AnalyzeCuttingPlane(confl)
+		}
+		res := s.eng.AnalyzeConstraint(confl)
+		if res.Unsat {
+			return false
+		}
+		idx := s.eng.LearnAndBackjump(res)
+		if idx < 0 {
+			return false
+		}
+		// Install the cutting plane after the backjump (it is usually a
+		// strict strengthening of the clause) and schedule it for an
+		// immediate propagation check.
+		if cpTerms != nil && !dominatedByClause(cpTerms, cpDegree, res.Learnt) {
+			ci := s.eng.AddCons(cpTerms, cpDegree, true)
+			s.eng.ScheduleCheck(ci)
+			s.stats.PBLearned++
+		}
+		if s.eng.LitValue(res.Learnt[0]) != engine.False {
+			return true
+		}
+		// The learned clause is still conflicting (can happen when a seed
+		// had several literals at its maximum level); analyze it in turn.
+		confl = idx
+		if round > 1000 {
+			panic("core: conflict resolution did not converge")
+		}
+	}
+}
+
+// boundConflict handles path + lower ≥ upper (§4): build ω_bc = ω_pp ∪ ω_pl,
+// backtrack non-chronologically, learn, and continue. responsible lists the
+// engine constraints explaining the lower bound (nil when lower = 0).
+// Returns false when the search space below the incumbent is exhausted —
+// the incumbent is optimal (or the instance unsatisfiable).
+func (s *solver) boundConflict(responsible []int, excluded map[pb.Var]bool) bool {
+	s.stats.BoundConflicts++
+	curLevel := s.eng.DecisionLevel()
+	if curLevel == 0 {
+		return false
+	}
+
+	var seed []pb.Lit
+	inSeed := map[pb.Lit]bool{}
+	add := func(l pb.Lit) {
+		if !inSeed[l] {
+			inSeed[l] = true
+			seed = append(seed, l)
+		}
+	}
+
+	if s.opt.ChronologicalBounds {
+		// The "straightforward approach" of §4.1: blame every decision.
+		for lvl := 1; lvl <= curLevel; lvl++ {
+			add(s.eng.DecisionLit(lvl).Neg())
+		}
+	} else {
+		// ω_pp (eq. 8): positive-cost variables assigned 1.
+		for i := 0; i < s.eng.TrailSize(); i++ {
+			l := s.eng.TrailLit(i)
+			if l.IsNeg() {
+				continue
+			}
+			v := l.Var()
+			if s.prob.Cost[v] > 0 && s.eng.Level(v) > 0 {
+				add(pb.NegLit(v))
+			}
+		}
+		// ω_pl (eq. 9): false literals of the responsible constraints,
+		// minus the §4.3 α-filtered variables.
+		for _, ci := range responsible {
+			c := s.eng.Cons(ci)
+			for _, t := range c.Terms {
+				if s.eng.LitValue(t.Lit) != engine.False {
+					continue
+				}
+				v := t.Lit.Var()
+				if s.eng.Level(v) == 0 {
+					continue // root assignments never unassign; sound to drop
+				}
+				if excluded != nil && excluded[v] {
+					continue
+				}
+				add(t.Lit)
+			}
+		}
+	}
+
+	if len(seed) == 0 {
+		// The bound holds under no assumptions: nothing below the incumbent.
+		return false
+	}
+
+	// Non-chronological jump: first return to the highest level mentioned by
+	// the explanation, then run standard conflict analysis from ω_bc.
+	maxLevel := 0
+	for _, l := range seed {
+		if lvl := s.eng.Level(l.Var()); lvl > maxLevel {
+			maxLevel = lvl
+		}
+	}
+	if maxLevel == 0 {
+		return false
+	}
+	if maxLevel < curLevel {
+		s.eng.BacktrackTo(maxLevel)
+	}
+	res := s.eng.AnalyzeClause(seed)
+	if res.Unsat {
+		return false
+	}
+	idx := s.eng.LearnAndBackjump(res)
+	if idx < 0 {
+		return false
+	}
+	// Chronological backtracking would have returned to curLevel−1; levels
+	// skipped beyond that are the §4 non-chronological saving.
+	if saved := int64(curLevel-1) - int64(res.BackLevel); saved > 0 {
+		s.stats.NCBSavedLevels += saved
+	}
+	if s.eng.LitValue(res.Learnt[0]) == engine.False {
+		// Still conflicting: resolve through the regular path.
+		return s.resolveConstraintConflict(idx)
+	}
+	return true
+}
+
+// dominatedByClause reports whether the derived cutting plane is no
+// stronger than the learned clause (same-or-fewer pruning power when it is
+// itself a clause over a superset of the clause's literals).
+func dominatedByClause(terms []pb.Term, degree int64, clause []pb.Lit) bool {
+	if degree != 1 {
+		return false
+	}
+	for _, t := range terms {
+		if t.Coef != 1 {
+			return false
+		}
+	}
+	// A clause-shaped cut with degree 1: it dominates the learned clause
+	// only if its literal set is a subset; a superset is weaker. Cheap
+	// approximation: keep only if strictly shorter than the clause.
+	return len(terms) >= len(clause)
+}
+
+// pickBranch selects the next decision literal: the §5 LP-guided heuristic
+// when fractional values are available, otherwise VSIDS with saved phases.
+func (s *solver) pickBranch(fracX map[pb.Var]float64) pb.Lit {
+	if fracX != nil && !s.opt.NoLPBranching && s.opt.LowerBound == LBLPR {
+		const intEps = 1e-6
+		bestDist := math.Inf(1)
+		var cands []pb.Var
+		for v, x := range fracX {
+			if s.eng.Value(v) != engine.Unassigned {
+				continue
+			}
+			if x < intEps || x > 1-intEps {
+				continue // integral in the LP: not a §5 candidate
+			}
+			d := math.Abs(x - 0.5)
+			switch {
+			case d < bestDist-1e-9:
+				bestDist = d
+				cands = cands[:0]
+				cands = append(cands, v)
+			case d < bestDist+1e-9:
+				cands = append(cands, v)
+			}
+		}
+		if len(cands) == 1 {
+			v := cands[0]
+			return pb.MkLit(v, fracX[v] < 0.5)
+		}
+		if len(cands) > 1 {
+			// Ties broken by the VSIDS heuristic of Chaff (§5).
+			best := cands[0]
+			for _, v := range cands[1:] {
+				if s.eng.Activity(v) > s.eng.Activity(best) ||
+					(s.eng.Activity(v) == s.eng.Activity(best) && v < best) {
+					best = v
+				}
+			}
+			return pb.MkLit(best, fracX[best] < 0.5)
+		}
+	}
+	v := s.eng.PickBranchVar()
+	if v < 0 {
+		return pb.NoLit
+	}
+	return pb.MkLit(v, s.eng.PreferredPhase(v) == engine.False)
+}
+
+// addIncumbentCuts installs the eq. 10 knapsack constraint and, when
+// enabled, the eq. 11–13 cardinality inferences for the new upper bound.
+// In linear-search mode the eq. 10 constraint *is* the search mechanism.
+func (s *solver) addIncumbentCuts() {
+	if s.opt.Strategy == StrategyLinearSearch {
+		s.addCostUpperBoundCut()
+		// PBS/Galena restart from scratch after each solution.
+		s.eng.BacktrackTo(0)
+		s.stats.Restarts++
+		return
+	}
+	if !s.opt.NoKnapsackCuts {
+		s.addCostUpperBoundCut()
+	}
+	if s.opt.CardinalityInference {
+		s.addCardinalityCuts()
+	}
+}
+
+// addCostUpperBoundCut maintains Σ c_j·x_j ≤ upper − 1 (eq. 10), expressed
+// in normal form as Σ c_j·¬x_j ≥ (Σ c_j) − upper + 1. The constraint is
+// created once at the first incumbent and tightened in place afterwards —
+// each improvement dominates the previous cut, and replacing beats
+// accumulating dense constraints.
+func (s *solver) addCostUpperBoundCut() {
+	degree := s.prob.TotalCost() - s.upper + 1
+	if s.knapCut >= 0 {
+		s.eng.UpdateDegree(s.knapCut, degree)
+		s.stats.KnapsackCuts++
+		return
+	}
+	terms := costTerms(s.prob.Cost, nil)
+	if len(terms) == 0 {
+		return
+	}
+	s.knapCut = s.eng.AddCons(terms, degree, true)
+	s.eng.Protect(s.knapCut)
+	s.stats.KnapsackCuts++
+}
+
+// costTerms builds Σ c_j·¬x_j over positive-cost variables outside the
+// excluded set, sorted by descending coefficient (the engine's propagation
+// scan relies on that order). The terms are deliberately NOT clipped against
+// any degree so the degree can be tightened in place later.
+func costTerms(cost []int64, exclude []bool) []pb.Term {
+	var terms []pb.Term
+	for v, c := range cost {
+		if c > 0 && (exclude == nil || !exclude[v]) {
+			terms = append(terms, pb.Term{Coef: c, Lit: pb.NegLit(pb.Var(v))})
+		}
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].Coef != terms[j].Coef {
+			return terms[i].Coef > terms[j].Coef
+		}
+		return terms[i].Lit < terms[j].Lit
+	})
+	return terms
+}
+
+// prepareCardSets scans the original constraints for positive cardinality
+// constraints Σ_{j∈K} x_j ≥ U (eq. 11) and precomputes V, the sum of the U
+// smallest costs in K (eq. 12).
+func (s *solver) prepareCardSets() {
+	for _, c := range s.prob.Constraints {
+		kind := c.Kind()
+		if kind != pb.KindCardinality && kind != pb.KindClause {
+			continue
+		}
+		u := c.CardinalityNeed()
+		if u <= 0 {
+			continue
+		}
+		inK := make([]bool, s.prob.NumVars)
+		var costs []int64
+		allPositive := true
+		for _, t := range c.Terms {
+			if t.Lit.IsNeg() {
+				allPositive = false
+				break
+			}
+			inK[t.Lit.Var()] = true
+			costs = append(costs, s.prob.Cost[t.Lit.Var()])
+		}
+		if !allPositive {
+			continue
+		}
+		sort.Slice(costs, func(i, j int) bool { return costs[i] < costs[j] })
+		var v int64
+		for i := int64(0); i < u && i < int64(len(costs)); i++ {
+			v += costs[i]
+		}
+		if v <= 0 {
+			continue // eq. 13 would be no stronger than eq. 10
+		}
+		var sumOutside int64
+		for vv, c := range s.prob.Cost {
+			if c > 0 && !inK[vv] {
+				sumOutside += c
+			}
+		}
+		s.cardSets = append(s.cardSets, cardSet{inK: inK, v: v, sumOutside: sumOutside})
+	}
+	// Keep only the strongest sets (largest V): each cut is a dense
+	// constraint touching every costed variable's occurrence list.
+	sort.Slice(s.cardSets, func(a, b int) bool { return s.cardSets[a].v > s.cardSets[b].v })
+	const maxCardSets = 16
+	if len(s.cardSets) > maxCardSets {
+		s.cardSets = s.cardSets[:maxCardSets]
+	}
+}
+
+// addCardinalityCuts maintains Σ_{j∈N−K} c_j·x_j ≤ upper − 1 − V (eq. 13)
+// for every precomputed cardinality set, in normal form
+// Σ_{j∈N−K} c_j·¬x_j ≥ sumOutside − upper + 1 + V. Cuts are created at the
+// first incumbent and tightened in place afterwards.
+func (s *solver) addCardinalityCuts() {
+	if s.cardCutIdx == nil {
+		s.cardCutIdx = make([]int, len(s.cardSets))
+		for i, cs := range s.cardSets {
+			terms := costTerms(s.prob.Cost, cs.inK)
+			if len(terms) == 0 {
+				s.cardCutIdx[i] = -1
+				continue
+			}
+			s.cardCutIdx[i] = s.eng.AddCons(terms, cs.sumOutside-s.upper+1+cs.v, true)
+			s.eng.Protect(s.cardCutIdx[i])
+			s.stats.CardCuts++
+		}
+		return
+	}
+	for i, cs := range s.cardSets {
+		if s.cardCutIdx[i] < 0 {
+			continue
+		}
+		s.eng.UpdateDegree(s.cardCutIdx[i], cs.sumOutside-s.upper+1+cs.v)
+		s.stats.CardCuts++
+	}
+}
+
+// maybeRestart applies Luby restarts after BCP conflicts.
+func (s *solver) maybeRestart() {
+	if s.opt.RestartBase < 0 {
+		return
+	}
+	base := int64(s.opt.RestartBase)
+	if base == 0 {
+		base = 128
+	}
+	s.conflictsCur++
+	if s.conflictsCur >= luby(s.restartIdx)*base {
+		s.conflictsCur = 0
+		s.restartIdx++
+		if s.eng.DecisionLevel() > 0 {
+			s.eng.BacktrackTo(0)
+			s.stats.Restarts++
+		}
+		// Garbage-collect learned constraints when the database has grown
+		// past the threshold since the last collection.
+		if s.eng.Stats.Learned-s.lastReduceAt > 4000 {
+			s.eng.ReduceDB()
+			s.lastReduceAt = s.eng.Stats.Learned
+		}
+	}
+}
+
+// luby returns the i-th element of the Luby restart sequence
+// (1,1,2,1,1,2,4,…).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i+1 == (int64(1)<<k)-1 {
+			return int64(1) << (k - 1)
+		}
+		if i+1 < (int64(1) << k) {
+			return luby(i + 1 - (int64(1) << (k - 1)))
+		}
+	}
+}

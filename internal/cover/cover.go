@@ -1,0 +1,239 @@
+// Package cover implements the classical covering-problem reductions from
+// the binate-covering literature the paper builds on (§2; Coudert [5],
+// Villa et al. [15], Manquinho & Marques-Silva [9]):
+//
+//   - essential columns: a unate row with a single column forces that
+//     column into every solution;
+//   - row dominance: a row whose column set contains another row's is
+//     implied by it and can be removed (clause subsumption);
+//   - column dominance: a column whose row set is contained in a cheaper
+//     (or equal-cost) column's can be excluded from some optimal solution.
+//
+// The reductions are applied to the *unate part* of a PBO instance — clause
+// rows with only positive literals whose variables appear nowhere else —
+// and iterate to fixpoint, since each kind of reduction can enable the
+// others. Essential selections and column exclusions are materialized as
+// unit clauses (the variable numbering is preserved), so any downstream
+// solver sees a strictly easier problem with the same optimum.
+package cover
+
+import (
+	"sort"
+
+	"repro/internal/pb"
+)
+
+// Info reports what the reduction loop did.
+type Info struct {
+	EssentialColumns int
+	DominatedRows    int
+	DominatedColumns int
+	Iterations       int
+}
+
+// Reduce returns a reduced copy of p with the same variable numbering and
+// the same optimum. Row dominance preserves the full solution set; column
+// dominance and essential-column selection preserve at least one optimal
+// solution (the standard covering-problem argument).
+func Reduce(p *pb.Problem) (*pb.Problem, Info, error) {
+	out := p.Clone()
+	var info Info
+	seenEssential := map[pb.Var]bool{}
+
+	for {
+		info.Iterations++
+		changed := false
+
+		// Identify the unate sub-problem: clause rows with only positive
+		// literals, over variables appearing exclusively in such rows.
+		type rowInfo struct {
+			idx  int
+			cols map[pb.Var]bool
+		}
+		occElsewhere := make([]bool, out.NumVars)
+		var unate []rowInfo
+		// forcedKnown marks variables already pinned by unit rows: they are
+		// neither re-selected as essential nor eligible for column dominance.
+		forcedKnown := map[pb.Var]bool{}
+		for i, c := range out.Constraints {
+			isUnate := c.Kind() == pb.KindClause
+			if isUnate {
+				for _, t := range c.Terms {
+					if t.Lit.IsNeg() {
+						isUnate = false
+						break
+					}
+				}
+			}
+			if !isUnate {
+				for _, t := range c.Terms {
+					occElsewhere[t.Lit.Var()] = true
+				}
+				continue
+			}
+			cols := make(map[pb.Var]bool, len(c.Terms))
+			for _, t := range c.Terms {
+				cols[t.Lit.Var()] = true
+			}
+			if len(c.Terms) == 1 {
+				forcedKnown[c.Terms[0].Lit.Var()] = true
+			}
+			unate = append(unate, rowInfo{idx: i, cols: cols})
+		}
+
+		// Essential columns: unit unate rows select their column; rows
+		// containing a selected column are satisfied and dropped.
+		selected := map[pb.Var]bool{}
+		for _, r := range unate {
+			if len(r.cols) != 1 {
+				continue
+			}
+			for v := range r.cols {
+				selected[v] = true
+				if !seenEssential[v] {
+					seenEssential[v] = true
+					info.EssentialColumns++
+				}
+			}
+		}
+		removeRow := map[int]bool{}
+		if len(selected) > 0 {
+			for _, r := range unate {
+				if len(r.cols) == 1 {
+					continue // keep the unit row: it IS the selection
+				}
+				for v := range r.cols {
+					if selected[v] {
+						removeRow[r.idx] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+
+		// Row dominance among remaining unate rows: subset removes superset.
+		live := unate[:0]
+		for _, r := range unate {
+			if !removeRow[r.idx] {
+				live = append(live, r)
+			}
+		}
+		sort.Slice(live, func(a, b int) bool { return len(live[a].cols) < len(live[b].cols) })
+		for i := 0; i < len(live); i++ {
+			if removeRow[live[i].idx] {
+				continue
+			}
+			for j := i + 1; j < len(live); j++ {
+				if removeRow[live[j].idx] || len(live[j].cols) <= len(live[i].cols) {
+					continue
+				}
+				subset := true
+				for v := range live[i].cols {
+					if !live[j].cols[v] {
+						subset = false
+						break
+					}
+				}
+				if subset {
+					removeRow[live[j].idx] = true
+					info.DominatedRows++
+					changed = true
+				}
+			}
+		}
+
+		// Column dominance: among variables appearing only in live unate
+		// rows, column a dominates b when rows(a) ⊇ rows(b) and
+		// cost(a) ≤ cost(b); b can be excluded.
+		rowsOf := map[pb.Var]map[int]bool{}
+		for _, r := range live {
+			if removeRow[r.idx] {
+				continue
+			}
+			for v := range r.cols {
+				if occElsewhere[v] {
+					continue
+				}
+				if rowsOf[v] == nil {
+					rowsOf[v] = map[int]bool{}
+				}
+				rowsOf[v][r.idx] = true
+			}
+		}
+		var cols []pb.Var
+		for v := range rowsOf {
+			if !selected[v] && !forcedKnown[v] {
+				cols = append(cols, v)
+			}
+		}
+		sort.Slice(cols, func(a, b int) bool { return cols[a] < cols[b] })
+		excluded := map[pb.Var]bool{}
+		for _, b := range cols {
+			if excluded[b] {
+				continue
+			}
+			for _, a := range cols {
+				if a == b || excluded[a] || out.Cost[a] > out.Cost[b] {
+					continue
+				}
+				// Equal-cost symmetric pairs: only the higher index may be
+				// excluded, or both would vanish.
+				if out.Cost[a] == out.Cost[b] && len(rowsOf[a]) == len(rowsOf[b]) && a > b {
+					continue
+				}
+				dominates := true
+				for ri := range rowsOf[b] {
+					if !rowsOf[a][ri] {
+						dominates = false
+						break
+					}
+				}
+				if dominates {
+					excluded[b] = true
+					info.DominatedColumns++
+					changed = true
+					break
+				}
+			}
+		}
+
+		// Materialize: drop dominated/satisfied rows, add unit clauses for
+		// essential selections and column exclusions.
+		if !changed {
+			break
+		}
+		var kept []*pb.Constraint
+		for i, c := range out.Constraints {
+			if !removeRow[i] {
+				kept = append(kept, c)
+			}
+		}
+		out.Constraints = kept
+		for _, v := range sortedVars(selected) {
+			if !forcedKnown[v] {
+				if err := out.AddClause(pb.PosLit(v)); err != nil {
+					return nil, info, err
+				}
+			}
+		}
+		for _, v := range sortedVars(excluded) {
+			if err := out.AddClause(pb.NegLit(v)); err != nil {
+				return nil, info, err
+			}
+		}
+		if info.Iterations > 100 {
+			break // safety: should converge in a handful of rounds
+		}
+	}
+	return out, info, nil
+}
+
+func sortedVars(m map[pb.Var]bool) []pb.Var {
+	out := make([]pb.Var, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

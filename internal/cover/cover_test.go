@@ -1,0 +1,179 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/pb"
+)
+
+func TestEssentialColumn(t *testing.T) {
+	// Row {x0} forces x0; row {x0, x1} is then satisfied and removed.
+	p := pb.NewProblem(2)
+	p.SetCost(0, 2)
+	p.SetCost(1, 1)
+	_ = p.AddClause(pb.PosLit(0))
+	_ = p.AddClause(pb.PosLit(0), pb.PosLit(1))
+	out, info, err := Reduce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.EssentialColumns != 1 {
+		t.Fatalf("essentials=%d want 1", info.EssentialColumns)
+	}
+	r := pb.BruteForce(out)
+	if !r.Feasible || r.Optimum != 2 {
+		t.Fatalf("optimum=%d want 2", r.Optimum)
+	}
+}
+
+func TestRowDominance(t *testing.T) {
+	p := pb.NewProblem(3)
+	for v := 0; v < 3; v++ {
+		p.SetCost(pb.Var(v), 1)
+	}
+	_ = p.AddClause(pb.PosLit(0), pb.PosLit(1))
+	_ = p.AddClause(pb.PosLit(0), pb.PosLit(1), pb.PosLit(2)) // dominated
+	out, info, err := Reduce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.DominatedRows != 1 {
+		t.Fatalf("dominated rows=%d want 1", info.DominatedRows)
+	}
+	if pb.BruteForce(out).Optimum != pb.BruteForce(p).Optimum {
+		t.Fatal("optimum changed")
+	}
+}
+
+func TestColumnDominance(t *testing.T) {
+	// x0 covers rows {r0, r1}; x1 covers only r1 at higher cost ⇒ x1
+	// dominated, excluded.
+	p := pb.NewProblem(3)
+	p.SetCost(0, 1)
+	p.SetCost(1, 5)
+	p.SetCost(2, 1)
+	_ = p.AddClause(pb.PosLit(0), pb.PosLit(2))
+	_ = p.AddClause(pb.PosLit(0), pb.PosLit(1))
+	out, info, err := Reduce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.DominatedColumns == 0 {
+		t.Fatal("expected a dominated column")
+	}
+	r1, r2 := pb.BruteForce(p), pb.BruteForce(out)
+	if r1.Optimum != r2.Optimum {
+		t.Fatalf("optimum changed %d → %d", r1.Optimum, r2.Optimum)
+	}
+}
+
+func TestBinateRowsUntouched(t *testing.T) {
+	// A variable occurring in a binate row must not participate in column
+	// dominance even when it looks dominated within the unate part.
+	p := pb.NewProblem(3)
+	p.SetCost(0, 1)
+	p.SetCost(1, 5)
+	_ = p.AddClause(pb.PosLit(0), pb.PosLit(1))
+	_ = p.AddClause(pb.NegLit(1), pb.PosLit(2)) // binate: uses ¬x1
+	out, _, err := Reduce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := pb.BruteForce(p), pb.BruteForce(out)
+	if r1.Optimum != r2.Optimum || r1.Feasible != r2.Feasible {
+		t.Fatalf("semantics changed: %+v vs %+v", r1, r2)
+	}
+}
+
+// Property: reductions preserve feasibility and optimum on random unate
+// covering instances.
+func TestReducePreservesOptimumRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	for iter := 0; iter < 300; iter++ {
+		n := 3 + rng.Intn(6)
+		p := pb.NewProblem(n)
+		for v := 0; v < n; v++ {
+			p.SetCost(pb.Var(v), int64(rng.Intn(9)))
+		}
+		m := 2 + rng.Intn(8)
+		for i := 0; i < m; i++ {
+			nt := 1 + rng.Intn(4)
+			seen := map[pb.Var]bool{}
+			var lits []pb.Lit
+			for k := 0; k < nt; k++ {
+				v := pb.Var(rng.Intn(n))
+				if !seen[v] {
+					seen[v] = true
+					lits = append(lits, pb.PosLit(v))
+				}
+			}
+			_ = p.AddClause(lits...)
+		}
+		// Mix in an occasional binate row.
+		if rng.Intn(3) == 0 {
+			_ = p.AddClause(pb.NegLit(pb.Var(rng.Intn(n))), pb.PosLit(pb.Var(rng.Intn(n))))
+		}
+		out, _, err := Reduce(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, r2 := pb.BruteForce(p), pb.BruteForce(out)
+		if r1.Feasible != r2.Feasible {
+			t.Fatalf("iter %d: feasibility changed", iter)
+		}
+		if r1.Feasible && r1.Optimum != r2.Optimum {
+			t.Fatalf("iter %d: optimum changed %d → %d", iter, r1.Optimum, r2.Optimum)
+		}
+	}
+}
+
+func TestReduceOnMinCoverInstances(t *testing.T) {
+	// The mcnc family is exactly the unate covering shape the reductions
+	// target; they should fire and preserve the optimum.
+	for seed := int64(0); seed < 5; seed++ {
+		p, err := gen.MinCover(gen.MinCoverConfig{Inputs: 5, OnDensity: 0.3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, info, err := Reduce(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.DominatedRows+info.DominatedColumns+info.EssentialColumns == 0 {
+			continue // some instances are irreducible; fine
+		}
+		if p.NumVars > 22 {
+			continue // keep brute force cheap
+		}
+		r1, r2 := pb.BruteForce(p), pb.BruteForce(out)
+		if r1.Optimum != r2.Optimum {
+			t.Fatalf("seed %d: optimum changed %d → %d", seed, r1.Optimum, r2.Optimum)
+		}
+	}
+}
+
+func TestIdempotent(t *testing.T) {
+	p := pb.NewProblem(4)
+	for v := 0; v < 4; v++ {
+		p.SetCost(pb.Var(v), int64(v+1))
+	}
+	_ = p.AddClause(pb.PosLit(0), pb.PosLit(1))
+	_ = p.AddClause(pb.PosLit(1), pb.PosLit(2), pb.PosLit(3))
+	out1, _, err := Reduce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, info2, err := Reduce(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second pass must converge immediately with no further removals.
+	if info2.DominatedRows != 0 || info2.DominatedColumns != 0 {
+		t.Fatalf("second pass still reduced: %+v", info2)
+	}
+	if len(out2.Constraints) != len(out1.Constraints) {
+		t.Fatal("constraint count changed on second pass")
+	}
+}

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pb"
+)
+
+// BenchmarkPropagateChain measures unit-propagation throughput along a long
+// implication chain of binary clauses (one Decide triggers n−1 implications).
+func BenchmarkPropagateChain(b *testing.B) {
+	const n = 2000
+	p := pb.NewProblem(n)
+	for v := 0; v < n-1; v++ {
+		_ = p.AddClause(pb.NegLit(pb.Var(v)), pb.PosLit(pb.Var(v+1)))
+	}
+	e := New(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Decide(pb.PosLit(0))
+		if confl := e.Propagate(); confl >= 0 {
+			b.Fatal("unexpected conflict")
+		}
+		if e.Value(pb.Var(n-1)) != True {
+			b.Fatal("chain did not propagate")
+		}
+		e.BacktrackTo(0)
+	}
+	b.ReportMetric(float64(n-1), "implications/op")
+}
+
+// BenchmarkPropagatePB measures counter-based propagation through general
+// pseudo-Boolean constraints (coefficient sums, not clause watching).
+func BenchmarkPropagatePB(b *testing.B) {
+	const n = 1200
+	p := pb.NewProblem(n)
+	// x_{i+1} forced once x_i true: 3·x_i requires... use 2¬x_i + 3x_{i+1} ≥ 3:
+	// with x_i true the row needs x_{i+1}.
+	for v := 0; v < n-1; v++ {
+		_ = p.AddConstraint([]pb.Term{
+			{Coef: 2, Lit: pb.NegLit(pb.Var(v))},
+			{Coef: 3, Lit: pb.PosLit(pb.Var(v + 1))},
+		}, pb.GE, 3)
+	}
+	e := New(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Decide(pb.PosLit(0))
+		if confl := e.Propagate(); confl >= 0 {
+			b.Fatal("unexpected conflict")
+		}
+		e.BacktrackTo(0)
+	}
+	b.ReportMetric(float64(n-1), "implications/op")
+}
+
+// BenchmarkConflictAnalysis measures the full conflict loop (propagate,
+// 1UIP analyze, learn, backjump) on phase-transition 3-SAT.
+func BenchmarkConflictAnalysis(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 120
+	p := pb.NewProblem(n)
+	for i := 0; i < int(4.3*float64(n)); i++ {
+		lits := make([]pb.Lit, 3)
+		for k := range lits {
+			lits[k] = pb.MkLit(pb.Var(rng.Intn(n)), rng.Intn(2) == 0)
+		}
+		_ = p.AddClause(lits...)
+	}
+	b.ResetTimer()
+	conflicts := 0
+	for i := 0; i < b.N; i++ {
+		e := New(p)
+		if e.SeedUnits() < 0 {
+			b.Fatal("root unsat")
+		}
+		for steps := 0; steps < 3000; steps++ {
+			confl := e.Propagate()
+			if confl >= 0 {
+				conflicts++
+				res := e.AnalyzeConstraint(confl)
+				if res.Unsat {
+					break
+				}
+				if e.LearnAndBackjump(res) < 0 {
+					break
+				}
+				continue
+			}
+			if e.NumUnsatisfied() == 0 {
+				break
+			}
+			v := e.PickBranchVar()
+			if v < 0 {
+				break
+			}
+			e.Decide(pb.MkLit(v, e.PreferredPhase(v) == False))
+		}
+	}
+	b.ReportMetric(float64(conflicts)/float64(b.N), "conflicts/op")
+}
+
+// BenchmarkCuttingPlaneAnalysis isolates the Galena-style derivation cost
+// relative to plain clause analysis on the same conflicts.
+func BenchmarkCuttingPlaneAnalysis(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 80
+	p := pb.NewProblem(n)
+	for i := 0; i < int(4.3*float64(n)); i++ {
+		lits := make([]pb.Lit, 3)
+		for k := range lits {
+			lits[k] = pb.MkLit(pb.Var(rng.Intn(n)), rng.Intn(2) == 0)
+		}
+		_ = p.AddClause(lits...)
+	}
+	b.ResetTimer()
+	derived := 0
+	for i := 0; i < b.N; i++ {
+		e := New(p)
+		if e.SeedUnits() < 0 {
+			b.Fatal("root unsat")
+		}
+		for steps := 0; steps < 2000; steps++ {
+			confl := e.Propagate()
+			if confl >= 0 {
+				if terms, _ := e.AnalyzeCuttingPlane(confl); terms != nil {
+					derived++
+				}
+				res := e.AnalyzeConstraint(confl)
+				if res.Unsat {
+					break
+				}
+				if e.LearnAndBackjump(res) < 0 {
+					break
+				}
+				continue
+			}
+			if e.NumUnsatisfied() == 0 {
+				break
+			}
+			v := e.PickBranchVar()
+			if v < 0 {
+				break
+			}
+			e.Decide(pb.MkLit(v, e.PreferredPhase(v) == False))
+		}
+	}
+	b.ReportMetric(float64(derived)/float64(b.N), "derivations/op")
+}

@@ -1,0 +1,239 @@
+// Cutting-plane conflict analysis in the style of Galena (Chai & Kuehlmann,
+// "A Fast Pseudo-Boolean Constraint Solver", DAC 2003 — the paper's
+// reference [4]): instead of (or in addition to) resolving a conflict into a
+// clause, derive a learned *pseudo-Boolean* constraint by cancelling
+// addition of the conflicting constraint with the reason constraints along
+// the trail, keeping the intermediate conflicting throughout.
+//
+// Each resolution step follows the division-based recipe that keeps the
+// invariant "slack < 0" (the derived constraint still falsifies the current
+// assignment):
+//
+//  1. weaken the reason on every non-falsified literal except the
+//     propagated one (sound: dropping a·l and lowering the degree by a);
+//  2. divide the weakened reason by the propagated literal's coefficient,
+//     rounding up (sound: Chvátal-Gomory division) — the propagated literal
+//     now has coefficient 1 and the reason has slack ≤ 0;
+//  3. add λ× the rounded reason to the current constraint, where λ is the
+//     coefficient of the complementary literal, cancelling the pivot
+//     variable; by slack subadditivity the sum keeps slack < 0;
+//  4. saturate (clip coefficients at the degree).
+//
+// The derived constraint is generally stronger than the 1UIP clause (it can
+// cut off exponentially more assignments) but is not guaranteed to be
+// asserting after the backjump, so callers pair it with ordinary clause
+// learning: the clause drives the search, the cutting plane adds pruning.
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/pb"
+)
+
+// cpMaxCoef aborts the derivation when coefficients outgrow this bound
+// (cancelling addition can blow coefficients up before saturation catches
+// them; giving up is always sound — the clause path still learns).
+const cpMaxCoef = int64(1) << 48
+
+// cpMaxSize aborts the derivation when the constraint grows too wide to be
+// worth propagating.
+const cpMaxSize = 512
+
+// cpCons is the mutable intermediate of the derivation.
+type cpCons struct {
+	coef   map[pb.Lit]int64
+	degree int64
+}
+
+func newCPCons(c *Cons) *cpCons {
+	cp := &cpCons{coef: make(map[pb.Lit]int64, len(c.Terms)), degree: c.Degree}
+	for _, t := range c.Terms {
+		cp.coef[t.Lit] = t.Coef
+	}
+	return cp
+}
+
+// slack returns Σ_{l not false} coef(l) − degree under the current
+// assignment.
+func (cp *cpCons) slack(e *Engine) int64 {
+	s := -cp.degree
+	for l, a := range cp.coef {
+		if e.LitValue(l) != False {
+			s += a
+		}
+	}
+	return s
+}
+
+// weakenExcept removes every literal that is not false under the current
+// assignment, except keep; the degree drops by the removed coefficients.
+func (cp *cpCons) weakenExcept(e *Engine, keep pb.Lit) {
+	for l, a := range cp.coef {
+		if l == keep {
+			continue
+		}
+		if e.LitValue(l) != False {
+			cp.degree -= a
+			delete(cp.coef, l)
+		}
+	}
+}
+
+// divideCeil applies Chvátal-Gomory division by d > 0.
+func (cp *cpCons) divideCeil(d int64) {
+	for l, a := range cp.coef {
+		cp.coef[l] = (a + d - 1) / d
+	}
+	cp.degree = (cp.degree + d - 1) / d
+}
+
+// saturate clips every coefficient at the degree.
+func (cp *cpCons) saturate() {
+	if cp.degree <= 0 {
+		return
+	}
+	for l, a := range cp.coef {
+		if a > cp.degree {
+			cp.coef[l] = cp.degree
+		}
+	}
+}
+
+// addScaled adds λ·other into cp, cancelling opposite-polarity pairs
+// (a·l + b·¬l = min + (a−min)·l + (b−min)·¬l with the degree reduced by
+// min). Returns false when coefficients overflow the safety bound.
+func (cp *cpCons) addScaled(other *cpCons, lambda int64) bool {
+	cp.degree += lambda * other.degree
+	for l, a := range other.coef {
+		add := lambda * a
+		if add <= 0 || add > cpMaxCoef {
+			return false
+		}
+		if b, ok := cp.coef[l.Neg()]; ok {
+			// Cancel against the complement.
+			m := add
+			if b < m {
+				m = b
+			}
+			cp.degree -= m
+			if b == m {
+				delete(cp.coef, l.Neg())
+			} else {
+				cp.coef[l.Neg()] = b - m
+			}
+			add -= m
+			if add == 0 {
+				continue
+			}
+		}
+		n := cp.coef[l] + add
+		if n > cpMaxCoef {
+			return false
+		}
+		cp.coef[l] = n
+	}
+	return true
+}
+
+// falseAtLevel counts literals of cp falsified at exactly the given level.
+func (cp *cpCons) falseAtLevel(e *Engine, lvl int) int {
+	n := 0
+	for l := range cp.coef {
+		if e.LitValue(l) == False && e.Level(l.Var()) == lvl {
+			n++
+		}
+	}
+	return n
+}
+
+// AnalyzeCuttingPlane derives a learned pseudo-Boolean constraint from the
+// conflicting constraint consIdx by cancelling addition along the trail,
+// stopping when at most one literal of the derived constraint is falsified
+// at the current decision level (the generalized-UIP condition). It returns
+// nil when the derivation aborts (decision reached with multiple
+// current-level literals, coefficient overflow, or width explosion) — which
+// is always safe, because callers also learn the 1UIP clause.
+//
+// The returned terms are normalized: positive saturated coefficients sorted
+// in descending order, one term per variable, positive degree.
+func (e *Engine) AnalyzeCuttingPlane(consIdx int) ([]pb.Term, int64) {
+	curLevel := e.DecisionLevel()
+	if curLevel == 0 {
+		return nil, 0
+	}
+	cur := newCPCons(e.cons[consIdx])
+	if cur.slack(e) >= 0 {
+		return nil, 0 // not actually conflicting (defensive)
+	}
+
+	idx := len(e.trail) - 1
+	for cur.falseAtLevel(e, curLevel) > 1 {
+		// Find the most recent trail literal whose complement appears in cur.
+		var pivot pb.Lit = pb.NoLit
+		for ; idx >= 0; idx-- {
+			l := e.trail[idx]
+			if _, ok := cur.coef[l.Neg()]; ok {
+				pivot = l
+				break
+			}
+		}
+		if pivot == pb.NoLit {
+			return nil, 0 // defensive: malformed state
+		}
+		if e.Level(pivot.Var()) < curLevel {
+			break // all remaining current-level literals resolved
+		}
+		r := e.reason[pivot.Var()]
+		if r == NoReason {
+			return nil, 0 // decision reached with several current-level lits
+		}
+		reason := newCPCons(e.cons[r])
+		ap, ok := reason.coef[pivot]
+		if !ok || ap <= 0 {
+			return nil, 0 // defensive
+		}
+		reason.weakenExcept(e, pivot)
+		if ap > 1 {
+			reason.divideCeil(ap)
+		}
+		lambda := cur.coef[pivot.Neg()]
+		if !cur.addScaled(reason, lambda) {
+			return nil, 0
+		}
+		cur.saturate()
+		if len(cur.coef) > cpMaxSize {
+			return nil, 0
+		}
+		if cur.slack(e) >= 0 {
+			// The invariant guarantees this cannot happen; abort soundly if
+			// numerics or a modelling bug ever violate it.
+			return nil, 0
+		}
+		idx--
+	}
+
+	if cur.degree <= 0 || len(cur.coef) == 0 {
+		return nil, 0
+	}
+	terms := make([]pb.Term, 0, len(cur.coef))
+	for l, a := range cur.coef {
+		if a > 0 {
+			terms = append(terms, pb.Term{Coef: a, Lit: l})
+		}
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].Coef != terms[j].Coef {
+			return terms[i].Coef > terms[j].Coef
+		}
+		return terms[i].Lit < terms[j].Lit
+	})
+	return terms, cur.degree
+}
+
+// ScheduleCheck queues constraint idx for re-examination on the next
+// Propagate call (used after installing a learned constraint that may
+// already be propagating or conflicting at the current level).
+func (e *Engine) ScheduleCheck(idx int) {
+	e.pending = append(e.pending, int32(idx))
+}

@@ -1,0 +1,930 @@
+// Package engine implements the SAT-style search substrate that bsolo builds
+// on (§1, §3 of the paper): Boolean constraint propagation generalized to
+// pseudo-Boolean constraints, conflict-based clause learning with 1UIP
+// analysis, non-chronological backtracking, and VSIDS branching.
+//
+// The engine deliberately exposes a low-level stepping API (Decide /
+// Propagate / Analyze / BacktrackTo) instead of a closed solve loop: the
+// branch-and-bound driver in internal/core interleaves lower-bound
+// computation, bound-conflict generation and constraint inference between
+// propagation fixpoints, which requires owning the search loop.
+//
+// Propagation is counter-based: every constraint tracks the coefficient sum
+// of its non-false literals (watchSum) and of its true literals (trueSum).
+// With slack = watchSum − degree,
+//
+//	slack < 0                        ⇒ the constraint is conflicting,
+//	coef(l) > slack, l unassigned    ⇒ l is implied true,
+//	trueSum ≥ degree                 ⇒ the constraint is satisfied.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/pb"
+)
+
+// Value of a variable during search.
+type Value int8
+
+const (
+	// False assignment.
+	False Value = iota
+	// True assignment.
+	True
+	// Unassigned variable.
+	Unassigned
+)
+
+// NoReason marks decision variables and external assumptions in the reason
+// slice.
+const NoReason int32 = -1
+
+// Cons is a constraint as stored by the engine.
+type Cons struct {
+	Terms   []pb.Term
+	Degree  int64
+	Learned bool
+
+	watchSum int64 // Σ coef over non-false literals
+	trueSum  int64 // Σ coef over true literals
+	maxCoef  int64
+
+	// activity drives learned-constraint garbage collection: bumped when
+	// the constraint participates in conflict analysis, decayed per
+	// conflict.
+	activity float64
+	// protected learned constraints (incumbent cuts) survive ReduceDB.
+	protected bool
+	// removed marks a garbage-collected constraint; all engine loops skip
+	// it (occurrence entries are purged lazily).
+	removed bool
+	// watched marks learned clauses propagated by the two-watched-literal
+	// scheme (see watched.go); they have no occurrence entries and no
+	// satisfaction counters.
+	watched bool
+}
+
+// Removed reports whether the constraint was garbage-collected.
+func (c *Cons) Removed() bool { return c.removed }
+
+// Slack returns watchSum − degree under the current assignment.
+func (c *Cons) Slack() int64 { return c.watchSum - c.Degree }
+
+// Satisfied reports whether the constraint is already satisfied by true
+// literals alone.
+func (c *Cons) Satisfied() bool { return c.trueSum >= c.Degree }
+
+// TrueSum returns the coefficient sum of currently-true literals.
+func (c *Cons) TrueSum() int64 { return c.trueSum }
+
+type occRef struct {
+	cons int32
+	term int32
+}
+
+// Stats counts search events.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Learned      int64
+	MaxTrail     int
+}
+
+// Engine is the CDCL search state.
+type Engine struct {
+	nVars int
+	cons  []*Cons
+	occ   [][]occRef // per literal: constraints containing it
+
+	value    []Value
+	level    []int32
+	reason   []int32 // constraint index, or NoReason
+	trailPos []int32
+	trail    []pb.Lit
+	trailLim []int
+	propHead int
+
+	// numUnsatisfied counts problem (non-learned) constraints that are not
+	// yet satisfied by true literals.
+	numUnsatisfied int
+
+	activity []float64
+	varInc   float64
+	consInc  float64
+	heap     *varHeap
+	phase    []Value
+
+	// seen is scratch space for Analyze.
+	seen []bool
+
+	// pending holds constraint indices whose degree was tightened in place
+	// (UpdateDegree); Propagate re-examines them before draining the trail,
+	// since counter-based propagation only fires on literal falsification.
+	pending []int32
+
+	// watchList[l] lists the watched learned clauses currently watching
+	// literal l (see watched.go).
+	watchList [][]int32
+
+	Stats Stats
+}
+
+// New builds an engine for the given normalized problem. Constraints that
+// are unsatisfiable on their own (degree exceeding coefficient sum) make the
+// root level conflicting; detect that with an initial Propagate.
+func New(p *pb.Problem) *Engine {
+	e := &Engine{
+		nVars:     p.NumVars,
+		value:     make([]Value, p.NumVars),
+		level:     make([]int32, p.NumVars),
+		reason:    make([]int32, p.NumVars),
+		trailPos:  make([]int32, p.NumVars),
+		activity:  make([]float64, p.NumVars),
+		phase:     make([]Value, p.NumVars),
+		seen:      make([]bool, p.NumVars),
+		occ:       make([][]occRef, 2*p.NumVars),
+		watchList: make([][]int32, 2*p.NumVars),
+		varInc:    1,
+		consInc:   1,
+	}
+	for v := range e.value {
+		e.value[v] = Unassigned
+		e.reason[v] = NoReason
+	}
+	e.heap = newVarHeap(e.activity)
+	for v := 0; v < p.NumVars; v++ {
+		e.heap.push(pb.Var(v))
+	}
+	for _, c := range p.Constraints {
+		e.AddCons(c.Terms, c.Degree, false)
+	}
+	return e
+}
+
+// NumVars returns the variable count.
+func (e *Engine) NumVars() int { return e.nVars }
+
+// NumCons returns the number of stored constraints (problem + learned).
+func (e *Engine) NumCons() int { return len(e.cons) }
+
+// Cons returns the i-th stored constraint (read-only use).
+func (e *Engine) Cons(i int) *Cons { return e.cons[i] }
+
+// Value returns the current assignment of v.
+func (e *Engine) Value(v pb.Var) Value { return e.value[v] }
+
+// LitValue returns the truth value of literal l under the current partial
+// assignment.
+func (e *Engine) LitValue(l pb.Lit) Value {
+	v := e.value[l.Var()]
+	if v == Unassigned {
+		return Unassigned
+	}
+	if l.IsNeg() {
+		return 1 - v
+	}
+	return v
+}
+
+// Level returns the decision level at which v was assigned (meaningful only
+// when assigned).
+func (e *Engine) Level(v pb.Var) int { return int(e.level[v]) }
+
+// TrailPos returns the trail position of v's assignment.
+func (e *Engine) TrailPos(v pb.Var) int { return int(e.trailPos[v]) }
+
+// DecisionLevel returns the current decision level (0 = root).
+func (e *Engine) DecisionLevel() int { return len(e.trailLim) }
+
+// TrailSize returns the number of assigned variables.
+func (e *Engine) TrailSize() int { return len(e.trail) }
+
+// TrailLit returns the i-th literal on the trail.
+func (e *Engine) TrailLit(i int) pb.Lit { return e.trail[i] }
+
+// DecisionLit returns the decision literal of level lvl (1-based; lvl must
+// be in [1, DecisionLevel()]).
+func (e *Engine) DecisionLit(lvl int) pb.Lit { return e.trail[e.trailLim[lvl-1]] }
+
+// NumUnsatisfied returns the count of problem constraints not yet satisfied
+// by true literals.
+func (e *Engine) NumUnsatisfied() int { return e.numUnsatisfied }
+
+// AddCons appends the normalized constraint Σ terms ≥ degree to the store,
+// initializing its propagation counters from the current assignment. It
+// returns the constraint index. The caller must ensure terms are normalized
+// (positive clipped coefficients, one term per variable) — constraints from
+// pb.Normalize or derived clauses satisfy this. A clause of literals can be
+// added with coefficient 1 each and degree 1.
+func (e *Engine) AddCons(terms []pb.Term, degree int64, learned bool) int {
+	c := &Cons{
+		Terms:   append([]pb.Term(nil), terms...),
+		Degree:  degree,
+		Learned: learned,
+	}
+	idx := int32(len(e.cons))
+	e.cons = append(e.cons, c)
+	if learned {
+		e.Stats.Learned++
+	}
+	for ti, t := range c.Terms {
+		if t.Coef > c.maxCoef {
+			c.maxCoef = t.Coef
+		}
+		// occ[l] lists exactly the constraints whose stored term literal is
+		// l: when l turns true those constraints gain trueSum, and when l
+		// turns false (its complement assigned) they lose watchSum.
+		e.occ[t.Lit] = append(e.occ[t.Lit], occRef{idx, int32(ti)})
+		switch e.LitValue(t.Lit) {
+		case Unassigned:
+			c.watchSum += t.Coef
+		case True:
+			c.watchSum += t.Coef
+			c.trueSum += t.Coef
+		}
+	}
+	if !learned && !c.Satisfied() {
+		e.numUnsatisfied++
+	}
+	return int(idx)
+}
+
+// Assign makes l true at the current decision level with the given reason
+// constraint (NoReason for decisions). It panics if l's variable is already
+// assigned — callers must check first.
+func (e *Engine) assign(l pb.Lit, reason int32) {
+	v := l.Var()
+	if e.value[v] != Unassigned {
+		panic(fmt.Sprintf("engine: double assignment of %v", v))
+	}
+	if l.IsNeg() {
+		e.value[v] = False
+	} else {
+		e.value[v] = True
+	}
+	e.level[v] = int32(e.DecisionLevel())
+	e.reason[v] = reason
+	e.trailPos[v] = int32(len(e.trail))
+	e.trail = append(e.trail, l)
+	if len(e.trail) > e.Stats.MaxTrail {
+		e.Stats.MaxTrail = len(e.trail)
+	}
+	// Update counters: l is now true, ¬l false.
+	for _, ref := range e.occ[l] {
+		c := e.cons[ref.cons]
+		if c.removed {
+			continue
+		}
+		wasSat := c.Satisfied()
+		c.trueSum += c.Terms[ref.term].Coef
+		if !wasSat && c.Satisfied() && !c.Learned {
+			e.numUnsatisfied--
+		}
+	}
+	for _, ref := range e.occ[l.Neg()] {
+		c := e.cons[ref.cons]
+		if c.removed {
+			continue
+		}
+		c.watchSum -= c.Terms[ref.term].Coef
+	}
+}
+
+// Decide starts a new decision level and assigns l true.
+func (e *Engine) Decide(l pb.Lit) {
+	e.Stats.Decisions++
+	e.trailLim = append(e.trailLim, len(e.trail))
+	e.assign(l, NoReason)
+}
+
+// Enqueue asserts l at the current decision level with an optional reason
+// constraint index (use NoReason for external assumptions). It returns false
+// if l is already false (immediate conflict the caller must handle) and true
+// otherwise (including when l was already true).
+func (e *Engine) Enqueue(l pb.Lit, reason int32) bool {
+	switch e.LitValue(l) {
+	case True:
+		return true
+	case False:
+		return false
+	}
+	e.assign(l, reason)
+	return true
+}
+
+// Protect excludes a learned constraint from ReduceDB garbage collection
+// (used for the incumbent cuts, which are semantically irreplaceable).
+func (e *Engine) Protect(idx int) { e.cons[idx].protected = true }
+
+// bumpCons increases a constraint's activity (called when it participates
+// in conflict analysis).
+func (e *Engine) bumpCons(idx int32) {
+	c := e.cons[idx]
+	c.activity += e.consInc
+	if c.activity > rescaleLimit {
+		for _, cc := range e.cons {
+			cc.activity *= 1 / rescaleLimit
+		}
+		e.consInc *= 1 / rescaleLimit
+	}
+}
+
+// ReduceDB garbage-collects roughly half of the unprotected learned
+// constraints, keeping the most active. It must be called at decision level
+// 0 (after a restart): at the root no learned constraint above level 0 is a
+// reason, and the reasons of root-level assignments are kept. Occurrence
+// entries are purged so the hot propagation loops shrink accordingly.
+// It returns the number of constraints removed.
+func (e *Engine) ReduceDB() int {
+	if e.DecisionLevel() != 0 {
+		return 0
+	}
+	isRootReason := make(map[int32]bool)
+	for _, l := range e.trail {
+		if r := e.reason[l.Var()]; r != NoReason {
+			isRootReason[r] = true
+		}
+	}
+	var cands []int32
+	for i, c := range e.cons {
+		if c.Learned && !c.removed && !c.protected && !isRootReason[int32(i)] {
+			cands = append(cands, int32(i))
+		}
+	}
+	if len(cands) < 2 {
+		return 0
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		return e.cons[cands[a]].activity < e.cons[cands[b]].activity
+	})
+	removed := 0
+	for _, ci := range cands[:len(cands)/2] {
+		c := e.cons[ci]
+		c.removed = true
+		c.Terms = nil // free memory; occ purge below drops the references
+		removed++
+	}
+	// Purge occurrence and watch lists.
+	for li := range e.occ {
+		lst := e.occ[li][:0]
+		for _, ref := range e.occ[li] {
+			if !e.cons[ref.cons].removed {
+				lst = append(lst, ref)
+			}
+		}
+		e.occ[li] = lst
+	}
+	e.purgeWatchLists()
+	return removed
+}
+
+// UpdateDegree tightens constraint idx to a strictly larger degree in place
+// (used for the eq. 10/13 incumbent cuts, which dominate their predecessors
+// whenever the upper bound improves — replacing beats accumulating, since
+// every accumulated dense cut slows all future occurrence-list traversals).
+// The constraint's terms must NOT have been coefficient-clipped against the
+// old degree. The constraint is scheduled for re-examination on the next
+// Propagate call.
+func (e *Engine) UpdateDegree(idx int, degree int64) {
+	c := e.cons[idx]
+	if degree <= c.Degree {
+		return
+	}
+	c.Degree = degree
+	e.pending = append(e.pending, int32(idx))
+}
+
+// SeedUnits scans every constraint at the root level and enqueues literals
+// that are implied before any decision is made (e.g. unit clauses, or large
+// coefficients forced by the degree). Call once before the search loop, then
+// Propagate. It returns the number of literals enqueued, or -1 when a
+// constraint is conflicting at the root (the instance is unsatisfiable).
+func (e *Engine) SeedUnits() int {
+	count := 0
+	for ci, c := range e.cons {
+		if c.removed || c.watched || c.Satisfied() {
+			continue
+		}
+		slack := c.watchSum - c.Degree
+		if slack < 0 {
+			return -1
+		}
+		if slack >= c.maxCoef {
+			continue
+		}
+		for _, t := range c.Terms {
+			if t.Coef <= slack {
+				break
+			}
+			if e.LitValue(t.Lit) == Unassigned {
+				e.assign(t.Lit, int32(ci))
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// Propagate runs Boolean constraint propagation to fixpoint. It returns the
+// index of a conflicting constraint, or -1 if no conflict was found.
+func (e *Engine) Propagate() int {
+	// Re-examine constraints whose degree was tightened in place.
+	for len(e.pending) > 0 {
+		ci := e.pending[len(e.pending)-1]
+		c := e.cons[ci]
+		if c.removed || c.Satisfied() {
+			e.pending = e.pending[:len(e.pending)-1]
+			continue
+		}
+		slack := c.watchSum - c.Degree
+		if slack < 0 {
+			e.Stats.Conflicts++
+			// Leave it pending: after backtracking the caller re-propagates
+			// and the constraint is examined again at the new level.
+			return int(ci)
+		}
+		e.pending = e.pending[:len(e.pending)-1]
+		if slack >= c.maxCoef {
+			continue
+		}
+		for _, t := range c.Terms {
+			if t.Coef <= slack {
+				break
+			}
+			if e.LitValue(t.Lit) == Unassigned {
+				e.assign(t.Lit, ci)
+			}
+		}
+	}
+	for e.propHead < len(e.trail) {
+		l := e.trail[e.propHead]
+		e.propHead++
+		e.Stats.Propagations++
+		// Literal ¬l became false: every constraint containing ¬l lost
+		// weight and may now be conflicting or propagating.
+		nl := l.Neg()
+		if confl := e.propagateWatches(nl); confl >= 0 {
+			return confl
+		}
+		for _, ref := range e.occ[nl] {
+			c := e.cons[ref.cons]
+			if c.Terms[ref.term].Lit != nl {
+				continue
+			}
+			if c.Satisfied() {
+				continue
+			}
+			slack := c.watchSum - c.Degree
+			if slack < 0 {
+				e.Stats.Conflicts++
+				return int(ref.cons)
+			}
+			if slack >= c.maxCoef {
+				continue
+			}
+			for _, t := range c.Terms {
+				if t.Coef <= slack {
+					break // terms sorted by descending coefficient
+				}
+				if e.LitValue(t.Lit) == Unassigned {
+					e.assign(t.Lit, ref.cons)
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// BacktrackTo undoes all assignments above the given decision level.
+func (e *Engine) BacktrackTo(lvl int) {
+	if lvl >= e.DecisionLevel() {
+		return
+	}
+	limit := e.trailLim[lvl]
+	for i := len(e.trail) - 1; i >= limit; i-- {
+		l := e.trail[i]
+		v := l.Var()
+		// Restore counters.
+		for _, ref := range e.occ[l] {
+			c := e.cons[ref.cons]
+			if c.removed {
+				continue
+			}
+			wasSat := c.Satisfied()
+			c.trueSum -= c.Terms[ref.term].Coef
+			if wasSat && !c.Satisfied() && !c.Learned {
+				e.numUnsatisfied++
+			}
+		}
+		for _, ref := range e.occ[l.Neg()] {
+			c := e.cons[ref.cons]
+			if c.removed {
+				continue
+			}
+			c.watchSum += c.Terms[ref.term].Coef
+		}
+		e.phase[v] = e.value[v]
+		e.value[v] = Unassigned
+		e.reason[v] = NoReason
+		e.heap.pushIfAbsent(v)
+	}
+	e.trail = e.trail[:limit]
+	e.trailLim = e.trailLim[:lvl]
+	if e.propHead > limit {
+		e.propHead = limit
+	}
+}
+
+// reasonSide returns the antecedent literals for the assignment of l (which
+// was propagated by constraint consIdx): the literals of the constraint that
+// are false and were assigned strictly before l. Appends to out.
+func (e *Engine) reasonSide(l pb.Lit, consIdx int32, out []pb.Lit) []pb.Lit {
+	c := e.cons[consIdx]
+	pos := e.trailPos[l.Var()]
+	for _, t := range c.Terms {
+		if t.Lit.Var() == l.Var() {
+			continue
+		}
+		if e.LitValue(t.Lit) == False && e.trailPos[t.Lit.Var()] < pos {
+			out = append(out, t.Lit)
+		}
+	}
+	return out
+}
+
+// conflictSide returns the falsified literals of the conflicting constraint.
+func (e *Engine) conflictSide(consIdx int, out []pb.Lit) []pb.Lit {
+	c := e.cons[consIdx]
+	for _, t := range c.Terms {
+		if e.LitValue(t.Lit) == False {
+			out = append(out, t.Lit)
+		}
+	}
+	return out
+}
+
+// AnalyzeResult is the outcome of conflict analysis.
+type AnalyzeResult struct {
+	// Learnt is the learned clause; Learnt[0] is the asserting literal.
+	Learnt []pb.Lit
+	// BackLevel is the decision level to backtrack to before asserting.
+	BackLevel int
+	// Unsat indicates the conflict is at (or resolves to) level 0: the
+	// formula (plus learned constraints) is unsatisfiable.
+	Unsat bool
+}
+
+// AnalyzeConstraint performs 1UIP conflict analysis starting from the
+// conflicting constraint consIdx.
+func (e *Engine) AnalyzeConstraint(consIdx int) AnalyzeResult {
+	e.bumpCons(int32(consIdx))
+	seed := e.conflictSide(consIdx, nil)
+	return e.AnalyzeClause(seed)
+}
+
+// AnalyzeClause performs 1UIP conflict analysis starting from a conflicting
+// clause: a set of literals all currently false, typically the bound-conflict
+// explanation ω_bc = ω_pp ∪ ω_pl of §4. The caller must ensure every literal
+// is false and at least one was assigned at the current decision level
+// (backtrack to the clause's maximum level first if necessary).
+func (e *Engine) AnalyzeClause(seed []pb.Lit) AnalyzeResult {
+	curLevel := e.DecisionLevel()
+	if curLevel == 0 {
+		return AnalyzeResult{Unsat: true}
+	}
+	var learnt []pb.Lit
+	counter := 0
+	for v := range e.seen {
+		e.seen[v] = false
+	}
+	bump := make([]pb.Var, 0, 16)
+
+	absorb := func(lits []pb.Lit) {
+		for _, q := range lits {
+			v := q.Var()
+			if e.seen[v] {
+				continue
+			}
+			e.seen[v] = true
+			bump = append(bump, v)
+			switch {
+			case int(e.level[v]) == curLevel:
+				counter++
+			case e.level[v] > 0:
+				learnt = append(learnt, q)
+			}
+		}
+	}
+	absorb(seed)
+	if counter == 0 {
+		// No literal at the current level: the caller should have backtracked
+		// to the seed's maximum level first. Treat the whole seed as the
+		// learned clause (still sound, possibly weaker).
+		return e.clauseFromSeed(seed, bump)
+	}
+
+	idx := len(e.trail) - 1
+	var p pb.Lit = pb.NoLit
+	scratch := make([]pb.Lit, 0, 16)
+	for {
+		for idx >= 0 && !e.seen[e.trail[idx].Var()] {
+			idx--
+		}
+		if idx < 0 {
+			// Should not happen; degrade to seed clause.
+			return e.clauseFromSeed(seed, bump)
+		}
+		p = e.trail[idx]
+		idx--
+		counter--
+		if counter == 0 {
+			break
+		}
+		r := e.reason[p.Var()]
+		if r == NoReason {
+			// Decision reached with more current-level literals pending:
+			// cannot happen in a well-formed trail (only one decision per
+			// level); defensive fallback.
+			return e.clauseFromSeed(seed, bump)
+		}
+		e.bumpCons(r)
+		scratch = scratch[:0]
+		scratch = e.reasonSide(p, r, scratch)
+		absorb(scratch)
+	}
+	// p is the first UIP; the learned clause is learnt ∪ {¬p}.
+	asserting := p.Neg()
+	out := make([]pb.Lit, 0, len(learnt)+1)
+	out = append(out, asserting)
+	out = append(out, learnt...)
+
+	// Compute backjump level: maximum level among the non-asserting lits.
+	back := 0
+	for _, q := range out[1:] {
+		if l := int(e.level[q.Var()]); l > back {
+			back = l
+		}
+	}
+	e.bumpAll(bump)
+	return AnalyzeResult{Learnt: out, BackLevel: back}
+}
+
+// clauseFromSeed turns a seed with no current-level literal into an analyze
+// result: backtrack below its maximum level and use the seed itself.
+func (e *Engine) clauseFromSeed(seed []pb.Lit, bump []pb.Var) AnalyzeResult {
+	max1, max2 := -1, -1 // two highest levels (max2 = second occurrence slot)
+	var assertLit pb.Lit = pb.NoLit
+	for _, q := range seed {
+		l := int(e.level[q.Var()])
+		if l > max1 {
+			max2 = max1
+			max1 = l
+			assertLit = q
+		} else if l > max2 {
+			max2 = l
+		}
+	}
+	if max1 <= 0 {
+		return AnalyzeResult{Unsat: true}
+	}
+	if max2 < 0 {
+		max2 = 0
+	}
+	out := make([]pb.Lit, 0, len(seed))
+	out = append(out, assertLit)
+	for _, q := range seed {
+		if q != assertLit && e.level[q.Var()] > 0 {
+			out = append(out, q)
+		}
+	}
+	e.bumpAll(bump)
+	return AnalyzeResult{Learnt: out, BackLevel: max2}
+}
+
+// LearnAndBackjump installs the result of an analysis: backtracks to
+// res.BackLevel, adds the learned clause, and asserts its first literal.
+// It returns the new constraint index, or -1 when res is Unsat or the learned
+// clause is empty.
+func (e *Engine) LearnAndBackjump(res AnalyzeResult) int {
+	if res.Unsat || len(res.Learnt) == 0 {
+		return -1
+	}
+	e.BacktrackTo(res.BackLevel)
+	var idx int
+	if len(res.Learnt) >= 2 {
+		idx = e.addWatchedClause(res.Learnt)
+	} else {
+		idx = e.AddCons([]pb.Term{{Coef: 1, Lit: res.Learnt[0]}}, 1, true)
+	}
+	// Assert the UIP literal with the new clause as reason.
+	if e.LitValue(res.Learnt[0]) == Unassigned {
+		e.assign(res.Learnt[0], int32(idx))
+	}
+	e.varDecay()
+	return idx
+}
+
+// --- VSIDS ---
+
+const (
+	varDecayFactor  = 1.0 / 0.95
+	consDecayFactor = 1.0 / 0.999
+	rescaleLimit    = 1e100
+)
+
+func (e *Engine) bumpAll(vars []pb.Var) {
+	for _, v := range vars {
+		e.BumpVar(v)
+	}
+}
+
+// BumpVar increases v's VSIDS activity.
+func (e *Engine) BumpVar(v pb.Var) {
+	e.activity[v] += e.varInc
+	if e.activity[v] > rescaleLimit {
+		for i := range e.activity {
+			e.activity[i] *= 1 / rescaleLimit
+		}
+		e.varInc *= 1 / rescaleLimit
+	}
+	e.heap.update(v)
+}
+
+func (e *Engine) varDecay() {
+	e.varInc *= varDecayFactor
+	e.consInc *= consDecayFactor
+}
+
+// Activity returns the VSIDS activity of v.
+func (e *Engine) Activity(v pb.Var) float64 { return e.activity[v] }
+
+// PickBranchVar returns the unassigned variable with maximal VSIDS activity,
+// or -1 when all variables are assigned.
+func (e *Engine) PickBranchVar() pb.Var {
+	for e.heap.size() > 0 {
+		v := e.heap.pop()
+		if e.value[v] == Unassigned {
+			return v
+		}
+	}
+	return -1
+}
+
+// PreferredPhase returns the saved phase of v (False initially, which is the
+// cheapest polarity for non-negative costs).
+func (e *Engine) PreferredPhase(v pb.Var) Value { return e.phase[v] }
+
+// SetPhase overrides the saved phase (used by LP-guided branching).
+func (e *Engine) SetPhase(v pb.Var, val Value) { e.phase[v] = val }
+
+// --- Solution & reduced-problem access ---
+
+// Values returns the current complete assignment as booleans; unassigned
+// variables default to false (the zero-cost polarity). Only meaningful when
+// every problem constraint is satisfied.
+func (e *Engine) Values() []bool {
+	out := make([]bool, e.nVars)
+	for v := 0; v < e.nVars; v++ {
+		out[v] = e.value[v] == True
+	}
+	return out
+}
+
+// UnsatisfiedCons calls fn for every problem constraint not yet satisfied by
+// true literals, passing the constraint index and residual degree
+// (Degree − trueSum > 0). Learned constraints are skipped: lower bounds must
+// be estimated on the problem itself (learned bound clauses depend on the
+// incumbent and would make explanations circular).
+func (e *Engine) UnsatisfiedCons(fn func(idx int, c *Cons, residual int64)) {
+	for i, c := range e.cons {
+		if c.removed || c.Learned || c.Satisfied() {
+			continue
+		}
+		fn(i, c, c.Degree-c.trueSum)
+	}
+}
+
+// CheckInvariants verifies counter consistency (test hook); it recomputes
+// watchSum/trueSum from scratch and compares.
+func (e *Engine) CheckInvariants() error {
+	unsat := 0
+	for i, c := range e.cons {
+		if c.removed || c.watched {
+			continue
+		}
+		var ws, ts int64
+		for _, t := range c.Terms {
+			switch e.LitValue(t.Lit) {
+			case True:
+				ws += t.Coef
+				ts += t.Coef
+			case Unassigned:
+				ws += t.Coef
+			}
+		}
+		if ws != c.watchSum || ts != c.trueSum {
+			return fmt.Errorf("cons %d: watchSum=%d(want %d) trueSum=%d(want %d)",
+				i, c.watchSum, ws, c.trueSum, ts)
+		}
+		if !c.Learned && ts < c.Degree {
+			unsat++
+		}
+	}
+	if unsat != e.numUnsatisfied {
+		return fmt.Errorf("numUnsatisfied=%d want %d", e.numUnsatisfied, unsat)
+	}
+	return nil
+}
+
+// --- binary heap ordered by activity ---
+
+type varHeap struct {
+	act     []float64
+	heap    []pb.Var
+	indices []int32 // position in heap, -1 if absent
+}
+
+func newVarHeap(act []float64) *varHeap {
+	h := &varHeap{act: act, indices: make([]int32, len(act))}
+	for i := range h.indices {
+		h.indices[i] = -1
+	}
+	return h
+}
+
+func (h *varHeap) size() int { return len(h.heap) }
+
+func (h *varHeap) less(i, j int) bool { return h.act[h.heap[i]] > h.act[h.heap[j]] }
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.indices[h.heap[i]] = int32(i)
+	h.indices[h.heap[j]] = int32(j)
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *varHeap) push(v pb.Var) {
+	if h.indices[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = int32(len(h.heap) - 1)
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pushIfAbsent(v pb.Var) { h.push(v) }
+
+func (h *varHeap) pop() pb.Var {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.indices[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+func (h *varHeap) update(v pb.Var) {
+	if i := h.indices[v]; i >= 0 {
+		h.up(int(i))
+		h.down(int(h.indices[v]))
+	}
+}
+
+// MaxInt64 re-exported bound used by callers sizing budgets.
+const MaxInt64 = math.MaxInt64

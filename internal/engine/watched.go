@@ -1,0 +1,100 @@
+// Two-watched-literal propagation for learned clauses (the classic MiniSat
+// scheme). Problem constraints and learned pseudo-Boolean cuts stay on the
+// counter-based path — they need satisfaction counters for solution
+// detection and reduced-problem extraction — but learned *clauses* need
+// neither: they exist only to prune, so they skip the occurrence lists
+// entirely. Backtracking costs nothing for watched clauses (watches remain
+// valid), which removes the learned-clause share of the two hottest loops
+// (assign and BacktrackTo).
+package engine
+
+import "repro/internal/pb"
+
+// addWatchedClause installs a learned clause of length ≥ 2 under the
+// two-watched-literal scheme and returns its constraint index. lits[0] must
+// be the asserting literal (unassigned after the backjump) and the rest
+// currently false; the second watch is placed on a literal from the highest
+// remaining decision level so it unassigns last.
+func (e *Engine) addWatchedClause(lits []pb.Lit) int {
+	terms := make([]pb.Term, len(lits))
+	for i, l := range lits {
+		terms[i] = pb.Term{Coef: 1, Lit: l}
+	}
+	// Second watch: the falsified literal with the highest level.
+	best := 1
+	for k := 2; k < len(terms); k++ {
+		if e.level[terms[k].Lit.Var()] > e.level[terms[best].Lit.Var()] {
+			best = k
+		}
+	}
+	terms[1], terms[best] = terms[best], terms[1]
+
+	c := &Cons{Terms: terms, Degree: 1, Learned: true, watched: true, maxCoef: 1}
+	idx := int32(len(e.cons))
+	e.cons = append(e.cons, c)
+	e.Stats.Learned++
+	e.watchList[terms[0].Lit] = append(e.watchList[terms[0].Lit], idx)
+	e.watchList[terms[1].Lit] = append(e.watchList[terms[1].Lit], idx)
+	return int(idx)
+}
+
+// propagateWatches processes the clauses watching literal q, which has just
+// become false. Returns the index of a conflicting clause, or -1.
+func (e *Engine) propagateWatches(q pb.Lit) int {
+	list := e.watchList[q]
+	kept := list[:0]
+	for li := 0; li < len(list); li++ {
+		ci := list[li]
+		c := e.cons[ci]
+		if c.removed {
+			continue // drop the entry
+		}
+		// Normalize: Terms[1] is the falsified watch.
+		if c.Terms[0].Lit == q {
+			c.Terms[0], c.Terms[1] = c.Terms[1], c.Terms[0]
+		}
+		other := c.Terms[0].Lit
+		if e.LitValue(other) == True {
+			kept = append(kept, ci) // satisfied: keep watching q
+			continue
+		}
+		// Search for a replacement watch.
+		moved := false
+		for k := 2; k < len(c.Terms); k++ {
+			if e.LitValue(c.Terms[k].Lit) != False {
+				c.Terms[1], c.Terms[k] = c.Terms[k], c.Terms[1]
+				e.watchList[c.Terms[1].Lit] = append(e.watchList[c.Terms[1].Lit], ci)
+				moved = true
+				break
+			}
+		}
+		if moved {
+			continue // entry moves to the new watch's list
+		}
+		// No replacement: the clause is unit on `other`, or conflicting.
+		kept = append(kept, ci)
+		if e.LitValue(other) == False {
+			// Conflict: retain the remaining entries and report.
+			kept = append(kept, list[li+1:]...)
+			e.watchList[q] = kept
+			e.Stats.Conflicts++
+			return int(ci)
+		}
+		e.assign(other, ci)
+	}
+	e.watchList[q] = kept
+	return -1
+}
+
+// purgeWatchLists drops entries of removed clauses (called by ReduceDB).
+func (e *Engine) purgeWatchLists() {
+	for li := range e.watchList {
+		lst := e.watchList[li][:0]
+		for _, ci := range e.watchList[li] {
+			if !e.cons[ci].removed {
+				lst = append(lst, ci)
+			}
+		}
+		e.watchList[li] = lst
+	}
+}

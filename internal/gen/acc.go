@@ -1,0 +1,171 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pb"
+)
+
+// ACCConfig parameterizes a round-robin sports-scheduling satisfaction
+// instance in the style of Walser's ACC (Atlantic Coast Conference
+// basketball) 0-1 benchmarks [16]: no cost function, tightly constrained.
+type ACCConfig struct {
+	// Teams is the (even) number of teams; the schedule has Teams−1 rounds.
+	Teams int
+	// FixedMatches pre-assigns this many (pair, round) matches taken from a
+	// valid circle-method schedule, tightening the instance while keeping it
+	// satisfiable.
+	FixedMatches int
+	// ForbiddenMatches adds this many constraints forbidding a (pair, round)
+	// combination that the circle-method schedule does not use (still
+	// satisfiable, further tightened).
+	ForbiddenMatches int
+	// HomeAway, when set, adds home/away orientation variables h_{i,j,r}
+	// (team i hosts j in round r) with balance constraints: every team
+	// hosts between ⌊(T−1)/2⌋ and ⌈(T−1)/2⌉ of its games — the balance
+	// side of Walser's original ACC model. Instances remain satisfiable
+	// (the circle-method schedule admits a balanced orientation).
+	HomeAway bool
+	Seed     int64
+}
+
+// ACC generates the instance. Variables x_{i,j,r} (i<j) mean teams i and j
+// meet in round r. Constraints: every pair meets exactly once; every team
+// plays exactly once per round. The instance is satisfiable by construction
+// (the circle-method schedule witnesses it).
+func ACC(cfg ACCConfig) (*pb.Problem, error) {
+	t := cfg.Teams
+	if t < 4 || t%2 != 0 {
+		return nil, fmt.Errorf("gen: acc needs an even team count ≥ 4, got %d", t)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rounds := t - 1
+
+	// Variable indexing for pairs i<j and rounds.
+	pairIdx := map[[2]int]int{}
+	var pairs [][2]int
+	for i := 0; i < t; i++ {
+		for j := i + 1; j < t; j++ {
+			pairIdx[[2]int{i, j}] = len(pairs)
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	v := func(i, j, r int) pb.Var {
+		if i > j {
+			i, j = j, i
+		}
+		return pb.Var(pairIdx[[2]int{i, j}]*rounds + r)
+	}
+	prob := pb.NewProblem(len(pairs) * rounds)
+
+	// Every pair meets exactly once across the rounds.
+	for _, pr := range pairs {
+		lits := make([]pb.Lit, rounds)
+		for r := 0; r < rounds; r++ {
+			lits[r] = pb.PosLit(v(pr[0], pr[1], r))
+		}
+		if err := prob.AddExactlyOne(lits...); err != nil {
+			return nil, err
+		}
+	}
+	// Every team plays exactly once per round.
+	for i := 0; i < t; i++ {
+		for r := 0; r < rounds; r++ {
+			var lits []pb.Lit
+			for j := 0; j < t; j++ {
+				if j == i {
+					continue
+				}
+				lits = append(lits, pb.PosLit(v(i, j, r)))
+			}
+			if err := prob.AddExactlyOne(lits...); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Circle-method witness schedule: in round r, team t−1 plays team r;
+	// remaining teams pair as (r+k) vs (r−k) mod t−1.
+	type match struct{ i, j, r int }
+	var witness []match
+	usedInWitness := map[[3]int]bool{}
+	for r := 0; r < rounds; r++ {
+		witness = append(witness, match{t - 1, r, r})
+		usedInWitness[[3]int{min(t-1, r), max(t-1, r), r}] = true
+		for k := 1; k < t/2; k++ {
+			a := (r + k) % (t - 1)
+			b := (r - k + (t - 1)) % (t - 1)
+			witness = append(witness, match{a, b, r})
+			usedInWitness[[3]int{min(a, b), max(a, b), r}] = true
+		}
+	}
+
+	// Fix some witness matches (unit clauses).
+	perm := rng.Perm(len(witness))
+	for k := 0; k < cfg.FixedMatches && k < len(witness); k++ {
+		m := witness[perm[k]]
+		if err := prob.AddClause(pb.PosLit(v(m.i, m.j, m.r))); err != nil {
+			return nil, err
+		}
+	}
+	// Forbid some non-witness combinations.
+	forbidden := 0
+	for guard := 0; forbidden < cfg.ForbiddenMatches && guard < cfg.ForbiddenMatches*20; guard++ {
+		pi := rng.Intn(len(pairs))
+		r := rng.Intn(rounds)
+		pr := pairs[pi]
+		if usedInWitness[[3]int{pr[0], pr[1], r}] {
+			continue
+		}
+		if err := prob.AddClause(pb.NegLit(v(pr[0], pr[1], r))); err != nil {
+			return nil, err
+		}
+		forbidden++
+	}
+
+	// Home/away orientation with balance (optional): h_pair = 1 means the
+	// lower-numbered team hosts. Every team hosts between ⌊(T−1)/2⌋ and
+	// ⌈(T−1)/2⌉ games; a near-regular tournament orientation always exists,
+	// so the instance stays satisfiable.
+	if cfg.HomeAway {
+		h := make([]pb.Var, len(pairs))
+		for pi := range pairs {
+			h[pi] = prob.AddVar(0)
+		}
+		low := int64((t - 1) / 2)
+		high := int64(t / 2) // T even ⇒ ⌈(T−1)/2⌉ = T/2
+		for team := 0; team < t; team++ {
+			var terms []pb.Term
+			for pi, pr := range pairs {
+				switch {
+				case pr[0] == team:
+					terms = append(terms, pb.Term{Coef: 1, Lit: pb.PosLit(h[pi])})
+				case pr[1] == team:
+					terms = append(terms, pb.Term{Coef: 1, Lit: pb.NegLit(h[pi])})
+				}
+			}
+			if err := prob.AddConstraint(terms, pb.GE, low); err != nil {
+				return nil, err
+			}
+			if err := prob.AddConstraint(terms, pb.LE, high); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return prob, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,334 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/milp"
+	"repro/internal/pb"
+)
+
+func TestGroutGeneratesValidInstance(t *testing.T) {
+	p, err := Grout(GroutConfig{Width: 4, Height: 4, Nets: 6, PathsPerNet: 4, Capacity: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasObjective() {
+		t.Fatal("grout must have a wirelength objective")
+	}
+	if p.NumVars == 0 || len(p.Constraints) == 0 {
+		t.Fatalf("degenerate instance: %d vars %d cons", p.NumVars, len(p.Constraints))
+	}
+}
+
+func TestGroutDeterministic(t *testing.T) {
+	cfg := GroutConfig{Width: 4, Height: 4, Nets: 5, PathsPerNet: 3, Capacity: 2, Seed: 42}
+	p1, err1 := Grout(cfg)
+	p2, err2 := Grout(cfg)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if p1.NumVars != p2.NumVars || len(p1.Constraints) != len(p2.Constraints) {
+		t.Fatal("generator not deterministic")
+	}
+	for i := range p1.Constraints {
+		if p1.Constraints[i].String() != p2.Constraints[i].String() {
+			t.Fatalf("constraint %d differs", i)
+		}
+	}
+}
+
+func TestGroutSolvable(t *testing.T) {
+	p, err := Grout(GroutConfig{Width: 3, Height: 3, Nets: 4, PathsPerNet: 3, Capacity: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Solve(p, core.Options{LowerBound: core.LBLPR, MaxConflicts: 200000})
+	if res.Status != core.StatusOptimal {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if !p.Feasible(res.Values) {
+		t.Fatal("infeasible routing")
+	}
+	// Optimum agrees with the MILP baseline.
+	m := milp.Solve(p, milp.Options{MaxNodes: 100000})
+	if m.Status != milp.StatusOptimal || m.Best != res.Best {
+		t.Fatalf("milp=%v/%d core=%d", m.Status, m.Best, res.Best)
+	}
+}
+
+func TestGroutConfigValidation(t *testing.T) {
+	if _, err := Grout(GroutConfig{Width: 1, Height: 4, Nets: 1, PathsPerNet: 1, Capacity: 1}); err == nil {
+		t.Fatal("expected grid error")
+	}
+	if _, err := Grout(GroutConfig{Width: 3, Height: 3, Nets: 0, PathsPerNet: 1, Capacity: 1}); err == nil {
+		t.Fatal("expected nets error")
+	}
+}
+
+func TestSynthesisFeasibleAndSolvable(t *testing.T) {
+	p, err := Synthesis(SynthesisConfig{Nodes: 8, Impls: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All nodes choosing implementation 0 is feasible by construction.
+	vals := make([]bool, p.NumVars)
+	for n := 0; n < 8; n++ {
+		vals[n*4] = true
+	}
+	if !p.Feasible(vals) {
+		t.Fatal("witness assignment infeasible")
+	}
+	res := core.Solve(p, core.Options{LowerBound: core.LBLPR, MaxConflicts: 500000})
+	if res.Status != core.StatusOptimal {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if res.Best > p.ObjectiveValue(vals) {
+		t.Fatalf("optimum %d worse than witness %d", res.Best, p.ObjectiveValue(vals))
+	}
+}
+
+func TestSynthesisConfigValidation(t *testing.T) {
+	if _, err := Synthesis(SynthesisConfig{Nodes: 0, Impls: 2}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := Synthesis(SynthesisConfig{Nodes: 3, Impls: 1}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMinCoverSolvableAndAgrees(t *testing.T) {
+	p, err := MinCover(MinCoverConfig{Inputs: 5, OnDensity: 0.3, DcDensity: 0.1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every clause is positive-unate ⇒ all-ones feasible.
+	all := make([]bool, p.NumVars)
+	for i := range all {
+		all[i] = true
+	}
+	if !p.Feasible(all) {
+		t.Fatal("all-primes cover infeasible?!")
+	}
+	res := core.Solve(p, core.Options{LowerBound: core.LBLPR, MaxConflicts: 500000})
+	if res.Status != core.StatusOptimal {
+		t.Fatalf("status=%v", res.Status)
+	}
+	m := milp.Solve(p, milp.Options{MaxNodes: 200000})
+	if m.Status != milp.StatusOptimal || m.Best != res.Best {
+		t.Fatalf("milp=%v/%d core=%d", m.Status, m.Best, res.Best)
+	}
+}
+
+func TestMinCoverConfigValidation(t *testing.T) {
+	if _, err := MinCover(MinCoverConfig{Inputs: 1}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := MinCover(MinCoverConfig{Inputs: 20}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestACCSatisfiable(t *testing.T) {
+	p, err := ACC(ACCConfig{Teams: 6, FixedMatches: 4, ForbiddenMatches: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.HasObjective() {
+		t.Fatal("acc must be a pure satisfaction instance")
+	}
+	res := core.Solve(p, core.Options{MaxConflicts: 500000})
+	if res.Status != core.StatusSatisfiable {
+		t.Fatalf("status=%v (acc instances are satisfiable by construction)", res.Status)
+	}
+	if !p.Feasible(res.Values) {
+		t.Fatal("infeasible schedule")
+	}
+}
+
+func TestACCWitnessScheduleValid(t *testing.T) {
+	// With every witness match fixed, the instance must still be SAT (the
+	// circle-method schedule itself).
+	teams := 6
+	p, err := ACC(ACCConfig{Teams: teams, FixedMatches: teams * (teams - 1) / 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Solve(p, core.Options{MaxConflicts: 500000})
+	if res.Status != core.StatusSatisfiable {
+		t.Fatalf("fully fixed witness schedule unsatisfiable: %v", res.Status)
+	}
+}
+
+func TestACCConfigValidation(t *testing.T) {
+	if _, err := ACC(ACCConfig{Teams: 5}); err == nil {
+		t.Fatal("expected even-team error")
+	}
+	if _, err := ACC(ACCConfig{Teams: 2}); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestAllGeneratorsRoundTripOPB(t *testing.T) {
+	// Generated instances must survive the OPB writer/parser (used by the
+	// cmd tools); spot-check constraint and variable counts.
+	ps := map[string]*pb.Problem{}
+	if p, err := Grout(GroutConfig{Width: 3, Height: 3, Nets: 3, PathsPerNet: 2, Capacity: 2, Seed: 1}); err == nil {
+		ps["grout"] = p
+	}
+	if p, err := Synthesis(SynthesisConfig{Nodes: 5, Impls: 3, Seed: 1}); err == nil {
+		ps["synth"] = p
+	}
+	if p, err := MinCover(MinCoverConfig{Inputs: 4, Seed: 1}); err == nil {
+		ps["mincover"] = p
+	}
+	if p, err := ACC(ACCConfig{Teams: 4, Seed: 1}); err == nil {
+		ps["acc"] = p
+	}
+	if len(ps) != 4 {
+		t.Fatalf("generators failed: %v", ps)
+	}
+	for name, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSymSmallExact(t *testing.T) {
+	// 4-input symmetric function, popcount in [1,3]: small enough to verify
+	// against brute force.
+	p, err := Sym(SymConfig{Inputs: 4, LowK: 1, HighK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := core.Solve(p, core.Options{LowerBound: core.LBLPR, MaxConflicts: 500000})
+	if res.Status != core.StatusOptimal {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if p.NumVars <= 20 {
+		want := pb.BruteForce(p)
+		if res.Best != want.Optimum {
+			t.Fatalf("optimum %d want %d", res.Best, want.Optimum)
+		}
+	}
+}
+
+func TestSymDeterministic(t *testing.T) {
+	p1, err := Sym(NineSym())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Sym(NineSym())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.NumVars != p2.NumVars || len(p1.Constraints) != len(p2.Constraints) {
+		t.Fatal("not deterministic")
+	}
+	// The real 9sym has 420 ON-set minterms; each becomes a covering row.
+	if len(p1.Constraints) != 420 {
+		t.Fatalf("constraints=%d want 420 (the 9sym ON-set)", len(p1.Constraints))
+	}
+}
+
+func TestSymConfigValidation(t *testing.T) {
+	if _, err := Sym(SymConfig{Inputs: 1, LowK: 0, HighK: 1}); err == nil {
+		t.Fatal("expected inputs error")
+	}
+	if _, err := Sym(SymConfig{Inputs: 4, LowK: 3, HighK: 1}); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := Sym(SymConfig{Inputs: 4, LowK: 5, HighK: 6}); err == nil {
+		t.Fatal("expected constant-0 error")
+	}
+}
+
+func TestGroutMultiPinNets(t *testing.T) {
+	p, err := Grout(GroutConfig{
+		Width: 5, Height: 5, Nets: 12, PathsPerNet: 5, Capacity: 3,
+		MultiPinFraction: 0.5, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := core.Solve(p, core.Options{LowerBound: core.LBLPR, MaxConflicts: 500000})
+	if res.Status != core.StatusOptimal {
+		t.Fatalf("status=%v (multi-pin instances must stay feasible)", res.Status)
+	}
+	if !p.Feasible(res.Values) {
+		t.Fatal("infeasible routing")
+	}
+}
+
+func TestGroutMultiPinDeterministic(t *testing.T) {
+	cfg := GroutConfig{Width: 4, Height: 4, Nets: 8, PathsPerNet: 4, Capacity: 2,
+		MultiPinFraction: 0.4, Seed: 5}
+	p1, _ := Grout(cfg)
+	p2, _ := Grout(cfg)
+	if p1.NumVars != p2.NumVars || len(p1.Constraints) != len(p2.Constraints) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestACCHomeAwaySatisfiable(t *testing.T) {
+	p, err := ACC(ACCConfig{Teams: 8, FixedMatches: 3, ForbiddenMatches: 8, HomeAway: true, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := core.Solve(p, core.Options{MaxConflicts: 1000000})
+	if res.Status != core.StatusSatisfiable {
+		t.Fatalf("home/away instance unsatisfiable: %v", res.Status)
+	}
+	if !p.Feasible(res.Values) {
+		t.Fatal("infeasible schedule")
+	}
+	// Verify the balance property directly on the model.
+	const teams = 8
+	pairs := 0
+	for i := 0; i < teams; i++ {
+		for j := i + 1; j < teams; j++ {
+			pairs++
+		}
+	}
+	rounds := teams - 1
+	hBase := pairs * rounds // h vars appended after the x vars
+	pi := 0
+	hosted := make([]int, teams)
+	for i := 0; i < teams; i++ {
+		for j := i + 1; j < teams; j++ {
+			if res.Values[hBase+pi] {
+				hosted[i]++
+			} else {
+				hosted[j]++
+			}
+			pi++
+		}
+	}
+	for team, hcount := range hosted {
+		if hcount < (teams-1)/2 || hcount > teams/2 {
+			t.Fatalf("team %d hosts %d games, want within [%d,%d]", team, hcount, (teams-1)/2, teams/2)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package gen generates the four EDA benchmark families of the paper's
+// Table 1 as seeded, deterministic PBO instances (see DESIGN.md §2 for the
+// substitution rationale):
+//
+//   - Grout: FPGA global routing — one-hot path selection per net under
+//     edge-capacity constraints, minimizing total wirelength [2].
+//   - Synthesis: mixed PTL/CMOS technology selection — per-node
+//     implementation choice with interface-compatibility clauses,
+//     minimizing area [18].
+//   - MinCover: MCNC-style two-level logic minimization — minimum-literal
+//     prime-implicant covering built on internal/qm [17].
+//   - ACC: tightly constrained round-robin sports-scheduling satisfaction
+//     instances with no cost function [16].
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pb"
+)
+
+// GroutConfig parameterizes a routing instance.
+type GroutConfig struct {
+	// Width and Height are the routing grid dimensions (nodes).
+	Width, Height int
+	// Nets is the number of two-pin nets to route.
+	Nets int
+	// PathsPerNet is the number of candidate paths enumerated per net
+	// (the two L-shaped monotone routes plus random staircases).
+	PathsPerNet int
+	// Capacity is the per-edge routing capacity.
+	Capacity int
+	// MultiPinFraction, when positive, converts that fraction of the nets
+	// into three-pin nets: each candidate route is the union of two
+	// two-pin routes through the third terminal (a degenerate Steiner
+	// tree), as in real global routing netlists.
+	MultiPinFraction float64
+	Seed             int64
+}
+
+// edge is an undirected grid edge keyed canonically.
+type edge struct{ a, b int }
+
+func mkEdge(a, b int) edge {
+	if a > b {
+		a, b = b, a
+	}
+	return edge{a, b}
+}
+
+// Grout generates a global routing PBO instance. Variables select one
+// candidate path per net; each edge admits at most Capacity nets; the cost
+// of a path is its length.
+//
+// Feasibility is guaranteed by construction: while generating, a witness
+// assignment is routed greedily (each net takes the candidate that keeps
+// the maximum edge usage lowest), and the effective capacity is raised to
+// the witness's maximum usage when the configured Capacity is lower. The
+// instance is therefore always satisfiable, and the optimization question —
+// can congestion detours be traded for shorter total wirelength within
+// capacity — remains hard.
+func Grout(cfg GroutConfig) (*pb.Problem, error) {
+	if cfg.Width < 2 || cfg.Height < 2 {
+		return nil, fmt.Errorf("gen: grout grid %dx%d too small", cfg.Width, cfg.Height)
+	}
+	if cfg.Nets < 1 || cfg.PathsPerNet < 1 || cfg.Capacity < 1 {
+		return nil, fmt.Errorf("gen: grout needs nets, paths and capacity ≥ 1")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	node := func(x, y int) int { return y*cfg.Width + x }
+
+	type path struct {
+		edges []edge
+	}
+	var prob *pb.Problem
+	var pathsByNet [][]path
+
+	for netID := 0; netID < cfg.Nets; netID++ {
+		// Random distinct terminals.
+		var sx, sy, tx, ty int
+		for {
+			sx, sy = rng.Intn(cfg.Width), rng.Intn(cfg.Height)
+			tx, ty = rng.Intn(cfg.Width), rng.Intn(cfg.Height)
+			if sx != tx || sy != ty {
+				break
+			}
+		}
+		seen := map[string]bool{}
+		var paths []path
+		addPath := func(p path) {
+			if hasDuplicateEdge(p.edges) {
+				return // degenerate back-and-forth route
+			}
+			key := fmt.Sprint(p.edges)
+			if !seen[key] {
+				seen[key] = true
+				paths = append(paths, p)
+			}
+		}
+		if cfg.MultiPinFraction > 0 && rng.Float64() < cfg.MultiPinFraction {
+			// Three-pin net: route s→u→t through a third terminal u; every
+			// candidate is a degenerate Steiner tree (union of two legs).
+			var ux, uy int
+			for {
+				ux, uy = rng.Intn(cfg.Width), rng.Intn(cfg.Height)
+				if (ux != sx || uy != sy) && (ux != tx || uy != ty) {
+					break
+				}
+			}
+			for k := 0; len(paths) < cfg.PathsPerNet && k < cfg.PathsPerNet*8; k++ {
+				leg1 := staircase(sx, sy, ux, uy, rng, node)
+				leg2 := staircase(ux, uy, tx, ty, rng, node)
+				addPath(path{edges: append(append([]edge{}, leg1.edges...), leg2.edges...)})
+			}
+			if len(paths) == 0 {
+				// Fallback: the L-route union, and if even that degenerates
+				// (u on the s→t route making the legs overlap), fall back to
+				// the plain two-pin route so the net stays routable.
+				l1 := lPath(sx, sy, ux, uy, true, node)
+				l2 := lPath(ux, uy, tx, ty, true, node)
+				addPath(path{edges: append(append([]edge{}, l1.edges...), l2.edges...)})
+				if len(paths) == 0 {
+					addPath(path(lPath(sx, sy, tx, ty, true, node)))
+				}
+			}
+			pathsByNet = append(pathsByNet, paths)
+			continue
+		}
+		// Two L-shaped monotone routes (minimum length), then a mix of
+		// random monotone staircases (same length) and waypoint detours
+		// (longer, but relieving congestion) — the length spread is what
+		// makes the wirelength objective non-trivial.
+		addPath(path(lPath(sx, sy, tx, ty, true, node)))
+		addPath(path(lPath(sx, sy, tx, ty, false, node)))
+		for k := 0; len(paths) < cfg.PathsPerNet && k < cfg.PathsPerNet*6; k++ {
+			if k%2 == 0 {
+				addPath(path(staircase(sx, sy, tx, ty, rng, node)))
+				continue
+			}
+			wx, wy := rng.Intn(cfg.Width), rng.Intn(cfg.Height)
+			if (wx == sx && wy == sy) || (wx == tx && wy == ty) {
+				continue
+			}
+			leg1 := staircase(sx, sy, wx, wy, rng, node)
+			leg2 := staircase(wx, wy, tx, ty, rng, node)
+			addPath(path{edges: append(append([]edge{}, leg1.edges...), leg2.edges...)})
+		}
+		if len(paths) == 0 {
+			addPath(path(lPath(sx, sy, tx, ty, true, node)))
+		}
+		pathsByNet = append(pathsByNet, paths)
+	}
+
+	// Greedy witness routing: per net, pick the candidate that keeps the
+	// maximum edge usage lowest (ties: shorter path). The effective capacity
+	// is the larger of the configured capacity and the witness requirement.
+	witnessUse := map[edge]int{}
+	for _, ps := range pathsByNet {
+		bestIdx, bestMax, bestLen := -1, 1<<30, 1<<30
+		for pi, p := range ps {
+			maxU := 0
+			for _, e := range p.edges {
+				if u := witnessUse[e] + 1; u > maxU {
+					maxU = u
+				}
+			}
+			if maxU < bestMax || (maxU == bestMax && len(p.edges) < bestLen) {
+				bestIdx, bestMax, bestLen = pi, maxU, len(p.edges)
+			}
+		}
+		for _, e := range ps[bestIdx].edges {
+			witnessUse[e]++
+		}
+	}
+	capacity := cfg.Capacity
+	for _, u := range witnessUse {
+		if u > capacity {
+			capacity = u
+		}
+	}
+
+	// Count variables.
+	total := 0
+	for _, ps := range pathsByNet {
+		total += len(ps)
+	}
+	prob = pb.NewProblem(total)
+
+	varIdx := 0
+	edgeUse := map[edge][]pb.Term{}
+	for _, ps := range pathsByNet {
+		lits := make([]pb.Lit, len(ps))
+		for pi, p := range ps {
+			v := pb.Var(varIdx)
+			varIdx++
+			prob.SetCost(v, int64(len(p.edges)))
+			lits[pi] = pb.PosLit(v)
+			for _, e := range p.edges {
+				edgeUse[e] = append(edgeUse[e], pb.Term{Coef: 1, Lit: pb.PosLit(v)})
+			}
+		}
+		if err := prob.AddAtLeast(lits, 1); err != nil {
+			return nil, err
+		}
+	}
+	// Deterministic edge ordering.
+	for _, e := range sortedEdges(edgeUse) {
+		terms := edgeUse[e]
+		if len(terms) <= capacity {
+			continue
+		}
+		if err := prob.AddConstraint(terms, pb.LE, int64(capacity)); err != nil {
+			return nil, err
+		}
+	}
+	return prob, nil
+}
+
+func hasDuplicateEdge(edges []edge) bool {
+	seen := map[edge]bool{}
+	for _, e := range edges {
+		if seen[e] {
+			return true
+		}
+		seen[e] = true
+	}
+	return false
+}
+
+func sortedEdges(m map[edge][]pb.Term) []edge {
+	out := make([]edge, 0, len(m))
+	for e := range m {
+		out = append(out, e)
+	}
+	// Sort by (a,b).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j].a < out[j-1].a || (out[j].a == out[j-1].a && out[j].b < out[j-1].b)); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// lPath builds an L-shaped route: horizontal-then-vertical or the reverse.
+func lPath(sx, sy, tx, ty int, horizFirst bool, node func(x, y int) int) struct{ edges []edge } {
+	var p struct{ edges []edge }
+	x, y := sx, sy
+	step := func(nx, ny int) {
+		p.edges = append(p.edges, mkEdge(node(x, y), node(nx, ny)))
+		x, y = nx, ny
+	}
+	moveH := func() {
+		for x != tx {
+			if x < tx {
+				step(x+1, y)
+			} else {
+				step(x-1, y)
+			}
+		}
+	}
+	moveV := func() {
+		for y != ty {
+			if y < ty {
+				step(x, y+1)
+			} else {
+				step(x, y-1)
+			}
+		}
+	}
+	if horizFirst {
+		moveH()
+		moveV()
+	} else {
+		moveV()
+		moveH()
+	}
+	return p
+}
+
+// staircase builds a random monotone route from (sx,sy) to (tx,ty).
+func staircase(sx, sy, tx, ty int, rng *rand.Rand, node func(x, y int) int) struct{ edges []edge } {
+	var p struct{ edges []edge }
+	x, y := sx, sy
+	for x != tx || y != ty {
+		canH := x != tx
+		canV := y != ty
+		var horiz bool
+		switch {
+		case canH && canV:
+			horiz = rng.Intn(2) == 0
+		case canH:
+			horiz = true
+		default:
+			horiz = false
+		}
+		nx, ny := x, y
+		if horiz {
+			if x < tx {
+				nx = x + 1
+			} else {
+				nx = x - 1
+			}
+		} else {
+			if y < ty {
+				ny = y + 1
+			} else {
+				ny = y - 1
+			}
+		}
+		p.edges = append(p.edges, mkEdge(node(x, y), node(nx, ny)))
+		x, y = nx, ny
+	}
+	return p
+}

@@ -1,0 +1,69 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pb"
+	"repro/internal/qm"
+)
+
+// MinCoverConfig parameterizes an MCNC-style two-level minimization
+// instance [17]: a random single-output truth table whose prime implicants
+// (from internal/qm) form the columns of a minimum-literal covering problem.
+type MinCoverConfig struct {
+	// Inputs is the number of function inputs (≤ 12 keeps QM fast).
+	Inputs int
+	// OnDensity is the fraction of minterms in the ON-set.
+	OnDensity float64
+	// DcDensity is the fraction of minterms in the don't-care set.
+	DcDensity float64
+	Seed      int64
+}
+
+// MinCover generates the covering instance: one variable per prime
+// implicant with cost = literal count + 1 (gate input cost plus the
+// OR-plane connection, the usual two-level cost model), one clause per
+// ON-set minterm requiring a covering prime. Instances are always feasible
+// (every ON minterm seeds a prime).
+func MinCover(cfg MinCoverConfig) (*pb.Problem, error) {
+	if cfg.Inputs < 2 || cfg.Inputs > 12 {
+		return nil, fmt.Errorf("gen: mincover inputs=%d out of range [2,12]", cfg.Inputs)
+	}
+	if cfg.OnDensity <= 0 {
+		cfg.OnDensity = 0.25
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	limit := uint32(1) << uint(cfg.Inputs)
+	var on, dc []uint32
+	for m := uint32(0); m < limit; m++ {
+		r := rng.Float64()
+		switch {
+		case r < cfg.OnDensity:
+			on = append(on, m)
+		case r < cfg.OnDensity+cfg.DcDensity:
+			dc = append(dc, m)
+		}
+	}
+	if len(on) == 0 {
+		on = append(on, uint32(rng.Intn(int(limit))))
+	}
+	primes, err := qm.Primes(cfg.Inputs, on, dc)
+	if err != nil {
+		return nil, err
+	}
+	prob := pb.NewProblem(len(primes))
+	for i, p := range primes {
+		prob.SetCost(pb.Var(i), int64(p.Literals(cfg.Inputs)+1))
+	}
+	for _, row := range qm.CoverTable(on, primes) {
+		lits := make([]pb.Lit, len(row))
+		for k, pi := range row {
+			lits[k] = pb.PosLit(pb.Var(pi))
+		}
+		if err := prob.AddClause(lits...); err != nil {
+			return nil, err
+		}
+	}
+	return prob, nil
+}

@@ -1,0 +1,64 @@
+package gen
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/pb"
+	"repro/internal/qm"
+)
+
+// SymConfig parameterizes a symmetric-function two-level minimization
+// instance. Symmetric functions are the one part of the MCNC suite that can
+// be reconstructed *exactly* from their definition: the classic 9sym.b
+// benchmark (Table 1, row 22 of the paper) is the function over 9 inputs
+// that is true iff between 3 and 6 inputs are set.
+type SymConfig struct {
+	// Inputs is the number of function inputs.
+	Inputs int
+	// LowK and HighK bound the popcount range on which the function is 1.
+	LowK, HighK int
+}
+
+// NineSym returns the exact 9sym function configuration.
+func NineSym() SymConfig { return SymConfig{Inputs: 9, LowK: 3, HighK: 6} }
+
+// Sym generates the minimum-literal prime-implicant covering instance of
+// the symmetric function. Unlike the random MinCover family this instance
+// is fully determined — no seed.
+func Sym(cfg SymConfig) (*pb.Problem, error) {
+	if cfg.Inputs < 2 || cfg.Inputs > 12 {
+		return nil, fmt.Errorf("gen: sym inputs=%d out of range [2,12]", cfg.Inputs)
+	}
+	if cfg.LowK < 0 || cfg.HighK < cfg.LowK || cfg.HighK > cfg.Inputs {
+		return nil, fmt.Errorf("gen: sym bad popcount range [%d,%d]", cfg.LowK, cfg.HighK)
+	}
+	limit := uint32(1) << uint(cfg.Inputs)
+	var on []uint32
+	for m := uint32(0); m < limit; m++ {
+		if pc := bits.OnesCount32(m); pc >= cfg.LowK && pc <= cfg.HighK {
+			on = append(on, m)
+		}
+	}
+	if len(on) == 0 {
+		return nil, fmt.Errorf("gen: sym function is constant 0")
+	}
+	primes, err := qm.Primes(cfg.Inputs, on, nil)
+	if err != nil {
+		return nil, err
+	}
+	prob := pb.NewProblem(len(primes))
+	for i, p := range primes {
+		prob.SetCost(pb.Var(i), int64(p.Literals(cfg.Inputs)+1))
+	}
+	for _, row := range qm.CoverTable(on, primes) {
+		lits := make([]pb.Lit, len(row))
+		for k, pi := range row {
+			lits[k] = pb.PosLit(pb.Var(pi))
+		}
+		if err := prob.AddClause(lits...); err != nil {
+			return nil, err
+		}
+	}
+	return prob, nil
+}

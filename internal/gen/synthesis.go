@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pb"
+)
+
+// SynthesisConfig parameterizes a mixed PTL/CMOS technology-selection
+// instance in the style of [18]: a netlist where each node chooses one of
+// several implementations (pass-transistor-logic or static CMOS variants of
+// differing area), with interface-compatibility constraints between driver
+// and fanout implementations.
+type SynthesisConfig struct {
+	// Nodes is the number of logic nodes in the netlist.
+	Nodes int
+	// Impls is the number of implementation variants per node (≥ 2; the
+	// first half are "PTL-style", the rest "CMOS-style").
+	Impls int
+	// Fanout is the average number of successors per node (DAG edges).
+	Fanout float64
+	// Incompat is the probability that a (driver impl, sink impl) pair of
+	// different families needs a level-restoring buffer and is forbidden
+	// without one.
+	Incompat float64
+	// BufferArea, when positive, softens incompatibilities: a cross-family
+	// pair flagged incompatible may still be used if the edge's
+	// level-restoring buffer (a fresh variable of this area) is inserted.
+	// Buffer clauses overlap heavily on the shared buffer variable, which
+	// is precisely the structure where the MIS lower bound collapses but
+	// LP/Lagrangian relaxations keep pruning (the paper's synthesis rows).
+	BufferArea int64
+	Seed       int64
+}
+
+// Synthesis generates the instance. Variables x_{n,i} select implementation
+// i for node n (exactly one per node); incompatible choices across DAG edges
+// are excluded by binary clauses; the objective is total area. Instances are
+// always feasible: implementation 0 of every node is mutually compatible.
+func Synthesis(cfg SynthesisConfig) (*pb.Problem, error) {
+	if cfg.Nodes < 1 || cfg.Impls < 2 {
+		return nil, fmt.Errorf("gen: synthesis needs ≥1 node and ≥2 impls")
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 1.5
+	}
+	if cfg.Incompat <= 0 {
+		cfg.Incompat = 0.3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	prob := pb.NewProblem(cfg.Nodes * cfg.Impls)
+	v := func(n, i int) pb.Var { return pb.Var(n*cfg.Impls + i) }
+	// Buffer variables are created lazily per DAG edge.
+	bufferVar := map[[2]int]pb.Var{}
+	getBuffer := func(n, m int) pb.Var {
+		key := [2]int{n, m}
+		if b, ok := bufferVar[key]; ok {
+			return b
+		}
+		b := prob.AddVar(cfg.BufferArea)
+		bufferVar[key] = b
+		return b
+	}
+
+	// Areas: PTL variants are smaller but "risky" (interface-constrained);
+	// CMOS variants larger. Wide cost spread as in the paper's instances.
+	for n := 0; n < cfg.Nodes; n++ {
+		lits := make([]pb.Lit, cfg.Impls)
+		for i := 0; i < cfg.Impls; i++ {
+			var area int64
+			if i < cfg.Impls/2 {
+				area = int64(20 + rng.Intn(120)) // PTL-ish
+			} else {
+				area = int64(90 + rng.Intn(400)) // CMOS-ish
+			}
+			prob.SetCost(v(n, i), area)
+			lits[i] = pb.PosLit(v(n, i))
+		}
+		if err := prob.AddExactlyOne(lits...); err != nil {
+			return nil, err
+		}
+	}
+
+	// DAG edges n → m (n < m) with compatibility clauses.
+	for n := 0; n < cfg.Nodes; n++ {
+		fan := int(cfg.Fanout)
+		if rng.Float64() < cfg.Fanout-float64(fan) {
+			fan++
+		}
+		for k := 0; k < fan; k++ {
+			if n+1 >= cfg.Nodes {
+				break
+			}
+			m := n + 1 + rng.Intn(cfg.Nodes-n-1)
+			for i := 0; i < cfg.Impls; i++ {
+				for j := 0; j < cfg.Impls; j++ {
+					if i == 0 && j == 0 {
+						continue // impl 0 pairs always compatible: feasibility anchor
+					}
+					ptlI := i < cfg.Impls/2
+					ptlJ := j < cfg.Impls/2
+					if ptlI == ptlJ {
+						continue // same family: compatible
+					}
+					if rng.Float64() < cfg.Incompat {
+						if cfg.BufferArea > 0 {
+							// Allowed with a level-restoring buffer on the edge.
+							b := getBuffer(n, m)
+							if err := prob.AddClause(pb.NegLit(v(n, i)), pb.NegLit(v(m, j)), pb.PosLit(b)); err != nil {
+								return nil, err
+							}
+						} else if err := prob.AddClause(pb.NegLit(v(n, i)), pb.NegLit(v(m, j))); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+	return prob, nil
+}

@@ -1,0 +1,62 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func coveringLP(rng *rand.Rand, n, m int) *Problem {
+	p := &Problem{NumVars: n, Cost: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		p.Cost[j] = float64(1 + rng.Intn(20))
+	}
+	for i := 0; i < m; i++ {
+		var ents []Entry
+		for j := 0; j < n; j++ {
+			if rng.Intn(6) == 0 {
+				ents = append(ents, Entry{j, float64(1 + rng.Intn(3))})
+			}
+		}
+		if len(ents) == 0 {
+			ents = []Entry{{rng.Intn(n), 1}}
+		}
+		p.Rows = append(p.Rows, Row{Entries: ents, RHS: float64(1 + rng.Intn(2))})
+	}
+	return p
+}
+
+// BenchmarkSimplexCovering measures the primal simplex on covering LPs of
+// the size the LPR estimator meets at search nodes.
+func BenchmarkSimplexCovering(b *testing.B) {
+	for _, size := range []struct{ n, m int }{{50, 80}, {150, 250}, {300, 500}} {
+		rng := rand.New(rand.NewSource(4))
+		p := coveringLP(rng, size.n, size.m)
+		b.Run(benchName(size.n, size.m), func(b *testing.B) {
+			var iters int
+			for i := 0; i < b.N; i++ {
+				sol, err := Solve(p)
+				if err != nil || sol.Status != Optimal {
+					b.Fatalf("status=%v err=%v", sol.Status, err)
+				}
+				iters += sol.Iterations
+			}
+			b.ReportMetric(float64(iters)/float64(b.N), "simplex-iters/op")
+		})
+	}
+}
+
+func benchName(n, m int) string {
+	return "n" + itobench(n) + "m" + itobench(m)
+}
+
+func itobench(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf []byte
+	for v > 0 {
+		buf = append([]byte{byte('0' + v%10)}, buf...)
+		v /= 10
+	}
+	return string(buf)
+}

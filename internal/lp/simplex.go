@@ -1,0 +1,555 @@
+// Package lp implements a dense bounded-variable two-phase primal simplex
+// solver for linear programs of the form
+//
+//	minimize   c·x
+//	subject to Σ_j A_ij·x_j ≥ b_i    for every row i
+//	           lo_j ≤ x_j ≤ hi_j     (default 0 ≤ x_j ≤ 1)
+//
+// This is the LP-relaxation substrate (§3.1 of the paper): the pseudo-Boolean
+// relaxation always has 0/1 variable bounds, and the MILP baseline reuses the
+// same solver with tightened bounds during branching. The implementation is a
+// classical tableau simplex with upper-bounded variables, Dantzig pricing
+// with a Bland's-rule fallback against cycling, and periodic recomputation of
+// the basic solution to limit numerical drift.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Entry is one nonzero coefficient of a row.
+type Entry struct {
+	Var  int
+	Coef float64
+}
+
+// Row is the constraint Σ entries ≥ RHS.
+type Row struct {
+	Entries []Entry
+	RHS     float64
+}
+
+// Problem is an LP instance. Lo and Hi may be nil, in which case every
+// variable is bounded to [0,1].
+type Problem struct {
+	NumVars int
+	Cost    []float64
+	Rows    []Row
+	Lo, Hi  []float64
+	// MaxIter bounds the total number of simplex iterations (both phases).
+	// Zero selects a size-dependent default.
+	MaxIter int
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// Optimal: an optimal basic solution was found.
+	Optimal Status = iota
+	// Infeasible: the constraints admit no point within the bounds.
+	Infeasible
+	// Unbounded: the objective decreases without bound (cannot occur when
+	// all variables have finite bounds).
+	Unbounded
+	// IterLimit: the iteration budget was exhausted before optimality.
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "iterlimit"
+	}
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	Objective float64
+	// X is the primal solution (length NumVars).
+	X []float64
+	// Slack[i] = Σ A_ij·x_j − b_i for each row; a row is "tight" when its
+	// slack is (numerically) zero.
+	Slack []float64
+	// Dual[i] is the dual multiplier of row i (≥ 0 at optimality for ≥ rows
+	// in a minimization).
+	Dual []float64
+	// Iterations is the total simplex iteration count.
+	Iterations int
+}
+
+const (
+	epsPivot  = 1e-9
+	epsCost   = 1e-7
+	epsBound  = 1e-7
+	epsPhase1 = 1e-6
+)
+
+type nbStatus uint8
+
+const (
+	atLower nbStatus = iota
+	atUpper
+)
+
+type simplex struct {
+	n, m    int // structural vars, rows
+	nTot    int // n + m surplus + m artificial
+	cost    []float64
+	lo, hi  []float64
+	tab     [][]float64 // m × nTot
+	rhsB    []float64   // B^{-1} b (working rhs under the same row ops)
+	beta    []float64   // current value of basic variable per row
+	basis   []int
+	inBasis []bool
+	status  []nbStatus // nonbasic status per variable
+	xval    []float64  // value of nonbasic variables (at a bound)
+	iters   int
+	maxIter int
+}
+
+// Solve solves the LP. It never panics on valid input; malformed input
+// (entries out of range, NaN coefficients, lo > hi) yields an error.
+func Solve(p *Problem) (Solution, error) {
+	n, m := p.NumVars, len(p.Rows)
+	if len(p.Cost) != n {
+		return Solution{}, fmt.Errorf("lp: len(Cost)=%d != NumVars=%d", len(p.Cost), n)
+	}
+	lo := p.Lo
+	hi := p.Hi
+	if lo == nil {
+		lo = make([]float64, n)
+	}
+	if hi == nil {
+		hi = make([]float64, n)
+		for i := range hi {
+			hi[i] = 1
+		}
+	}
+	if len(lo) != n || len(hi) != n {
+		return Solution{}, fmt.Errorf("lp: bounds length mismatch")
+	}
+	for j := 0; j < n; j++ {
+		if lo[j] > hi[j]+epsBound {
+			return Solution{Status: Infeasible}, nil
+		}
+		if math.IsNaN(lo[j]) || math.IsNaN(hi[j]) || math.IsNaN(p.Cost[j]) {
+			return Solution{}, fmt.Errorf("lp: NaN in input")
+		}
+	}
+	for i, r := range p.Rows {
+		if math.IsNaN(r.RHS) {
+			return Solution{}, fmt.Errorf("lp: NaN rhs in row %d", i)
+		}
+		for _, e := range r.Entries {
+			if e.Var < 0 || e.Var >= n {
+				return Solution{}, fmt.Errorf("lp: row %d references var %d out of range", i, e.Var)
+			}
+			if math.IsNaN(e.Coef) {
+				return Solution{}, fmt.Errorf("lp: NaN coefficient in row %d", i)
+			}
+		}
+	}
+
+	s := &simplex{n: n, m: m, nTot: n + 2*m}
+	s.maxIter = p.MaxIter
+	if s.maxIter == 0 {
+		s.maxIter = 100*(n+m) + 5000
+	}
+	s.lo = make([]float64, s.nTot)
+	s.hi = make([]float64, s.nTot)
+	copy(s.lo, lo)
+	copy(s.hi, hi)
+	for j := n; j < n+m; j++ { // surplus: [0, +inf)
+		s.hi[j] = math.Inf(1)
+	}
+	for j := n + m; j < s.nTot; j++ { // artificial: [0, +inf) during phase 1
+		s.hi[j] = math.Inf(1)
+	}
+
+	// Working rows: A_i x − s_i = b_i, possibly negated so the initial
+	// artificial value is non-negative with every structural nonbasic at its
+	// lower bound and surplus at 0.
+	s.tab = make([][]float64, m)
+	s.rhsB = make([]float64, m)
+	s.beta = make([]float64, m)
+	s.basis = make([]int, m)
+	s.inBasis = make([]bool, s.nTot)
+	s.status = make([]nbStatus, s.nTot)
+	s.xval = make([]float64, s.nTot)
+	for j := 0; j < n; j++ {
+		s.xval[j] = lo[j]
+	}
+
+	// Slack-basis crash: a row whose residual (with every structural
+	// variable at its bound) is non-positive starts with its surplus
+	// variable basic and needs no artificial; only rows with positive
+	// residual get a basic artificial. Dual-style LPs (c ≥ 0, rhs ≤ 0)
+	// therefore skip phase 1 entirely.
+	dense := make([]float64, n)
+	needPhase1 := false
+	for i, r := range p.Rows {
+		for k := range dense {
+			dense[k] = 0
+		}
+		for _, e := range r.Entries {
+			dense[e.Var] += e.Coef
+		}
+		// Residual with nonbasic values plugged in.
+		resid := r.RHS
+		for j := 0; j < n; j++ {
+			resid -= dense[j] * s.xval[j]
+		}
+		row := make([]float64, s.nTot)
+		if resid > 0 {
+			// Artificial basic (coefficient +1 keeps the unit-column
+			// invariant); phase 1 must drive it out.
+			for j := 0; j < n; j++ {
+				row[j] = dense[j]
+			}
+			row[n+i] = -1.0  // surplus
+			row[n+m+i] = 1.0 // artificial
+			s.tab[i] = row
+			s.rhsB[i] = r.RHS
+			s.basis[i] = n + m + i
+			s.inBasis[n+m+i] = true
+			s.beta[i] = resid
+			needPhase1 = true
+		} else {
+			// Surplus basic: negate the row so its column is +1 (the
+			// Gauss-Jordan invariant requires basic columns to be unit
+			// vectors). The surplus value −resid is non-negative, so the
+			// basis is feasible and no artificial is ever needed.
+			for j := 0; j < n; j++ {
+				row[j] = -dense[j]
+			}
+			row[n+i] = 1.0    // surplus (negated from −1)
+			row[n+m+i] = -1.0 // artificial (negated, permanently locked)
+			s.tab[i] = row
+			s.rhsB[i] = -r.RHS
+			s.basis[i] = n + i
+			s.inBasis[n+i] = true
+			s.beta[i] = -resid
+			s.hi[n+m+i] = 0
+		}
+	}
+
+	// Phase 1: minimize the artificial sum (skipped when the slack basis is
+	// already feasible).
+	if needPhase1 {
+		cost1 := make([]float64, s.nTot)
+		for j := n + m; j < s.nTot; j++ {
+			cost1[j] = 1
+		}
+		st := s.run(cost1)
+		if st == IterLimit {
+			return Solution{Status: IterLimit, Iterations: s.iters}, nil
+		}
+		var art float64
+		for i := 0; i < m; i++ {
+			if s.basis[i] >= n+m {
+				art += s.beta[i]
+			}
+		}
+		for j := n + m; j < s.nTot; j++ {
+			if !s.inBasis[j] {
+				art += s.xval[j]
+			}
+		}
+		if art > epsPhase1 {
+			return Solution{Status: Infeasible, Iterations: s.iters}, nil
+		}
+	}
+	// Lock artificials at zero for phase 2.
+	for j := n + m; j < s.nTot; j++ {
+		s.hi[j] = 0
+		if !s.inBasis[j] {
+			s.xval[j] = 0
+			s.status[j] = atLower
+		}
+	}
+
+	// Phase 2.
+	s.cost = make([]float64, s.nTot)
+	copy(s.cost, p.Cost)
+	st := s.run(s.cost)
+
+	sol := Solution{Status: Optimal, Iterations: s.iters}
+	if st == IterLimit {
+		// Anytime behaviour: the basis is still primal-feasible, so the
+		// extracted point and duals remain usable (the objective is an
+		// upper approximation of the optimum; the projected duals give a
+		// valid Lagrangian bound).
+		sol.Status = IterLimit
+	} else if st == Unbounded {
+		sol.Status = Unbounded
+		return sol, nil
+	}
+	// Extract primal values.
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if !s.inBasis[j] {
+			x[j] = s.xval[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		if b := s.basis[i]; b < n {
+			x[b] = s.beta[i]
+		}
+	}
+	// Clamp into bounds (numerical noise only).
+	for j := 0; j < n; j++ {
+		if x[j] < lo[j] {
+			x[j] = lo[j]
+		}
+		if x[j] > hi[j] {
+			x[j] = hi[j]
+		}
+	}
+	sol.X = x
+	var obj float64
+	for j := 0; j < n; j++ {
+		obj += p.Cost[j] * x[j]
+	}
+	sol.Objective = obj
+	// Slacks from the original rows.
+	sol.Slack = make([]float64, m)
+	for i, r := range p.Rows {
+		lhs := 0.0
+		for _, e := range r.Entries {
+			lhs += e.Coef * x[e.Var]
+		}
+		sol.Slack[i] = lhs - r.RHS
+	}
+	// Duals: the reduced cost of surplus variable i equals the dual of
+	// original row i (sign conventions cancel; see package tests).
+	sol.Dual = make([]float64, m)
+	cB := make([]float64, m)
+	for i := 0; i < m; i++ {
+		cB[i] = s.cost[s.basis[i]]
+	}
+	for i := 0; i < m; i++ {
+		d := 0.0 // cost of surplus var is 0
+		col := n + i
+		for k := 0; k < m; k++ {
+			if cB[k] != 0 {
+				d -= cB[k] * s.tab[k][col]
+			}
+		}
+		if d < 0 && d > -epsCost {
+			d = 0
+		}
+		sol.Dual[i] = d
+	}
+	return sol, nil
+}
+
+// run optimizes the given cost vector from the current basis. Returns
+// Optimal, Unbounded or IterLimit.
+//
+// Reduced costs are maintained incrementally across pivots (recomputed
+// periodically to contain drift), and all column work is restricted to the
+// active columns: variables whose bounds allow movement or that sit in the
+// basis. Locked artificials disappear from phase 2 entirely.
+func (s *simplex) run(cost []float64) Status {
+	// Active columns for this phase. A column must stay active when its
+	// variable is basic, can move, or sits nonbasic at a nonzero value
+	// (refreshBeta reads its tableau entries).
+	cols := make([]int, 0, s.nTot)
+	for j := 0; j < s.nTot; j++ {
+		if s.inBasis[j] || s.hi[j]-s.lo[j] >= epsBound || s.xval[j] != 0 {
+			cols = append(cols, j)
+		}
+	}
+	d := make([]float64, s.nTot)
+	cB := make([]float64, s.m)
+	recomputeD := func() {
+		for i := 0; i < s.m; i++ {
+			cB[i] = cost[s.basis[i]]
+		}
+		for _, j := range cols {
+			d[j] = cost[j]
+		}
+		for i := 0; i < s.m; i++ {
+			if cB[i] == 0 {
+				continue
+			}
+			row := s.tab[i]
+			c := cB[i]
+			for _, j := range cols {
+				d[j] -= c * row[j]
+			}
+		}
+	}
+	recomputeD()
+
+	price := func(bland bool) int {
+		enter := -1
+		best := epsCost
+		for _, j := range cols {
+			if s.inBasis[j] || s.hi[j]-s.lo[j] < epsBound {
+				continue
+			}
+			var viol float64
+			if s.status[j] == atLower {
+				viol = -d[j]
+			} else {
+				viol = d[j]
+			}
+			if viol > best {
+				enter = j
+				if bland {
+					return j
+				}
+				best = viol
+			}
+		}
+		return enter
+	}
+
+	blandAfter := s.maxIter / 2
+	for ; s.iters < s.maxIter; s.iters++ {
+		if s.iters%256 == 255 {
+			s.refreshBeta()
+			recomputeD()
+		}
+		bland := s.iters > blandAfter
+		enter := price(bland)
+		if enter == -1 {
+			// Verify against exact reduced costs before declaring optimality
+			// (d is maintained incrementally and may have drifted).
+			recomputeD()
+			if enter = price(bland); enter == -1 {
+				return Optimal
+			}
+		}
+		dir := 1.0
+		if s.status[enter] == atUpper {
+			dir = -1.0
+		}
+		// Ratio test.
+		t := s.hi[enter] - s.lo[enter] // bound-to-bound move
+		blocking := -1
+		for i := 0; i < s.m; i++ {
+			delta := -dir * s.tab[i][enter]
+			bi := s.basis[i]
+			var limit float64
+			switch {
+			case delta > epsPivot:
+				if math.IsInf(s.hi[bi], 1) {
+					continue
+				}
+				limit = (s.hi[bi] - s.beta[i]) / delta
+			case delta < -epsPivot:
+				limit = (s.beta[i] - s.lo[bi]) / -delta
+			default:
+				continue
+			}
+			if limit < 0 {
+				limit = 0
+			}
+			if limit < t-epsPivot || (limit < t+epsPivot && blocking >= 0 && bland && bi < s.basis[blocking]) {
+				t = limit
+				blocking = i
+			}
+		}
+		if math.IsInf(t, 1) {
+			return Unbounded
+		}
+		// Apply the move.
+		if t != 0 {
+			for i := 0; i < s.m; i++ {
+				s.beta[i] -= s.tab[i][enter] * dir * t
+			}
+		}
+		if blocking == -1 {
+			// Bound flip: no basis change, reduced costs unchanged.
+			if s.status[enter] == atLower {
+				s.status[enter] = atUpper
+				s.xval[enter] = s.hi[enter]
+			} else {
+				s.status[enter] = atLower
+				s.xval[enter] = s.lo[enter]
+			}
+			continue
+		}
+		r := blocking
+		leave := s.basis[r]
+		// Which bound did the leaving variable hit?
+		if -dir*s.tab[r][enter] > 0 {
+			s.status[leave] = atUpper
+			s.xval[leave] = s.hi[leave]
+		} else {
+			s.status[leave] = atLower
+			s.xval[leave] = s.lo[leave]
+		}
+		s.inBasis[leave] = false
+		enterVal := s.xval[enter] + dir*t
+		s.inBasis[enter] = true
+		s.basis[r] = enter
+		s.beta[r] = enterVal
+		// Gauss-Jordan elimination on column enter, pivot row r.
+		piv := s.tab[r][enter]
+		if math.Abs(piv) < epsPivot {
+			// Numerically unusable pivot: refresh and retry next iteration.
+			s.refreshBeta()
+			recomputeD()
+			continue
+		}
+		inv := 1.0 / piv
+		rowR := s.tab[r]
+		for _, j := range cols {
+			rowR[j] *= inv
+		}
+		s.rhsB[r] *= inv
+		for i := 0; i < s.m; i++ {
+			if i == r {
+				continue
+			}
+			f := s.tab[i][enter]
+			if f == 0 {
+				continue
+			}
+			rowI := s.tab[i]
+			for _, j := range cols {
+				rowI[j] -= f * rowR[j]
+			}
+			s.rhsB[i] -= f * s.rhsB[r]
+		}
+		// Incremental reduced-cost update: d' = d − d[enter]·rowR (rowR is
+		// already the updated pivot row), using the true cost of the leaving
+		// variable to restore its entry.
+		dEnter := d[enter]
+		if dEnter != 0 {
+			for _, j := range cols {
+				d[j] -= dEnter * rowR[j]
+			}
+		}
+		d[enter] = 0
+	}
+	return IterLimit
+}
+
+// refreshBeta recomputes the basic variable values from rhsB and the
+// nonbasic bound values, limiting incremental floating-point drift.
+func (s *simplex) refreshBeta() {
+	for i := 0; i < s.m; i++ {
+		v := s.rhsB[i]
+		row := s.tab[i]
+		for j := 0; j < s.nTot; j++ {
+			if s.inBasis[j] || s.xval[j] == 0 {
+				continue
+			}
+			v -= row[j] * s.xval[j]
+		}
+		s.beta[i] = v
+	}
+}

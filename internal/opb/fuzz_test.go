@@ -1,0 +1,57 @@
+package opb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pb"
+)
+
+// FuzzParse exercises the OPB parser with hostile input: it must never
+// panic, and whenever it accepts input, the resulting problem must pass
+// validation and survive a write/parse round trip with unchanged
+// feasibility. (Run with `go test -fuzz=FuzzParse ./internal/opb` for a
+// live fuzzing session; the seed corpus runs in ordinary `go test`.)
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"min: +1 x1 ;\n+1 x1 >= 1 ;",
+		"min: -2 x1 +3 x2 ;\n+1 x1 +1 x2 >= 1 ;",
+		"* comment\n+2 ~x1 +3 x2 = 2 ;",
+		"+1 x1 +1 x2 <= 1 ;",
+		"min:",
+		";;;",
+		"+1 x1 >= ;",
+		"min: +1 x1 ;\nmin: +1 x1 ;",
+		"+9223372036854775807 x1 >= 1 ;",
+		"+1 x1 +1 x1 +1 ~x1 >= 1 ;",
+		"min: +0 x1 ;\n+0 x1 >= 0 ;",
+		strings.Repeat("+1 x1 ", 100) + ">= 3 ;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParseString(input)
+		if err != nil {
+			return // rejected: fine
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted problem fails validation: %v\ninput: %q", err, input)
+		}
+		if p.NumVars > 18 {
+			return // keep the brute-force check cheap
+		}
+		out := WriteString(p)
+		q, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nwrote: %q", err, out)
+		}
+		r1, r2 := pb.BruteForce(p), pb.BruteForce(q)
+		if r1.Feasible != r2.Feasible {
+			t.Fatalf("round trip changed feasibility\ninput: %q", input)
+		}
+		if r1.Feasible && r1.Optimum-p.CostOffset != r2.Optimum-q.CostOffset {
+			t.Fatalf("round trip changed optimum\ninput: %q", input)
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package opb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pb"
+)
+
+// productTable linearizes nonlinear OPB terms: a product l1·l2·…·lk of
+// literals is replaced by a fresh auxiliary variable z constrained to equal
+// the conjunction:
+//
+//	z → l_i               (¬z ∨ l_i, one clause per factor)
+//	l_1 ∧ … ∧ l_k → z     (z ∨ ¬l_1 ∨ … ∨ ¬l_k)
+//
+// Identical products (up to ordering) share one auxiliary variable. The
+// equivalence (rather than a one-sided implication) keeps the substitution
+// valid in every context: objectives, ≥/≤/= constraints, either sign.
+type productTable struct {
+	prob    *pb.Problem
+	byKey   map[string]pb.Var
+	pending []productDef
+}
+
+type productDef struct {
+	z    pb.Var
+	lits []pb.Lit
+}
+
+func newProductTable(p *pb.Problem) *productTable {
+	return &productTable{prob: p, byKey: map[string]pb.Var{}}
+}
+
+// literal returns the literal representing the product of lits: the literal
+// itself for a single factor, or the shared auxiliary variable otherwise.
+// The defining clauses are deferred (the problem may still be growing
+// variables) and installed by flushDefinitions.
+func (pt *productTable) literal(lits []pb.Lit) (pb.Lit, error) {
+	if len(lits) == 1 {
+		return lits[0], nil
+	}
+	// Canonicalize: sort, deduplicate; a product containing both x and ¬x
+	// is constant false, which has no literal representation — reject with
+	// a clear error (a fresh always-false variable would silently grow the
+	// problem; such inputs are malformed in practice).
+	sorted := append([]pb.Lit(nil), lits...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	uniq := sorted[:0]
+	for i, l := range sorted {
+		if i > 0 && l == sorted[i-1] {
+			continue
+		}
+		if i > 0 && l.Var() == sorted[i-1].Var() {
+			return pb.NoLit, fmt.Errorf("opb: product contains both polarities of x%d", l.Var())
+		}
+		uniq = append(uniq, l)
+	}
+	if len(uniq) == 1 {
+		return uniq[0], nil
+	}
+	var sb strings.Builder
+	for _, l := range uniq {
+		fmt.Fprintf(&sb, "%d.", int32(l))
+	}
+	key := sb.String()
+	if z, ok := pt.byKey[key]; ok {
+		return pb.PosLit(z), nil
+	}
+	z := pt.prob.AddVar(0)
+	if int(z) < len(pt.prob.Names) {
+		pt.prob.Names[z] = fmt.Sprintf("_p%d", z)
+	} else {
+		for len(pt.prob.Names) < int(z) {
+			pt.prob.Names = append(pt.prob.Names, "")
+		}
+		pt.prob.Names = append(pt.prob.Names, fmt.Sprintf("_p%d", z))
+	}
+	pt.byKey[key] = z
+	pt.pending = append(pt.pending, productDef{z: z, lits: append([]pb.Lit(nil), uniq...)})
+	return pb.PosLit(z), nil
+}
+
+// flushDefinitions installs the defining clauses of every auxiliary
+// product variable.
+func (pt *productTable) flushDefinitions() error {
+	for _, def := range pt.pending {
+		// z → l_i for every factor.
+		for _, l := range def.lits {
+			if err := pt.prob.AddClause(pb.NegLit(def.z), l); err != nil {
+				return err
+			}
+		}
+		// Conjunction → z.
+		clause := make([]pb.Lit, 0, len(def.lits)+1)
+		clause = append(clause, pb.PosLit(def.z))
+		for _, l := range def.lits {
+			clause = append(clause, l.Neg())
+		}
+		if err := pt.prob.AddClause(clause...); err != nil {
+			return err
+		}
+	}
+	pt.pending = nil
+	return nil
+}

@@ -1,0 +1,250 @@
+package opb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pb"
+)
+
+// evalNonlinear evaluates Σ coef·Π lits ≥/=/≤ rhs directly.
+type nlTerm struct {
+	coef int64
+	lits []string // "~a" for negated
+}
+
+func evalNL(terms []nlTerm, vals map[string]bool) int64 {
+	var s int64
+	for _, t := range terms {
+		prod := true
+		for _, l := range t.lits {
+			name, want := l, true
+			if name[0] == '~' {
+				name, want = name[1:], false
+			}
+			if vals[name] != want {
+				prod = false
+				break
+			}
+		}
+		if prod {
+			s += t.coef
+		}
+	}
+	return s
+}
+
+func TestNonlinearProductConstraint(t *testing.T) {
+	// 2 x1 x2 + 1 x3 >= 2 ⇔ (x1 ∧ x2) must hold unless... x3 alone gives 1 < 2,
+	// so x1∧x2 required.
+	p, err := ParseString("+2 x1 x2 +1 x3 >= 2 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := pb.BruteForce(p)
+	if !r.Feasible {
+		t.Fatal("should be feasible")
+	}
+	// Check semantics: project models onto (x1,x2,x3). Every model must
+	// satisfy 2(x1∧x2)+x3 ≥ 2, and all 0/1 combos satisfying it must extend
+	// to a model.
+	okCombos := map[[3]bool]bool{}
+	for mask := 0; mask < 8; mask++ {
+		a, b, c := mask&1 != 0, mask&2 != 0, mask&4 != 0
+		v := int64(0)
+		if a && b {
+			v += 2
+		}
+		if c {
+			v++
+		}
+		okCombos[[3]bool{a, b, c}] = v >= 2
+	}
+	if p.NumVars < 4 {
+		t.Fatalf("expected auxiliary product variable, vars=%d", p.NumVars)
+	}
+	// The auxiliary product variable is created mid-statement, so resolve
+	// the named variables by their recorded names.
+	idx := func(name string) int {
+		for v, n := range p.Names {
+			if n == name {
+				return v
+			}
+		}
+		t.Fatalf("variable %s not found in %v", name, p.Names)
+		return -1
+	}
+	i1, i2, i3 := idx("x1"), idx("x2"), idx("x3")
+	for mask := 0; mask < 1<<p.NumVars; mask++ {
+		vals := make([]bool, p.NumVars)
+		for v := 0; v < p.NumVars; v++ {
+			vals[v] = mask&(1<<v) != 0
+		}
+		if p.Feasible(vals) {
+			if !okCombos[[3]bool{vals[i1], vals[i2], vals[i3]}] {
+				t.Fatalf("model violates nonlinear semantics: x1=%v x2=%v x3=%v", vals[i1], vals[i2], vals[i3])
+			}
+		}
+	}
+	for combo, ok := range okCombos {
+		if !ok {
+			continue
+		}
+		found := false
+		for mask := 0; mask < 1<<p.NumVars; mask++ {
+			vals := make([]bool, p.NumVars)
+			for v := 0; v < p.NumVars; v++ {
+				vals[v] = mask&(1<<v) != 0
+			}
+			if vals[i1] == combo[0] && vals[i2] == combo[1] && vals[i3] == combo[2] && p.Feasible(vals) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("combo %v satisfies the nonlinear constraint but has no extension", combo)
+		}
+	}
+}
+
+func TestNonlinearObjective(t *testing.T) {
+	// min 5 x1 x2 + 1 x1 s.t. x1 >= 1: optimum picks x1=1, x2=0 ⇒ cost 1.
+	p, err := ParseString("min: +5 x1 x2 +1 x1 ;\n+1 x1 >= 1 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := pb.BruteForce(p)
+	if !r.Feasible || r.Optimum != 1 {
+		t.Fatalf("optimum=%d want 1", r.Optimum)
+	}
+}
+
+func TestNonlinearSharedProduct(t *testing.T) {
+	// The same product in two statements must share one auxiliary variable.
+	p, err := ParseString("+1 a b +1 c >= 1 ;\n+2 b a >= 0 ;\nmin: +1 a b ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Variables: a, b, c + exactly one product var.
+	if p.NumVars != 4 {
+		t.Fatalf("vars=%d want 4 (product shared)", p.NumVars)
+	}
+}
+
+func TestNonlinearNegatedFactors(t *testing.T) {
+	// ~x1 x2 is the conjunction ¬x1 ∧ x2.
+	p, err := ParseString("+1 ~x1 x2 >= 1 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := 0; mask < 1<<p.NumVars; mask++ {
+		vals := make([]bool, p.NumVars)
+		for v := 0; v < p.NumVars; v++ {
+			vals[v] = mask&(1<<v) != 0
+		}
+		if p.Feasible(vals) && !(!vals[0] && vals[1]) {
+			t.Fatalf("model %v violates ¬x1∧x2", vals)
+		}
+	}
+	if !pb.BruteForce(p).Feasible {
+		t.Fatal("should be feasible (x1=0, x2=1)")
+	}
+}
+
+func TestNonlinearContradictoryProductRejected(t *testing.T) {
+	if _, err := ParseString("+1 x1 ~x1 >= 1 ;"); err == nil {
+		t.Fatal("expected error for x·¬x product")
+	}
+}
+
+func TestNonlinearDuplicateFactorCollapses(t *testing.T) {
+	// x1 x1 = x1: no auxiliary variable needed.
+	p, err := ParseString("+1 x1 x1 >= 1 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumVars != 1 {
+		t.Fatalf("vars=%d want 1", p.NumVars)
+	}
+}
+
+// Random nonlinear instances: the linearized problem's optimum must equal a
+// direct evaluation over the original variables.
+func TestNonlinearRandomAgainstDirectEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	names := []string{"a", "b", "c", "d"}
+	for iter := 0; iter < 150; iter++ {
+		var sb []byte
+		var constraints [][]nlTerm
+		var rhss []int64
+		nc := 1 + rng.Intn(3)
+		for ci := 0; ci < nc; ci++ {
+			nt := 1 + rng.Intn(3)
+			var terms []nlTerm
+			line := ""
+			for ti := 0; ti < nt; ti++ {
+				coef := int64(1 + rng.Intn(3))
+				nl := 1 + rng.Intn(2)
+				var lits []string
+				seen := map[string]bool{}
+				for li := 0; li < nl; li++ {
+					nm := names[rng.Intn(len(names))]
+					if seen[nm] {
+						continue
+					}
+					seen[nm] = true
+					if rng.Intn(3) == 0 {
+						nm = "~" + nm
+					}
+					lits = append(lits, nm)
+				}
+				terms = append(terms, nlTerm{coef, lits})
+				line += "+" + itoa(coef) + " "
+				for _, l := range lits {
+					line += l + " "
+				}
+			}
+			rhs := int64(rng.Intn(4))
+			line += ">= " + itoa(rhs) + " ;\n"
+			sb = append(sb, line...)
+			constraints = append(constraints, terms)
+			rhss = append(rhss, rhs)
+		}
+		p, err := ParseString(string(sb))
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, sb)
+		}
+		got := pb.BruteForce(p).Feasible
+		// Direct evaluation over the 4 named variables.
+		want := false
+		for mask := 0; mask < 16 && !want; mask++ {
+			vals := map[string]bool{}
+			for i, nm := range names {
+				vals[nm] = mask&(1<<i) != 0
+			}
+			ok := true
+			for ci, terms := range constraints {
+				if evalNL(terms, vals) < rhss[ci] {
+					ok = false
+					break
+				}
+			}
+			want = want || ok
+		}
+		if got != want {
+			t.Fatalf("iter %d: linearized feasible=%v direct=%v\n%s", iter, got, want, sb)
+		}
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}

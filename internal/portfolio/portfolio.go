@@ -1,0 +1,106 @@
+// Package portfolio runs several bsolo configurations concurrently on the
+// same instance and returns the first conclusive answer — the natural
+// fine-tuning direction the paper's conclusion gestures at: no single lower
+// bound method wins everywhere (Table 1's per-family spread), so racing
+// them hedges the choice at the price of cores.
+//
+// Every worker receives its own engine state; the input problem is shared
+// read-only. When a worker proves optimality (or unsatisfiability, or
+// satisfiability for objective-free instances) the others are cancelled.
+// If every worker hits its budget, the best incumbent across workers is
+// returned.
+package portfolio
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pb"
+)
+
+// Config is one portfolio member.
+type Config struct {
+	// Name labels the member in the result.
+	Name string
+	// Options configures the member's solver. Cancel is managed by Solve
+	// and must be nil.
+	Options core.Options
+}
+
+// DefaultConfigs returns the paper's four bsolo columns as portfolio
+// members.
+func DefaultConfigs() []Config {
+	return []Config{
+		{Name: "plain", Options: core.Options{LowerBound: core.LBNone}},
+		{Name: "mis", Options: core.Options{LowerBound: core.LBMIS, CardinalityInference: true}},
+		{Name: "lgr", Options: core.Options{LowerBound: core.LBLGR, CardinalityInference: true}},
+		{Name: "lpr", Options: core.Options{LowerBound: core.LBLPR, CardinalityInference: true}},
+	}
+}
+
+// Result is the portfolio outcome.
+type Result struct {
+	core.Result
+	// Winner names the member that produced the result ("" when no member
+	// finished and the best incumbent was stitched together).
+	Winner string
+}
+
+// Solve races the given configurations. Limits in each member's Options
+// still apply individually (set a common TimeLimit to bound the whole run).
+func Solve(p *pb.Problem, configs []Config) Result {
+	if len(configs) == 0 {
+		configs = DefaultConfigs()
+	}
+	type outcome struct {
+		name string
+		res  core.Result
+	}
+	cancel := make(chan struct{})
+	results := make(chan outcome, len(configs))
+	var wg sync.WaitGroup
+	for _, cfg := range configs {
+		wg.Add(1)
+		go func(cfg Config) {
+			defer wg.Done()
+			opt := cfg.Options
+			opt.Cancel = cancel
+			results <- outcome{cfg.name(), core.Solve(p, opt)}
+		}(cfg)
+	}
+
+	var best Result
+	gotBest := false
+	conclusive := func(s core.Status) bool {
+		return s == core.StatusOptimal || s == core.StatusSatisfiable || s == core.StatusUnsat
+	}
+	var winner *outcome
+	for i := 0; i < len(configs); i++ {
+		oc := <-results
+		if winner == nil && conclusive(oc.res.Status) {
+			winner = &oc
+			close(cancel) // stop the rest
+		}
+		// Track the best incumbent for the all-limits case.
+		if oc.res.HasSolution && (!gotBest || !best.HasSolution || oc.res.Best < best.Best) {
+			best = Result{Result: oc.res, Winner: oc.name}
+			gotBest = true
+		}
+	}
+	wg.Wait()
+	if winner != nil {
+		return Result{Result: winner.res, Winner: winner.name}
+	}
+	if gotBest {
+		best.Status = core.StatusLimit
+		return best
+	}
+	return Result{Result: core.Result{Status: core.StatusLimit}}
+}
+
+func (c Config) name() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return c.Options.LowerBound.String()
+}

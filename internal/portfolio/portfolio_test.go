@@ -1,0 +1,119 @@
+package portfolio
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pb"
+)
+
+func randomPBO(rng *rand.Rand, n, m int) *pb.Problem {
+	p := pb.NewProblem(n)
+	for v := 0; v < n; v++ {
+		p.SetCost(pb.Var(v), int64(rng.Intn(7)))
+	}
+	for i := 0; i < m; i++ {
+		nt := 1 + rng.Intn(4)
+		terms := make([]pb.Term, nt)
+		for k := range terms {
+			terms[k] = pb.Term{
+				Coef: int64(1 + rng.Intn(4)),
+				Lit:  pb.MkLit(pb.Var(rng.Intn(n)), rng.Intn(3) == 0),
+			}
+		}
+		_ = p.AddConstraint(terms, pb.GE, int64(rng.Intn(6)))
+	}
+	return p
+}
+
+func TestPortfolioAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for iter := 0; iter < 60; iter++ {
+		p := randomPBO(rng, 2+rng.Intn(7), 1+rng.Intn(8))
+		want := pb.BruteForce(p)
+		res := Solve(p, nil) // default four-member portfolio
+		if want.Feasible {
+			if res.Status != core.StatusOptimal {
+				t.Fatalf("iter %d: status=%v want optimal", iter, res.Status)
+			}
+			if res.Best != want.Optimum {
+				t.Fatalf("iter %d: best=%d want %d (winner %s)", iter, res.Best, want.Optimum, res.Winner)
+			}
+			if res.Winner == "" {
+				t.Fatalf("iter %d: no winner recorded", iter)
+			}
+		} else if res.Status != core.StatusUnsat {
+			t.Fatalf("iter %d: status=%v want unsat", iter, res.Status)
+		}
+	}
+}
+
+func TestPortfolioAllLimitsReturnsIncumbent(t *testing.T) {
+	// A large covering instance with a 1-conflict budget per member: nobody
+	// proves optimality, but incumbents exist.
+	rng := rand.New(rand.NewSource(2))
+	const n = 40
+	p := pb.NewProblem(n)
+	for v := 0; v < n; v++ {
+		p.SetCost(pb.Var(v), int64(1+rng.Intn(9)))
+	}
+	for i := 0; i < 80; i++ {
+		var lits []pb.Lit
+		for v := 0; v < n; v++ {
+			if rng.Intn(8) == 0 {
+				lits = append(lits, pb.PosLit(pb.Var(v)))
+			}
+		}
+		if len(lits) == 0 {
+			lits = append(lits, pb.PosLit(pb.Var(rng.Intn(n))))
+		}
+		_ = p.AddClause(lits...)
+	}
+	configs := DefaultConfigs()
+	for i := range configs {
+		configs[i].Options.MaxConflicts = 1
+	}
+	res := Solve(p, configs)
+	if res.Status == core.StatusOptimal {
+		return // solved before the first conflict: acceptable
+	}
+	if res.Status != core.StatusLimit {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if !res.HasSolution {
+		t.Fatal("expected an incumbent from at least one member")
+	}
+	if !p.Feasible(res.Values) {
+		t.Fatal("incumbent infeasible")
+	}
+}
+
+func TestPortfolioCancellationStopsLosers(t *testing.T) {
+	// One instant member (tiny instance budgeted generously) plus one
+	// hopeless member (huge budget but cancelled): the call must return
+	// promptly rather than wait out the loser.
+	p := pb.NewProblem(3)
+	p.SetCost(0, 1)
+	_ = p.AddClause(pb.PosLit(0), pb.PosLit(1))
+	configs := []Config{
+		{Name: "fast", Options: core.Options{LowerBound: core.LBNone}},
+		{Name: "slow", Options: core.Options{LowerBound: core.LBLPR, TimeLimit: 30 * time.Second}},
+	}
+	start := time.Now()
+	res := Solve(p, configs)
+	if res.Status != core.StatusOptimal {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not stop the losing member promptly")
+	}
+}
+
+func TestConfigNameFallback(t *testing.T) {
+	c := Config{Options: core.Options{LowerBound: core.LBLGR}}
+	if c.name() != "lgr" {
+		t.Fatalf("name=%q", c.name())
+	}
+}

@@ -1,0 +1,248 @@
+// Package preprocess implements the preprocessing techniques the paper's
+// experimental section mentions (§6): probing for necessary assignments and
+// constraint strengthening in the style of Savelsbergh [14] and Dixon &
+// Ginsberg [6], plus the covering-style simplification (clause subsumption)
+// used on the synthesis benchmark set [7,15].
+//
+// All transformations are solution-preserving:
+//
+//   - Failed-literal probing: assigning l and propagating to a conflict
+//     proves ¬l; the literal is fixed with a unit constraint.
+//   - Implication strengthening: if propagating l forces q, the binary
+//     clause ¬l ∨ q is entailed; adding it strengthens unit propagation
+//     (the engine's counter propagation does not otherwise see the
+//     implication until l is assigned).
+//   - Subsumption: a clause whose literal set is a subset of another
+//     clause's implies it; the superset clause is removed. General PB rows
+//     are left untouched.
+package preprocess
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cover"
+	"repro/internal/engine"
+	"repro/internal/pb"
+)
+
+// Options selects preprocessing steps. The zero value applies nothing.
+type Options struct {
+	// Probing enables failed-literal detection (necessary assignments).
+	Probing bool
+	// Strengthening adds binary implication clauses discovered by probing.
+	Strengthening bool
+	// Subsumption removes clauses subsumed by shorter ones.
+	Subsumption bool
+	// MaxProbeVars caps how many variables are probed (0 = all). Variables
+	// are probed in order of descending occurrence count.
+	MaxProbeVars int
+	// MaxImplications caps how many implication clauses may be added
+	// (default 4× the constraint count; negative = unlimited).
+	MaxImplications int
+	// CoverReductions applies the covering-problem reductions of
+	// internal/cover (essential columns, row/column dominance) to the unate
+	// part of the instance before probing. Optimum-preserving but not
+	// solution-set-preserving (column dominance may exclude some optima).
+	CoverReductions bool
+}
+
+// Info reports what preprocessing did.
+type Info struct {
+	FixedLiterals   int
+	Implications    int
+	SubsumedRemoved int
+	ProvedUnsat     bool
+	// Cover reports the covering-reduction statistics when CoverReductions
+	// was enabled.
+	Cover cover.Info
+}
+
+// Apply returns a preprocessed copy of p (same variable numbering; solutions
+// map 1:1) together with statistics. When the instance is proved
+// unsatisfiable during probing, Info.ProvedUnsat is set and the returned
+// problem contains an explicit contradiction so downstream solvers agree.
+func Apply(p *pb.Problem, opt Options) (*pb.Problem, Info, error) {
+	out := p.Clone()
+	var info Info
+
+	if opt.CoverReductions {
+		reduced, cinfo, err := cover.Reduce(out)
+		if err != nil {
+			return nil, info, err
+		}
+		out = reduced
+		info.Cover = cinfo
+	}
+
+	if opt.Subsumption {
+		info.SubsumedRemoved = subsume(out)
+	}
+
+	if opt.Probing || opt.Strengthening {
+		if err := probe(out, opt, &info); err != nil {
+			return nil, info, err
+		}
+	}
+	return out, info, nil
+}
+
+// subsume removes clauses whose literal set is a superset of another
+// clause's. Returns the number of removed constraints.
+func subsume(p *pb.Problem) int {
+	type clauseInfo struct {
+		idx  int
+		lits map[pb.Lit]bool
+	}
+	var clauses []clauseInfo
+	for i, c := range p.Constraints {
+		if c.Kind() != pb.KindClause {
+			continue
+		}
+		m := make(map[pb.Lit]bool, len(c.Terms))
+		for _, t := range c.Terms {
+			m[t.Lit] = true
+		}
+		clauses = append(clauses, clauseInfo{i, m})
+	}
+	sort.Slice(clauses, func(a, b int) bool { return len(clauses[a].lits) < len(clauses[b].lits) })
+	removed := map[int]bool{}
+	for i := 0; i < len(clauses); i++ {
+		if removed[clauses[i].idx] {
+			continue
+		}
+		small := clauses[i]
+		for j := i + 1; j < len(clauses); j++ {
+			big := clauses[j]
+			if removed[big.idx] || len(big.lits) <= len(small.lits) {
+				continue
+			}
+			subset := true
+			for l := range small.lits {
+				if !big.lits[l] {
+					subset = false
+					break
+				}
+			}
+			if subset {
+				removed[big.idx] = true
+			}
+		}
+	}
+	if len(removed) == 0 {
+		return 0
+	}
+	var kept []*pb.Constraint
+	for i, c := range p.Constraints {
+		if !removed[i] {
+			kept = append(kept, c)
+		}
+	}
+	p.Constraints = kept
+	return len(removed)
+}
+
+// probe runs failed-literal probing and implication strengthening.
+func probe(p *pb.Problem, opt Options, info *Info) error {
+	maxImpl := opt.MaxImplications
+	if maxImpl == 0 {
+		maxImpl = 4 * len(p.Constraints)
+	}
+
+	// Probe order: variables by descending occurrence count.
+	occ := make([]int, p.NumVars)
+	for _, c := range p.Constraints {
+		for _, t := range c.Terms {
+			occ[t.Lit.Var()]++
+		}
+	}
+	order := make([]pb.Var, p.NumVars)
+	for v := range order {
+		order[v] = pb.Var(v)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if occ[order[a]] != occ[order[b]] {
+			return occ[order[a]] > occ[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	if opt.MaxProbeVars > 0 && len(order) > opt.MaxProbeVars {
+		order = order[:opt.MaxProbeVars]
+	}
+
+	e := engine.New(p)
+	if e.SeedUnits() < 0 || e.Propagate() >= 0 {
+		info.ProvedUnsat = true
+		markUnsat(p)
+		return nil
+	}
+
+	type implication struct{ from, to pb.Lit }
+	var impls []implication
+	var fixed []pb.Lit
+
+	for _, v := range order {
+		if e.Value(v) != engine.Unassigned {
+			continue
+		}
+		for _, probeLit := range []pb.Lit{pb.PosLit(v), pb.NegLit(v)} {
+			if e.Value(v) != engine.Unassigned {
+				break
+			}
+			base := e.TrailSize()
+			e.Decide(probeLit)
+			if e.Propagate() >= 0 {
+				// Failed literal: ¬probeLit is necessary.
+				e.BacktrackTo(0)
+				if opt.Probing {
+					if !e.Enqueue(probeLit.Neg(), engine.NoReason) {
+						info.ProvedUnsat = true
+						markUnsat(p)
+						return nil
+					}
+					if e.Propagate() >= 0 {
+						info.ProvedUnsat = true
+						markUnsat(p)
+						return nil
+					}
+					fixed = append(fixed, probeLit.Neg())
+					info.FixedLiterals++
+				}
+				continue
+			}
+			if opt.Strengthening && len(impls) < maxImpl {
+				for i := base + 1; i < e.TrailSize(); i++ {
+					impls = append(impls, implication{probeLit, e.TrailLit(i)})
+					if len(impls) >= maxImpl {
+						break
+					}
+				}
+			}
+			e.BacktrackTo(0)
+		}
+	}
+
+	for _, l := range fixed {
+		if err := p.AddClause(l); err != nil {
+			return fmt.Errorf("preprocess: fixing literal: %w", err)
+		}
+	}
+	for _, im := range impls {
+		if err := p.AddClause(im.from.Neg(), im.to); err != nil {
+			return fmt.Errorf("preprocess: implication clause: %w", err)
+		}
+		info.Implications++
+	}
+	return nil
+}
+
+// markUnsat appends an explicit contradiction (empty constraint of positive
+// degree is not expressible through AddConstraint, so use x ∧ ¬x on var 0,
+// creating a variable when the problem has none).
+func markUnsat(p *pb.Problem) {
+	if p.NumVars == 0 {
+		p.AddVar(0)
+	}
+	_ = p.AddClause(pb.PosLit(0))
+	_ = p.AddClause(pb.NegLit(0))
+}

@@ -1,0 +1,149 @@
+// Package qm implements Quine–McCluskey prime implicant generation for
+// single-output Boolean functions. It is the substrate for the MCNC-style
+// two-level logic minimization benchmarks [17]: minimizing a sum-of-products
+// cover is exactly the minimum-cost covering problem (a special case of PBO)
+// that the paper's third benchmark family exercises.
+package qm
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Implicant is a cube over n inputs: bit i of Mask set means input i is a
+// don't-care in the cube; otherwise bit i of Value gives the required input
+// value. An implicant covers minterm m iff (m &^ Mask) == (Value &^ Mask).
+type Implicant struct {
+	Value uint32
+	Mask  uint32
+}
+
+// Covers reports whether the implicant covers minterm m.
+func (im Implicant) Covers(m uint32) bool {
+	return m&^im.Mask == im.Value&^im.Mask
+}
+
+// Literals returns the number of literals of the cube (non-don't-care
+// inputs), given the total input count n.
+func (im Implicant) Literals(n int) int {
+	return n - bits.OnesCount32(im.Mask&((1<<uint(n))-1))
+}
+
+// String renders the cube as a {0,1,-} pattern, most significant input
+// first.
+func (im Implicant) StringN(n int) string {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		bit := uint32(1) << uint(n-1-i)
+		switch {
+		case im.Mask&bit != 0:
+			out[i] = '-'
+		case im.Value&bit != 0:
+			out[i] = '1'
+		default:
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+// Primes computes all prime implicants of the function over n inputs whose
+// ON-set is on and don't-care set is dc (minterm indices in [0, 2^n)).
+// The returned primes are sorted deterministically (by mask, then value).
+func Primes(n int, on, dc []uint32) ([]Implicant, error) {
+	if n < 1 || n > 16 {
+		return nil, fmt.Errorf("qm: n=%d out of range [1,16]", n)
+	}
+	limit := uint32(1) << uint(n)
+	seen := map[Implicant]bool{}
+	var current []Implicant
+	add := func(m uint32) error {
+		if m >= limit {
+			return fmt.Errorf("qm: minterm %d out of range for n=%d", m, n)
+		}
+		im := Implicant{Value: m}
+		if !seen[im] {
+			seen[im] = true
+			current = append(current, im)
+		}
+		return nil
+	}
+	for _, m := range on {
+		if err := add(m); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range dc {
+		if err := add(m); err != nil {
+			return nil, err
+		}
+	}
+	if len(current) == 0 {
+		return nil, nil
+	}
+
+	var primes []Implicant
+	for len(current) > 0 {
+		combined := map[Implicant]bool{}
+		next := map[Implicant]bool{}
+		// Pair cubes with identical masks differing in exactly one care bit.
+		byMask := map[uint32][]Implicant{}
+		for _, im := range current {
+			byMask[im.Mask] = append(byMask[im.Mask], im)
+		}
+		for _, group := range byMask {
+			for i := 0; i < len(group); i++ {
+				for j := i + 1; j < len(group); j++ {
+					a, b := group[i], group[j]
+					diff := (a.Value ^ b.Value) &^ a.Mask
+					if bits.OnesCount32(diff) != 1 {
+						continue
+					}
+					merged := Implicant{Value: a.Value &^ diff, Mask: a.Mask | diff}
+					next[merged] = true
+					combined[a] = true
+					combined[b] = true
+				}
+			}
+		}
+		for _, im := range current {
+			if !combined[im] {
+				primes = append(primes, im)
+			}
+		}
+		current = current[:0]
+		for im := range next {
+			current = append(current, im)
+		}
+		// Deterministic iteration order for the next round.
+		sort.Slice(current, func(i, j int) bool {
+			if current[i].Mask != current[j].Mask {
+				return current[i].Mask < current[j].Mask
+			}
+			return current[i].Value < current[j].Value
+		})
+	}
+	sort.Slice(primes, func(i, j int) bool {
+		if primes[i].Mask != primes[j].Mask {
+			return primes[i].Mask < primes[j].Mask
+		}
+		return primes[i].Value < primes[j].Value
+	})
+	return primes, nil
+}
+
+// CoverTable returns, for each ON-set minterm, the indices of the primes
+// covering it. Minterms covered by no prime cannot occur (every ON minterm
+// is itself the seed of some prime).
+func CoverTable(on []uint32, primes []Implicant) [][]int {
+	table := make([][]int, len(on))
+	for i, m := range on {
+		for pi, p := range primes {
+			if p.Covers(m) {
+				table[i] = append(table[i], pi)
+			}
+		}
+	}
+	return table
+}

@@ -1,0 +1,173 @@
+package qm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestXor2Primes(t *testing.T) {
+	// XOR on 2 inputs: ON = {01, 10}; no merging possible ⇒ 2 primes.
+	primes, err := Primes(2, []uint32{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(primes) != 2 {
+		t.Fatalf("primes=%d want 2 (%v)", len(primes), primes)
+	}
+	for _, p := range primes {
+		if p.Literals(2) != 2 {
+			t.Fatalf("xor prime should have 2 literals: %v", p)
+		}
+	}
+}
+
+func TestFullCubeCollapses(t *testing.T) {
+	// All minterms ON ⇒ single prime covering everything (mask all ones).
+	on := []uint32{0, 1, 2, 3, 4, 5, 6, 7}
+	primes, err := Primes(3, on, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(primes) != 1 || primes[0].Literals(3) != 0 {
+		t.Fatalf("primes=%v", primes)
+	}
+	for _, m := range on {
+		if !primes[0].Covers(m) {
+			t.Fatalf("prime does not cover %d", m)
+		}
+	}
+}
+
+func TestClassicExample(t *testing.T) {
+	// The canonical QM example: f(A,B,C,D) with ON = {4,8,10,11,12,15} and
+	// DC = {9,14} has primes -100 (4,12), 10-- (8..11), 1--0 (8,10,12,14),
+	// 1-1- (10,11,14,15), 11-- (12..15)… the exact prime set:
+	// m(4,12)=−100, m(8,9,10,11)=10−−, m(8,10,12,14)=1−−0,
+	// m(10,11,14,15)=1−1−, m(12,13,14,15)? 13 not in ON∪DC ⇒ no.
+	on := []uint32{4, 8, 10, 11, 12, 15}
+	dc := []uint32{9, 14}
+	primes, err := Primes(4, on, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"-100": true, "10--": true, "1--0": true, "1-1-": true}
+	got := map[string]bool{}
+	for _, p := range primes {
+		got[p.StringN(4)] = true
+	}
+	for s := range want {
+		if !got[s] {
+			t.Fatalf("missing prime %s (got %v)", s, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+// Property: every ON minterm is covered by at least one prime, no prime
+// covers an OFF minterm, and every prime is maximal (expanding any care bit
+// to don't-care hits the OFF-set).
+func TestPrimeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 100; iter++ {
+		n := 3 + rng.Intn(4)
+		limit := uint32(1) << uint(n)
+		inSet := make(map[uint32]int) // 0 off, 1 on, 2 dc
+		var on, dc []uint32
+		for m := uint32(0); m < limit; m++ {
+			switch rng.Intn(4) {
+			case 0:
+				on = append(on, m)
+				inSet[m] = 1
+			case 1:
+				dc = append(dc, m)
+				inSet[m] = 2
+			}
+		}
+		if len(on) == 0 {
+			continue
+		}
+		primes, err := Primes(n, on, dc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Coverage of ON minterms.
+		for _, m := range on {
+			covered := false
+			for _, p := range primes {
+				if p.Covers(m) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("iter %d: minterm %d uncovered", iter, m)
+			}
+		}
+		for _, p := range primes {
+			// No OFF minterm covered.
+			for m := uint32(0); m < limit; m++ {
+				if p.Covers(m) && inSet[m] == 0 {
+					t.Fatalf("iter %d: prime %v covers OFF minterm %d", iter, p.StringN(n), m)
+				}
+			}
+			// Maximality: flipping any care bit to don't-care must cover an
+			// OFF minterm.
+			for b := 0; b < n; b++ {
+				bit := uint32(1) << uint(b)
+				if p.Mask&bit != 0 {
+					continue
+				}
+				bigger := Implicant{Value: p.Value &^ bit, Mask: p.Mask | bit}
+				hitsOff := false
+				for m := uint32(0); m < limit; m++ {
+					if bigger.Covers(m) && inSet[m] == 0 {
+						hitsOff = true
+						break
+					}
+				}
+				if !hitsOff {
+					t.Fatalf("iter %d: prime %v not maximal in bit %d", iter, p.StringN(n), b)
+				}
+			}
+		}
+	}
+}
+
+func TestCoverTable(t *testing.T) {
+	on := []uint32{1, 2}
+	primes, err := Primes(2, on, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := CoverTable(on, primes)
+	for i, row := range table {
+		if len(row) == 0 {
+			t.Fatalf("minterm %d uncovered in table", on[i])
+		}
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Primes(0, nil, nil); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := Primes(17, nil, nil); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := Primes(2, []uint32{9}, nil); err == nil {
+		t.Fatal("expected minterm range error")
+	}
+	primes, err := Primes(3, nil, nil)
+	if err != nil || primes != nil {
+		t.Fatalf("empty function: %v %v", primes, err)
+	}
+}
+
+func TestStringN(t *testing.T) {
+	im := Implicant{Value: 0b100, Mask: 0b010}
+	if s := im.StringN(3); s != "1-0" {
+		t.Fatalf("got %q", s)
+	}
+}

@@ -1,0 +1,215 @@
+// Package soft models weighted soft-constraint problems (partial weighted
+// MaxSAT / soft pseudo-Boolean) on top of the PBO core, the standard
+// modeling idiom in the EDA applications the paper targets: each soft
+// constraint gets a relaxation variable whose weight is paid when the
+// constraint is violated, and the compiled problem minimizes total penalty
+// plus any native objective.
+//
+// Compilation is the textbook relaxation: a soft constraint
+//
+//	Σ a_j·l_j ≥ b     (weight w)
+//
+// becomes the hard constraint Σ a_j·l_j + b·r ≥ b with a fresh relaxation
+// variable r of cost w — setting r = 1 satisfies the hard constraint at
+// penalty w. Equalities split into two relaxed inequalities sharing one
+// relaxation variable.
+package soft
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pb"
+)
+
+// Builder accumulates hard and soft constraints and compiles them to a PBO
+// instance.
+type Builder struct {
+	prob *pb.Problem
+	// relax[i] is the relaxation variable of soft constraint i; originals
+	// holds the pre-relaxation constraint for violation reporting.
+	relax     []pb.Var
+	originals []softCons
+	err       error
+}
+
+type softCons struct {
+	weight int64
+	terms  []pb.Term
+	cmp    pb.Cmp
+	rhs    int64
+}
+
+// eval reports whether the original soft constraint holds under values.
+func (sc softCons) eval(values []bool) bool {
+	var lhs int64
+	for _, t := range sc.terms {
+		if t.Lit.Eval(values[t.Lit.Var()]) {
+			lhs += t.Coef
+		}
+	}
+	switch sc.cmp {
+	case pb.GE:
+		return lhs >= sc.rhs
+	case pb.LE:
+		return lhs <= sc.rhs
+	default:
+		return lhs == sc.rhs
+	}
+}
+
+// NewBuilder returns a builder over n original variables.
+func NewBuilder(n int) *Builder {
+	return &Builder{prob: pb.NewProblem(n)}
+}
+
+// Var adds a fresh decision variable with the given native cost.
+func (b *Builder) Var(cost int64) pb.Var {
+	return b.prob.AddVar(cost)
+}
+
+// SetCost assigns a native objective coefficient to an original variable.
+func (b *Builder) SetCost(v pb.Var, cost int64) {
+	b.prob.SetCost(v, cost)
+}
+
+// Hard adds a mandatory constraint Σ terms cmp rhs.
+func (b *Builder) Hard(terms []pb.Term, cmp pb.Cmp, rhs int64) {
+	if b.err != nil {
+		return
+	}
+	b.err = b.prob.AddConstraint(terms, cmp, rhs)
+}
+
+// HardClause adds a mandatory clause.
+func (b *Builder) HardClause(lits ...pb.Lit) {
+	if b.err != nil {
+		return
+	}
+	b.err = b.prob.AddClause(lits...)
+}
+
+// Soft adds a violable constraint Σ terms cmp rhs with the given positive
+// weight, returning its index (for Violated lookups on solutions).
+func (b *Builder) Soft(weight int64, terms []pb.Term, cmp pb.Cmp, rhs int64) int {
+	if b.err != nil {
+		return -1
+	}
+	if weight <= 0 {
+		b.err = fmt.Errorf("soft: weight must be positive, got %d", weight)
+		return -1
+	}
+	r := b.prob.AddVar(weight)
+	idx := len(b.relax)
+	b.relax = append(b.relax, r)
+	b.originals = append(b.originals, softCons{
+		weight: weight,
+		terms:  append([]pb.Term(nil), terms...),
+		cmp:    cmp,
+		rhs:    rhs,
+	})
+
+	// absSum bounds |Σ a·l| over all assignments.
+	var absSum int64
+	for _, t := range terms {
+		a := t.Coef
+		if a < 0 {
+			a = -a
+		}
+		absSum += a
+	}
+	relaxTerm := func(ts []pb.Term, c pb.Cmp, rh int64) {
+		if b.err != nil {
+			return
+		}
+		// The relaxation coefficient must make r = 1 satisfy the hard
+		// constraint for EVERY assignment of the other literals, including
+		// after normalization of negative coefficients. The worst-case lhs
+		// magnitude is absSum, so M = absSum + |rh| (at least 1) always
+		// suffices in either direction.
+		m := absSum
+		if rh < 0 {
+			m -= rh
+		} else {
+			m += rh
+		}
+		m = maxInt64(m, 1)
+		switch c {
+		case pb.GE:
+			aug := append(append([]pb.Term(nil), ts...), pb.Term{Coef: m, Lit: pb.PosLit(r)})
+			b.err = b.prob.AddConstraint(aug, pb.GE, rh)
+		case pb.LE:
+			aug := append(append([]pb.Term(nil), ts...), pb.Term{Coef: -m, Lit: pb.PosLit(r)})
+			b.err = b.prob.AddConstraint(aug, pb.LE, rh)
+		default:
+			b.err = fmt.Errorf("soft: unsupported comparison %v in relaxTerm", c)
+		}
+	}
+
+	switch cmp {
+	case pb.GE, pb.LE:
+		relaxTerm(terms, cmp, rhs)
+	case pb.EQ:
+		relaxTerm(terms, pb.GE, rhs)
+		relaxTerm(terms, pb.LE, rhs)
+	default:
+		b.err = fmt.Errorf("soft: unknown comparison %v", cmp)
+	}
+	return idx
+}
+
+// SoftClause adds a violable clause with the given weight.
+func (b *Builder) SoftClause(weight int64, lits ...pb.Lit) int {
+	terms := make([]pb.Term, len(lits))
+	for i, l := range lits {
+		terms[i] = pb.Term{Coef: 1, Lit: l}
+	}
+	return b.Soft(weight, terms, pb.GE, 1)
+}
+
+// Problem compiles and returns the PBO instance (hard constraints plus
+// relaxed soft constraints; objective = native costs + violation weights).
+func (b *Builder) Problem() (*pb.Problem, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b.prob, nil
+}
+
+// Solution interprets a core result against the builder's soft constraints.
+type Solution struct {
+	core.Result
+	// Violated lists the indices of violated soft constraints.
+	Violated []int
+	// Penalty is the total violation weight paid.
+	Penalty int64
+}
+
+// Solve compiles and solves with the given options.
+func (b *Builder) Solve(opt core.Options) (Solution, error) {
+	p, err := b.Problem()
+	if err != nil {
+		return Solution{}, err
+	}
+	res := core.Solve(p, opt)
+	sol := Solution{Result: res}
+	if res.HasSolution {
+		// Evaluate the original constraints rather than the relaxation
+		// variables: on non-optimal incumbents a relaxation variable can be
+		// 1 even though the constraint happens to hold.
+		for i, sc := range b.originals {
+			if !sc.eval(res.Values) {
+				sol.Violated = append(sol.Violated, i)
+				sol.Penalty += sc.weight
+			}
+		}
+	}
+	return sol, nil
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

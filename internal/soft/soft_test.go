@@ -1,0 +1,189 @@
+package soft
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pb"
+)
+
+func TestSoftClauseBasics(t *testing.T) {
+	// Hard: x0 ∨ x1. Soft: ¬x0 (weight 3), ¬x1 (weight 5). Optimum violates
+	// the cheaper soft clause: penalty 3 with x0 = 1.
+	b := NewBuilder(2)
+	b.HardClause(pb.PosLit(0), pb.PosLit(1))
+	i0 := b.SoftClause(3, pb.NegLit(0))
+	i1 := b.SoftClause(5, pb.NegLit(1))
+	sol, err := b.Solve(core.Options{LowerBound: core.LBLPR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != core.StatusOptimal || sol.Best != 3 {
+		t.Fatalf("status=%v best=%d want optimal/3", sol.Status, sol.Best)
+	}
+	if sol.Penalty != 3 || len(sol.Violated) != 1 || sol.Violated[0] != i0 {
+		t.Fatalf("violated=%v penalty=%d (i0=%d i1=%d)", sol.Violated, sol.Penalty, i0, i1)
+	}
+}
+
+func TestSoftWithNativeCosts(t *testing.T) {
+	// Native cost 2 on x0; soft clause (x0) with weight 5: paying the
+	// native cost beats the violation.
+	b := NewBuilder(1)
+	b.SetCost(0, 2)
+	b.SoftClause(5, pb.PosLit(0))
+	sol, err := b.Solve(core.Options{LowerBound: core.LBMIS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Best != 2 || sol.Penalty != 0 {
+		t.Fatalf("best=%d penalty=%d", sol.Best, sol.Penalty)
+	}
+}
+
+func TestSoftEquality(t *testing.T) {
+	// Soft: x0 + x1 = 1 (weight 4); hard: x0 = x1 (both or neither).
+	// Violation is unavoidable: penalty 4.
+	b := NewBuilder(2)
+	b.HardClause(pb.NegLit(0), pb.PosLit(1))
+	b.HardClause(pb.PosLit(0), pb.NegLit(1))
+	b.Soft(4, []pb.Term{{Coef: 1, Lit: pb.PosLit(0)}, {Coef: 1, Lit: pb.PosLit(1)}}, pb.EQ, 1)
+	sol, err := b.Solve(core.Options{LowerBound: core.LBLPR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != core.StatusOptimal || sol.Best != 4 || sol.Penalty != 4 {
+		t.Fatalf("%+v", sol)
+	}
+}
+
+func TestSoftNegativeCoefficients(t *testing.T) {
+	// Soft GE with a negative coefficient: −2x0 + x1 ≥ 1 (weight 7).
+	// Hard: x0. The soft constraint then requires x1 with lhs = −2+1 = −1 <
+	// 1: unsatisfiable given x0 ⇒ optimum pays 7. This exercises the
+	// normalization-safe relaxation coefficient.
+	b := NewBuilder(2)
+	b.HardClause(pb.PosLit(0))
+	b.Soft(7, []pb.Term{{Coef: -2, Lit: pb.PosLit(0)}, {Coef: 1, Lit: pb.PosLit(1)}}, pb.GE, 1)
+	sol, err := b.Solve(core.Options{LowerBound: core.LBLPR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != core.StatusOptimal {
+		t.Fatalf("status=%v (relaxation must keep the instance feasible)", sol.Status)
+	}
+	if sol.Best != 7 || sol.Penalty != 7 {
+		t.Fatalf("best=%d penalty=%d want 7/7", sol.Best, sol.Penalty)
+	}
+}
+
+func TestSoftWeightValidation(t *testing.T) {
+	b := NewBuilder(1)
+	b.SoftClause(0, pb.PosLit(0))
+	if _, err := b.Problem(); err == nil {
+		t.Fatal("expected weight error")
+	}
+}
+
+// Property: the compiled optimum equals the brute-force minimum of
+// native cost + violated soft weight over all assignments.
+func TestSoftAgainstDirectEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(272))
+	for iter := 0; iter < 150; iter++ {
+		n := 2 + rng.Intn(4)
+		b := NewBuilder(n)
+		for v := 0; v < n; v++ {
+			b.SetCost(pb.Var(v), int64(rng.Intn(4)))
+		}
+		// A couple of hard clauses (kept satisfiable: positive literals).
+		nHard := rng.Intn(3)
+		var hards []softCons
+		for i := 0; i < nHard; i++ {
+			nt := 1 + rng.Intn(3)
+			terms := make([]pb.Term, nt)
+			for k := range terms {
+				terms[k] = pb.Term{Coef: 1, Lit: pb.PosLit(pb.Var(rng.Intn(n)))}
+			}
+			b.Hard(terms, pb.GE, 1)
+			hards = append(hards, softCons{terms: terms, cmp: pb.GE, rhs: 1})
+		}
+		// Random soft constraints with mixed signs and comparisons.
+		nSoft := 1 + rng.Intn(4)
+		var softs []softCons
+		for i := 0; i < nSoft; i++ {
+			nt := 1 + rng.Intn(3)
+			terms := make([]pb.Term, nt)
+			for k := range terms {
+				terms[k] = pb.Term{
+					Coef: int64(rng.Intn(7) - 3),
+					Lit:  pb.MkLit(pb.Var(rng.Intn(n)), rng.Intn(2) == 0),
+				}
+				if terms[k].Coef == 0 {
+					terms[k].Coef = 1
+				}
+			}
+			w := int64(1 + rng.Intn(6))
+			cmp := pb.Cmp(rng.Intn(3))
+			rhs := int64(rng.Intn(5) - 2)
+			b.Soft(w, terms, cmp, rhs)
+			softs = append(softs, softCons{weight: w, terms: terms, cmp: cmp, rhs: rhs})
+		}
+		sol, err := b.Solve(core.Options{LowerBound: core.LBLPR, MaxConflicts: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Direct enumeration over the original n variables.
+		best := int64(1) << 40
+		feasible := false
+		for mask := 0; mask < 1<<n; mask++ {
+			vals := make([]bool, n)
+			for v := 0; v < n; v++ {
+				vals[v] = mask&(1<<v) != 0
+			}
+			ok := true
+			for _, h := range hards {
+				if !h.eval(vals) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			feasible = true
+			var cost int64
+			for v := 0; v < n; v++ {
+				if vals[v] {
+					cost += int64FromBuilder(b, v)
+				}
+			}
+			for _, sc := range softs {
+				if !sc.eval(vals) {
+					cost += sc.weight
+				}
+			}
+			if cost < best {
+				best = cost
+			}
+		}
+		if !feasible {
+			if sol.Status != core.StatusUnsat {
+				t.Fatalf("iter %d: hard constraints unsat but solver says %v", iter, sol.Status)
+			}
+			continue
+		}
+		if sol.Status != core.StatusOptimal {
+			t.Fatalf("iter %d: status=%v", iter, sol.Status)
+		}
+		if sol.Best != best {
+			t.Fatalf("iter %d: best=%d want %d", iter, sol.Best, best)
+		}
+	}
+}
+
+// int64FromBuilder reads the native cost of original variable v (the
+// builder's problem also holds relaxation variables beyond n).
+func int64FromBuilder(b *Builder, v int) int64 {
+	return b.prob.Cost[v]
+}

@@ -1,0 +1,122 @@
+// Package verify checks solver output against a problem instance: it parses
+// PB-competition-style value lines ("v x1 -x2 …"), maps names back to
+// variables, and reports feasibility, objective value, and the first
+// violated constraint on failure. cmd/pbcheck is a thin wrapper around it;
+// tests use it to validate solver models end-to-end.
+package verify
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/pb"
+)
+
+// Assignment is a parsed value line.
+type Assignment struct {
+	// Values is the per-variable assignment (length NumVars).
+	Values []bool
+	// Missing counts variables absent from the value line (defaulted to
+	// false, the zero-cost polarity).
+	Missing int
+}
+
+// Report is the outcome of checking an assignment.
+type Report struct {
+	Feasible bool
+	// Objective is the assignment's objective value (CostOffset included);
+	// meaningful even when infeasible.
+	Objective int64
+	// ViolatedIdx is the index of the first violated constraint (-1 when
+	// feasible); Violated is that constraint.
+	ViolatedIdx int
+	Violated    *pb.Constraint
+}
+
+// VarName returns the external name of v (OPB 1-based x<k> fallback).
+func VarName(p *pb.Problem, v pb.Var) string {
+	if int(v) < len(p.Names) && p.Names[v] != "" {
+		return p.Names[v]
+	}
+	return fmt.Sprintf("x%d", int(v)+1)
+}
+
+// ParseValueLine parses a whitespace-separated list of literals
+// ("x1 -x2 x3"); a leading "v " marker is accepted and stripped. Unknown
+// variable names are an error.
+func ParseValueLine(p *pb.Problem, line string) (Assignment, error) {
+	line = strings.TrimSpace(line)
+	line = strings.TrimPrefix(line, "v ")
+	byName := make(map[string]pb.Var, p.NumVars)
+	for v := 0; v < p.NumVars; v++ {
+		byName[VarName(p, pb.Var(v))] = pb.Var(v)
+	}
+	out := Assignment{Values: make([]bool, p.NumVars)}
+	seen := make([]bool, p.NumVars)
+	for _, tok := range strings.Fields(line) {
+		val := true
+		name := tok
+		if strings.HasPrefix(tok, "-") {
+			val = false
+			name = tok[1:]
+		}
+		v, ok := byName[name]
+		if !ok {
+			return Assignment{}, fmt.Errorf("verify: unknown variable %q", name)
+		}
+		out.Values[v] = val
+		seen[v] = true
+	}
+	for v := 0; v < p.NumVars; v++ {
+		if !seen[v] {
+			out.Missing++
+		}
+	}
+	return out, nil
+}
+
+// ScanValueLine reads lines from r until a "v " line is found and parses it.
+func ScanValueLine(p *pb.Problem, r io.Reader) (Assignment, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		txt := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(txt, "v ") {
+			return ParseValueLine(p, txt)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Assignment{}, err
+	}
+	return Assignment{}, fmt.Errorf("verify: no 'v' line found")
+}
+
+// Check evaluates the assignment against every constraint.
+func Check(p *pb.Problem, values []bool) Report {
+	rep := Report{Feasible: true, ViolatedIdx: -1, Objective: p.ObjectiveValue(values)}
+	for i, c := range p.Constraints {
+		if !c.Eval(values) {
+			rep.Feasible = false
+			rep.ViolatedIdx = i
+			rep.Violated = c
+			return rep
+		}
+	}
+	return rep
+}
+
+// FormatValueLine renders an assignment as a PB-competition value line.
+func FormatValueLine(p *pb.Problem, values []bool) string {
+	var sb strings.Builder
+	sb.WriteString("v")
+	for v := 0; v < p.NumVars; v++ {
+		sb.WriteByte(' ')
+		if !values[v] {
+			sb.WriteByte('-')
+		}
+		sb.WriteString(VarName(p, pb.Var(v)))
+	}
+	return sb.String()
+}

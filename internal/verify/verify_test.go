@@ -1,0 +1,124 @@
+package verify
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/opb"
+	"repro/internal/pb"
+)
+
+func sample(t *testing.T) *pb.Problem {
+	t.Helper()
+	p, err := opb.ParseString("min: +3 a +1 b ;\n+1 a +1 b >= 1 ;\n+1 a +1 c <= 1 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseValueLine(t *testing.T) {
+	p := sample(t)
+	a, err := ParseValueLine(p, "v -a b c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Values[0] || !a.Values[1] || !a.Values[2] {
+		t.Fatalf("values=%v", a.Values)
+	}
+	if a.Missing != 0 {
+		t.Fatalf("missing=%d", a.Missing)
+	}
+	// Partial line: omitted variables default to false and are counted.
+	a, err = ParseValueLine(p, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Missing != 2 || !a.Values[1] {
+		t.Fatalf("%+v", a)
+	}
+	if _, err := ParseValueLine(p, "frob"); err == nil {
+		t.Fatal("expected unknown-variable error")
+	}
+}
+
+func TestScanValueLine(t *testing.T) {
+	p := sample(t)
+	in := strings.NewReader("c noise\no 1\nv b -a -c\ns OPTIMUM FOUND\n")
+	a, err := ScanValueLine(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Values[1] || a.Values[0] {
+		t.Fatalf("%+v", a)
+	}
+	if _, err := ScanValueLine(p, strings.NewReader("no value line")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCheckReportsViolation(t *testing.T) {
+	p := sample(t)
+	rep := Check(p, []bool{true, false, true}) // a ∧ c violates a+c ≤ 1
+	if rep.Feasible || rep.ViolatedIdx < 0 || rep.Violated == nil {
+		t.Fatalf("%+v", rep)
+	}
+	rep = Check(p, []bool{false, true, false})
+	if !rep.Feasible || rep.Objective != 1 {
+		t.Fatalf("%+v", rep)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	p := sample(t)
+	vals := []bool{true, false, false}
+	line := FormatValueLine(p, vals)
+	a, err := ParseValueLine(p, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if a.Values[i] != vals[i] {
+			t.Fatalf("round trip changed values: %v vs %v", a.Values, vals)
+		}
+	}
+}
+
+// End-to-end: solver output must verify, and its objective must match the
+// reported optimum, across random instances.
+func TestSolverModelsVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for iter := 0; iter < 80; iter++ {
+		n := 3 + rng.Intn(7)
+		p := pb.NewProblem(n)
+		for v := 0; v < n; v++ {
+			p.SetCost(pb.Var(v), int64(rng.Intn(8)))
+		}
+		for i := 0; i < 2+rng.Intn(7); i++ {
+			nt := 1 + rng.Intn(4)
+			terms := make([]pb.Term, nt)
+			for k := range terms {
+				terms[k] = pb.Term{Coef: int64(1 + rng.Intn(4)), Lit: pb.MkLit(pb.Var(rng.Intn(n)), rng.Intn(3) == 0)}
+			}
+			_ = p.AddConstraint(terms, pb.GE, int64(rng.Intn(5)))
+		}
+		res := core.Solve(p, core.Options{LowerBound: core.LBLPR, MaxConflicts: 100000})
+		if res.Status != core.StatusOptimal {
+			continue
+		}
+		line := FormatValueLine(p, res.Values)
+		a, err := ParseValueLine(p, line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := Check(p, a.Values)
+		if !rep.Feasible {
+			t.Fatalf("iter %d: solver model fails verification: %v", iter, rep.Violated)
+		}
+		if rep.Objective != res.Best {
+			t.Fatalf("iter %d: objective %d != reported %d", iter, rep.Objective, res.Best)
+		}
+	}
+}
