@@ -2,9 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench table examples clean
+.PHONY: all build test race fuzz bench table examples clean ci vet
 
 all: build test
+
+vet:
+	$(GO) vet ./...
+
+# What CI runs: vet + build + full test suite, then the race detector on
+# the concurrency-sensitive packages (engine interrupt hook, solver
+# cancellation, portfolio racing, fault injection).
+ci: vet build test
+	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/fault
 
 build:
 	$(GO) build ./...

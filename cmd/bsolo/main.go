@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -36,6 +38,8 @@ func main() {
 		noKnapsack   = flag.Bool("no-knapsack", false, "disable the eq. 10 incumbent constraint")
 		cardInf      = flag.Bool("card-inference", true, "enable eq. 11-13 cardinality inference")
 		lgrIters     = flag.Int("lgr-iters", 50, "Lagrangian subgradient iterations per bound")
+		boundBudget  = flag.Duration("bound-budget", 0, "wall-clock cap per lower-bound call (0 = derive from -time; -1ns = uncapped)")
+		fallbackK    = flag.Int("fallback-after", 0, "consecutive bound failures before demoting to MIS (0 = default 8; <0 = never)")
 		pre          = flag.Bool("preprocess", false, "apply probing/strengthening/subsumption first")
 		coverRed     = flag.Bool("cover", false, "apply covering-problem reductions (implies -preprocess machinery)")
 		pbLearn      = flag.Bool("pb-learning", false, "derive Galena-style cutting-plane constraints at conflicts")
@@ -85,7 +89,25 @@ func main() {
 		CardinalityInference: *cardInf,
 		LGRIterations:        *lgrIters,
 		PBLearning:           *pbLearn,
+		BoundBudget:          *boundBudget,
+		FallbackAfter:        *fallbackK,
 	}
+
+	// SIGINT/SIGTERM close the Cancel channel so the search unwinds
+	// gracefully and prints the best incumbent with an "s UNKNOWN" status
+	// line; a second signal exits immediately.
+	cancel := make(chan struct{})
+	opt.Cancel = cancel
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Printf("c caught %v: stopping search, reporting best incumbent\n", sig)
+		close(cancel)
+		<-sigc
+		fmt.Println("s UNKNOWN")
+		os.Exit(130)
+	}()
 	switch strings.ToLower(*lbFlag) {
 	case "plain":
 		opt.LowerBound = core.LBNone
@@ -114,12 +136,17 @@ func main() {
 		for i := range configs {
 			configs[i].Options.TimeLimit = opt.TimeLimit
 			configs[i].Options.MaxConflicts = opt.MaxConflicts
+			configs[i].Options.BoundBudget = opt.BoundBudget
+			configs[i].Options.FallbackAfter = opt.FallbackAfter
 		}
-		pres := portfolio.Solve(prob, configs)
+		pres := portfolio.SolveWithCancel(prob, configs, cancel)
 		res = pres.Result
 		fmt.Printf("c portfolio winner: %s\n", pres.Winner)
+		for name, err := range pres.Errors {
+			fmt.Printf("c portfolio member %s crashed: %v\n", name, firstLine(err))
+		}
 	} else {
-		res = core.Solve(prob, opt)
+		res = core.SafeSolve(prob, opt)
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("c solved in %v\n", elapsed)
@@ -132,6 +159,12 @@ func main() {
 		fmt.Println("s SATISFIABLE")
 	case core.StatusUnsat:
 		fmt.Println("s UNSATISFIABLE")
+	case core.StatusError:
+		fmt.Printf("c solver error: %v\n", firstLine(res.Err))
+		if res.HasSolution {
+			fmt.Printf("o %d\n", res.Best)
+		}
+		fmt.Println("s UNKNOWN")
 	case core.StatusLimit:
 		if res.HasSolution {
 			fmt.Printf("c best upper bound %d\n", res.Best)
@@ -148,7 +181,24 @@ func main() {
 			st.Decisions, st.Conflicts, st.BoundConflicts, st.BoundCalls, st.BoundPrunes)
 		fmt.Printf("c solutions=%d restarts=%d knapsackCuts=%d cardCuts=%d ncbSavedLevels=%d learned=%d\n",
 			st.Solutions, st.Restarts, st.KnapsackCuts, st.CardCuts, st.NCBSavedLevels, st.LearnedClauses)
+		if st.BoundFailures > 0 || st.BoundFallbacks > 0 || st.BoundTimeouts > 0 || st.BoundDemotions > 0 {
+			fmt.Printf("c boundFailures=%d boundPanics=%d boundFallbacks=%d boundTimeouts=%d boundDemotions=%d\n",
+				st.BoundFailures, st.BoundPanics, st.BoundFallbacks, st.BoundTimeouts, st.BoundDemotions)
+		}
 	}
+}
+
+// firstLine trims a multi-line error (StatusError carries a stack trace) to
+// its first line for the comment stream.
+func firstLine(err error) string {
+	if err == nil {
+		return "unknown"
+	}
+	msg := err.Error()
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i]
+	}
+	return msg
 }
 
 func fatal(err error) {

@@ -141,8 +141,8 @@ func TestLGRWarmStartAtLeastAsGood(t *testing.T) {
 		if red.Infeasible {
 			continue
 		}
-		cold := LGR{Iterations: 20}.Estimate(e, red, p.Cost, p.TotalCost()+1)
-		warm := LGR{Iterations: 20, WarmStart: true}.Estimate(e, red, p.Cost, p.TotalCost()+1)
+		cold := LGR{Iterations: 20}.Estimate(e, red, p.Cost, p.TotalCost()+1, Budget{})
+		warm := LGR{Iterations: 20, WarmStart: true}.Estimate(e, red, p.Cost, p.TotalCost()+1, Budget{})
 		if warm.Bound < cold.Bound {
 			t.Fatalf("iter %d: warm %d < cold %d", iter, warm.Bound, cold.Bound)
 		}
@@ -163,7 +163,7 @@ func TestBoundsNeverExceedReducedOptimum(t *testing.T) {
 		red := Extract(e)
 		opt, feasible := bruteReduced(red, p.Cost)
 		for _, est := range ests {
-			res := est.Estimate(e, red, p.Cost, p.TotalCost()+1)
+			res := est.Estimate(e, red, p.Cost, p.TotalCost()+1, Budget{})
 			if res.Bound < 0 {
 				t.Fatalf("iter %d %s: negative bound %d", iter, est.Name(), res.Bound)
 			}
@@ -222,7 +222,7 @@ func TestExtractDetectsInfeasible(t *testing.T) {
 		t.Fatal("expected infeasible flag")
 	}
 	for _, est := range estimators() {
-		res := est.Estimate(e, red, p.Cost, 100)
+		res := est.Estimate(e, red, p.Cost, 100, Budget{})
 		if res.Bound != InfBound {
 			t.Fatalf("%s: bound=%d want InfBound", est.Name(), res.Bound)
 		}
@@ -244,7 +244,7 @@ func TestMISClauseExample(t *testing.T) {
 	_ = p.AddClause(pb.PosLit(2), pb.PosLit(3))
 	e := engine.New(p)
 	red := Extract(e)
-	res := MIS{}.Estimate(e, red, p.Cost, 100)
+	res := MIS{}.Estimate(e, red, p.Cost, 100, Budget{})
 	if res.Bound != 5 {
 		t.Fatalf("bound=%d want 5", res.Bound)
 	}
@@ -260,7 +260,7 @@ func TestMISNegativeLiteralIsFree(t *testing.T) {
 	_ = p.AddClause(pb.PosLit(0), pb.NegLit(1))
 	e := engine.New(p)
 	red := Extract(e)
-	res := MIS{}.Estimate(e, red, p.Cost, 100)
+	res := MIS{}.Estimate(e, red, p.Cost, 100, Budget{})
 	if res.Bound != 0 {
 		t.Fatalf("bound=%d want 0", res.Bound)
 	}
@@ -276,7 +276,7 @@ func TestMISOverlappingConstraintsPicksOne(t *testing.T) {
 	_ = p.AddClause(pb.PosLit(1), pb.PosLit(2))
 	e := engine.New(p)
 	red := Extract(e)
-	res := MIS{}.Estimate(e, red, p.Cost, 100)
+	res := MIS{}.Estimate(e, red, p.Cost, 100, Budget{})
 	if res.Bound != 4 {
 		t.Fatalf("bound=%d want 4", res.Bound)
 	}
@@ -295,7 +295,7 @@ func TestLPRFractionalExample(t *testing.T) {
 	_ = p.AddConstraint([]pb.Term{{Coef: 1, Lit: pb.PosLit(0)}, {Coef: 2, Lit: pb.PosLit(1)}}, pb.GE, 2)
 	e := engine.New(p)
 	red := Extract(e)
-	res := LPR{}.Estimate(e, red, p.Cost, 100)
+	res := LPR{}.Estimate(e, red, p.Cost, 100, Budget{})
 	if res.Bound != 2 {
 		t.Fatalf("bound=%d want 2", res.Bound)
 	}
@@ -322,8 +322,8 @@ func TestLPRTighterThanMIS(t *testing.T) {
 	_ = p.AddClause(pb.PosLit(0), pb.PosLit(2))
 	e := engine.New(p)
 	red := Extract(e)
-	mis := MIS{}.Estimate(e, red, p.Cost, 100)
-	lpr := LPR{}.Estimate(e, red, p.Cost, 100)
+	mis := MIS{}.Estimate(e, red, p.Cost, 100, Budget{})
+	lpr := LPR{}.Estimate(e, red, p.Cost, 100, Budget{})
 	if mis.Bound != 1 {
 		t.Fatalf("mis=%d want 1", mis.Bound)
 	}
@@ -342,7 +342,7 @@ func TestLGRReachesPositiveBound(t *testing.T) {
 	_ = p.AddConstraint([]pb.Term{{Coef: 1, Lit: pb.PosLit(0)}, {Coef: 2, Lit: pb.PosLit(1)}}, pb.GE, 2)
 	e := engine.New(p)
 	red := Extract(e)
-	res := LGR{Iterations: 200}.Estimate(e, red, p.Cost, 2)
+	res := LGR{Iterations: 200}.Estimate(e, red, p.Cost, 2, Budget{})
 	if res.Bound < 1 {
 		t.Fatalf("bound=%d want >= 1", res.Bound)
 	}
@@ -362,8 +362,8 @@ func TestLGRBoundAtMostLPR(t *testing.T) {
 		if red.Infeasible {
 			continue
 		}
-		lpr := LPR{}.Estimate(e, red, p.Cost, p.TotalCost()+1)
-		lgr := LGR{Iterations: 100}.Estimate(e, red, p.Cost, p.TotalCost()+1)
+		lpr := LPR{}.Estimate(e, red, p.Cost, p.TotalCost()+1, Budget{})
+		lgr := LGR{Iterations: 100}.Estimate(e, red, p.Cost, p.TotalCost()+1, Budget{})
 		if lpr.Bound == 0 && lgr.Bound == 0 {
 			continue
 		}
@@ -387,7 +387,7 @@ func TestResponsibleSetsAreUnsatisfiedConstraints(t *testing.T) {
 			valid[r.EngIdx] = true
 		}
 		for _, est := range estimators() {
-			res := est.Estimate(e, red, p.Cost, p.TotalCost()+1)
+			res := est.Estimate(e, red, p.Cost, p.TotalCost()+1, Budget{})
 			for _, idx := range res.Responsible {
 				if !valid[idx] {
 					t.Fatalf("iter %d %s: responsible %d not an unsatisfied row", iter, est.Name(), idx)
@@ -403,7 +403,7 @@ func TestEmptyReducedProblem(t *testing.T) {
 	e := engine.New(p)
 	red := Extract(e)
 	for _, est := range estimators() {
-		res := est.Estimate(e, red, p.Cost, 100)
+		res := est.Estimate(e, red, p.Cost, 100, Budget{})
 		if res.Bound != 0 {
 			t.Fatalf("%s: bound=%d want 0 on empty problem", est.Name(), res.Bound)
 		}

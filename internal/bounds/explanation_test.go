@@ -58,7 +58,7 @@ func TestExplanationClauseSoundness(t *testing.T) {
 			continue
 		}
 		for _, est := range ests {
-			res := est.Estimate(e, red, p.Cost, upper-path)
+			res := est.Estimate(e, red, p.Cost, upper-path, Budget{})
 			if path+res.Bound < upper {
 				continue // no bound conflict: nothing to explain
 			}

@@ -2,7 +2,9 @@ package bounds
 
 import (
 	"math"
+
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/pb"
 )
 
@@ -77,13 +79,15 @@ func dualAscentInit(xp *xProblem) []float64 {
 }
 
 // Estimate implements Estimator.
-func (l LGR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64) Result {
+func (l LGR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64, bud Budget) Result {
 	if red.Infeasible {
 		return Result{Bound: InfBound, Responsible: []int{red.InfeasibleRow}}
 	}
 	if len(red.Rows) == 0 {
 		return Result{}
 	}
+	// fault point "lgr.solve": panic/delay injection for resilience tests.
+	fault.Fire("lgr.solve")
 	iters := l.Iterations
 	if iters <= 0 {
 		iters = 50
@@ -119,10 +123,18 @@ func (l LGR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64
 
 	grad := make([]float64, m)
 	sinceImprove := 0
+	incomplete := false
 	if bestL >= tgt {
 		iters = 0 // warm start already suffices to prune
 	}
 	for k := 0; k < iters; k++ {
+		// Deadline propagation: the subgradient loop honours the per-node
+		// budget — any prefix of the ascent still yields a sound bound from
+		// the best multipliers seen so far.
+		if k&7 == 7 && bud.Expired() {
+			incomplete = true
+			break
+		}
 		val, _, alpha := xp.lagrangianValue(mu, 0)
 		if val > bestL {
 			bestL = val
@@ -166,9 +178,14 @@ func (l LGR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64
 	}
 
 	// Recompute the bound at the best multipliers (identical value; the call
-	// also yields S and α for the explanation).
+	// also yields S and α for the explanation). fault point "lgr.value":
+	// tests corrupt the value to exercise the numerical-failure detection.
 	val, s, _ := xp.lagrangianValue(bestMu, 1e-9)
-	res := Result{Bound: ceilBound(val)}
+	val = fault.Corrupt("lgr.value", val)
+	if math.IsNaN(val) || math.IsInf(val, 0) {
+		return Result{Failed: true}
+	}
+	res := Result{Bound: ceilBound(val), Incomplete: incomplete}
 	res.Responsible = make([]int, len(s))
 	for k, i := range s {
 		res.Responsible[k] = xp.rows[i].engIdx

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/lp"
 	"repro/internal/pb"
 )
@@ -50,13 +51,16 @@ type LPR struct {
 func (LPR) Name() string { return "lpr" }
 
 // Estimate implements Estimator.
-func (l LPR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64) Result {
+func (l LPR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64, bud Budget) Result {
 	if red.Infeasible {
 		return Result{Bound: InfBound, Responsible: []int{red.InfeasibleRow}}
 	}
 	if len(red.Rows) == 0 {
 		return Result{}
 	}
+	// fault point "lpr.solve": tests inject panics/delays here to exercise
+	// the search's panic recovery, MIS fallback and circuit breaker.
+	fault.Fire("lpr.solve")
 	xp := toXSpace(red, cost)
 	m, n := len(xp.rows), len(xp.vars)
 
@@ -68,9 +72,10 @@ func (l LPR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64
 		NumVars: m + n,
 		Cost:    make([]float64, m+n),
 		Rows:    make([]lp.Row, n),
-		Lo:      make([]float64, m+n),
-		Hi:      make([]float64, m+n),
-		MaxIter: maxIter,
+		Lo:       make([]float64, m+n),
+		Hi:       make([]float64, m+n),
+		MaxIter:  maxIter,
+		Deadline: bud.Deadline, // per-node bound budget reaches the simplex
 	}
 	for i := range prob.Hi {
 		prob.Hi[i] = math.Inf(1)
@@ -94,22 +99,35 @@ func (l LPR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64
 
 	sol, err := lp.Solve(prob)
 	if err != nil {
-		return Result{} // cannot happen for Extract output; fail soft
+		// Malformed LP (should not happen for Extract output): report a
+		// failed call so the ladder can fall back rather than silently
+		// losing pruning power node after node.
+		return Result{Failed: true}
 	}
 	switch sol.Status {
 	case lp.Unbounded:
 		// The dual is unbounded iff the primal relaxation is infeasible:
 		// no completion satisfies the reduced rows.
 		return Result{Bound: InfBound, Responsible: allRows(red)}
+	case lp.Numerical:
+		// Floating-point corruption detected inside the simplex (genuine or
+		// injected via "lp.pivot"): the solution is unusable.
+		return Result{Failed: true}
 	case lp.Optimal, lp.IterLimit:
 		if sol.X == nil {
-			return Result{}
+			return Result{Incomplete: sol.Status == lp.IterLimit}
 		}
 		// Recompute the bound from the multipliers (sound for any y ≥ 0;
-		// under IterLimit this is the anytime bound).
+		// under IterLimit this is the anytime bound). fault point
+		// "lpr.value": tests corrupt the recomputed value to exercise the
+		// NaN detection below.
 		y := sol.X[:m]
 		val, s, _ := xp.lagrangianValue(y, 1e-9)
-		res := Result{Bound: ceilBound(val)}
+		val = fault.Corrupt("lpr.value", val)
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return Result{Failed: true}
+		}
+		res := Result{Bound: ceilBound(val), Incomplete: sol.Status == lp.IterLimit}
 		res.Responsible = make([]int, len(s))
 		for k, i := range s {
 			res.Responsible[k] = xp.rows[i].engIdx

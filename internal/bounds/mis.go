@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/pb"
 )
 
@@ -70,10 +71,13 @@ func rowLPBound(cost []int64, row *Row) float64 {
 // Estimate implements Estimator with a greedy weighted independent set:
 // rows are ranked by bound contribution (density per variable) and picked
 // greedily subject to disjointness on unassigned variables.
-func (m MIS) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64) Result {
+func (m MIS) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64, bud Budget) Result {
 	if red.Infeasible {
 		return Result{Bound: InfBound, Responsible: []int{red.InfeasibleRow}}
 	}
+	// fault point "mis.estimate": lets chaos tests fail even the fallback
+	// rung of the ladder.
+	fault.Fire("mis.estimate")
 	type scored struct {
 		idx   int // index into red.Rows
 		bound float64

@@ -20,10 +20,38 @@ package bounds
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/pb"
 )
+
+// Budget bounds a single estimation call. The zero value means "no limit".
+// The search derives a per-node budget from its remaining wall-clock
+// allowance and threads it into the LP simplex (lp.Problem.Deadline) and the
+// LGR subgradient loop, so a cycling LP or a slowly converging ascent cannot
+// eat the whole node (let alone run) budget.
+type Budget struct {
+	// Deadline, when non-zero, is the wall-clock point at which the
+	// estimator must return with whatever (sound, possibly weaker) bound it
+	// has accumulated.
+	Deadline time.Time
+	// Cancel, when non-nil, aborts the estimation as soon as the channel is
+	// closed (the search is being cancelled; any bound is fine).
+	Cancel <-chan struct{}
+}
+
+// Expired reports whether the budget is exhausted.
+func (b Budget) Expired() bool {
+	if b.Cancel != nil {
+		select {
+		case <-b.Cancel:
+			return true
+		default:
+		}
+	}
+	return !b.Deadline.IsZero() && time.Now().After(b.Deadline)
+}
 
 // InfBound is the bound value returned when the reduced problem is detected
 // infeasible (the search node admits no completion at all). It is large
@@ -98,6 +126,15 @@ type Result struct {
 	// values; the §5 LP-guided branching heuristic selects the variable
 	// closest to 0.5.
 	FracX map[pb.Var]float64
+	// Failed reports that the procedure failed outright (numerical
+	// corruption, solver error): Bound is zero and Responsible is empty.
+	// The search's fallback ladder reacts by re-estimating with a cheaper
+	// procedure and, after enough consecutive failures, demoting the
+	// configured method for the rest of the run.
+	Failed bool
+	// Incomplete reports that the procedure hit its iteration or wall-clock
+	// budget: Bound is still sound, merely weaker than the converged value.
+	Incomplete bool
 }
 
 // Estimator is a lower-bound procedure (§3.1–§3.2, or the MIS of [5,9]).
@@ -105,8 +142,10 @@ type Estimator interface {
 	// Estimate returns a lower bound for the reduced problem. cost is the
 	// global per-variable cost vector; only unassigned variables matter.
 	// target is the bound that would suffice to prune (upper − path);
-	// iterative estimators may stop early once they reach it.
-	Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64) Result
+	// iterative estimators may stop early once they reach it. bud bounds
+	// the call's wall-clock cost (Budget{} = unlimited); on expiry the
+	// estimator returns its best-so-far bound with Incomplete set.
+	Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64, bud Budget) Result
 	// Name identifies the estimator in logs and stats.
 	Name() string
 }
@@ -122,8 +161,11 @@ func litCost(cost []int64, l pb.Lit) int64 {
 
 // ceilBound converts a floating lower bound into a sound integer bound:
 // any value within numeric noise below an integer rounds to that integer.
+// Corrupted values (NaN — e.g. from an injected or genuine numerical
+// failure upstream) degrade to the trivial bound 0, never to garbage:
+// int64(NaN) is platform-defined in Go and must not reach the pruning test.
 func ceilBound(v float64) int64 {
-	if v <= 0 {
+	if math.IsNaN(v) || v <= 0 {
 		return 0
 	}
 	if v >= float64(InfBound) {
@@ -140,7 +182,7 @@ type None struct{}
 func (None) Name() string { return "plain" }
 
 // Estimate implements Estimator: no information.
-func (None) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64) Result {
+func (None) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64, bud Budget) Result {
 	if red.Infeasible {
 		return Result{Bound: InfBound, Responsible: allRows(red)}
 	}

@@ -20,12 +20,15 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"runtime/debug"
 	"sort"
 	"time"
 
 	"repro/internal/bounds"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/pb"
 )
 
@@ -133,8 +136,25 @@ type Options struct {
 
 	// Cancel, when non-nil, aborts the search (StatusLimit with the best
 	// incumbent) as soon as the channel is closed. Used by the portfolio
-	// driver to stop the losing configurations.
+	// driver to stop the losing configurations and by the CLI's signal
+	// handler. The channel is polled between nodes and, via the engine's
+	// Interrupt hook, inside long propagation fixpoints.
 	Cancel <-chan struct{}
+
+	// BoundBudget caps the wall-clock time of a single lower-bound
+	// estimation (threaded into the LP simplex and the LGR subgradient
+	// loop). Zero derives a budget from the remaining TimeLimit — an eighth
+	// of what is left, clamped to [5ms, 500ms] — so one cycling LP cannot
+	// eat the whole node budget; negative disables the per-call cap.
+	BoundBudget time.Duration
+
+	// FallbackAfter is the circuit-breaker threshold: after this many
+	// consecutive *failed* primary bound calls (panics or numerical
+	// failures) the solver demotes LowerBound to MIS for the remainder of
+	// the run. Zero selects the default (8); negative disables demotion.
+	// Individual failed calls always fall back to MIS for that node
+	// regardless of the breaker state.
+	FallbackAfter int
 }
 
 // Status reports how a solve ended.
@@ -150,6 +170,10 @@ const (
 	StatusUnsat
 	// StatusLimit: a budget expired; Result carries the best incumbent.
 	StatusLimit
+	// StatusError: the solve crashed (a panic was recovered by SafeSolve);
+	// Result.Err carries the panic value and stack. A portfolio member
+	// ending in StatusError degrades the race instead of aborting it.
+	StatusError
 )
 
 func (s Status) String() string {
@@ -160,6 +184,8 @@ func (s Status) String() string {
 		return "satisfiable"
 	case StatusUnsat:
 		return "unsatisfiable"
+	case StatusError:
+		return "error"
 	default:
 		return "limit"
 	}
@@ -183,6 +209,28 @@ type Stats struct {
 	LearnedClauses int64
 	// PBLearned counts cutting-plane constraints derived by PB learning.
 	PBLearned int64
+
+	// Resilience counters (the fallback ladder of the bound procedures).
+	//
+	// BoundFailures counts primary bound calls that failed hard: a panic
+	// recovered inside the estimation, a numerical failure (NaN/Inf), or an
+	// LP solver error.
+	BoundFailures int64
+	// BoundPanics counts the subset of BoundFailures that were recovered
+	// panics (genuine or injected via internal/fault).
+	BoundPanics int64
+	// BoundFallbacks counts nodes whose bound was rescued by the MIS
+	// fallback after the primary procedure failed or returned no usable
+	// bound within its budget.
+	BoundFallbacks int64
+	// BoundDemotions counts circuit-breaker trips: after FallbackAfter
+	// consecutive failures the primary method is demoted to MIS for the
+	// rest of the run (at most 1 per run today; kept a counter for the
+	// portfolio's aggregated stats).
+	BoundDemotions int64
+	// BoundTimeouts counts bound calls that exhausted their per-node
+	// wall-clock budget (sound anytime bound used; not a failure).
+	BoundTimeouts int64
 }
 
 // Result is the outcome of Solve.
@@ -196,6 +244,9 @@ type Result struct {
 	// Values is the best assignment (length NumVars).
 	Values []bool
 	Stats  Stats
+	// Err is set with StatusError: the recovered panic value and stack of a
+	// crashed solve (see SafeSolve).
+	Err error
 }
 
 const upperInf = int64(math.MaxInt64 / 2)
@@ -205,6 +256,11 @@ type solver struct {
 	opt  Options
 	eng  *engine.Engine
 	est  bounds.Estimator
+	// fallback is the cheaper rung of the lower-bound ladder (MIS when the
+	// primary is LPR/LGR; nil otherwise). consecFails counts consecutive
+	// failed primary calls toward the FallbackAfter circuit breaker.
+	fallback    bounds.Estimator
+	consecFails int
 
 	upper    int64 // best objective found so far, excluding CostOffset
 	bestVals []bool
@@ -212,6 +268,8 @@ type solver struct {
 	stats        Stats
 	deadline     time.Time
 	hasDeadline  bool
+	expired      bool  // sticky: deadline passed or Cancel closed
+	lastPropSeen int64 // engine propagation count at the last wall-clock check
 	nodeCounter  int
 	restartIdx   int64
 	conflictsCur int64 // conflicts since last restart
@@ -236,7 +294,13 @@ type cardSet struct {
 
 // Solve runs the configured search on p and returns the result. The input
 // problem is not modified.
+//
+// Solve does not recover panics; callers that must survive a crashing
+// configuration (the portfolio, the harness, services) should use SafeSolve.
 func Solve(p *pb.Problem, opt Options) Result {
+	// fault point "core.solve", keyed by the lower-bound method: lets tests
+	// crash one portfolio member while the others race on.
+	fault.Fire("core.solve", opt.LowerBound.String())
 	if opt.BoundEvery <= 0 {
 		opt.BoundEvery = 1
 	}
@@ -250,12 +314,20 @@ func Solve(p *pb.Problem, opt Options) Result {
 		s.est = bounds.MIS{}
 	case LBLGR:
 		s.est = bounds.LGR{Iterations: opt.LGRIterations, WarmStart: !opt.LGRColdStart}
+		s.fallback = bounds.MIS{}
 	case LBLPR:
 		s.est = bounds.LPR{AlphaFilter: opt.LPRAlphaFilter, ZeroSlackExplanations: opt.LPRZeroSlack}
+		s.fallback = bounds.MIS{}
 	default:
 		s.est = bounds.None{}
 	}
 	s.eng = engine.New(p)
+	if s.hasDeadline || opt.Cancel != nil {
+		// Reach propagation-heavy nodes: the engine polls this inside long
+		// BCP fixpoints, so a single huge propagation cascade cannot
+		// overshoot TimeLimit by seconds.
+		s.eng.Interrupt = s.timeUp
+	}
 	if opt.CardinalityInference {
 		s.prepareCardSets()
 	}
@@ -266,6 +338,24 @@ func Solve(p *pb.Problem, opt Options) Result {
 	res.Stats.Propagations = s.eng.Stats.Propagations
 	res.Stats.LearnedClauses = s.eng.Stats.Learned
 	return res
+}
+
+// SafeSolve is Solve behind a panic barrier: a crash anywhere in the search
+// (a genuine bug, or an injected fault that escaped the bound-level
+// recovery) is converted into a StatusError result carrying the panic value
+// and stack instead of tearing down the process. The portfolio driver and
+// the benchmark harness run every configuration through this wrapper so one
+// crashing config degrades the race rather than aborting it.
+func SafeSolve(p *pb.Problem, opt Options) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{
+				Status: StatusError,
+				Err:    fmt.Errorf("core: solve panicked: %v\n%s", r, debug.Stack()),
+			}
+		}
+	}()
+	return Solve(p, opt)
 }
 
 func (s *solver) pathCost() int64 {
@@ -279,24 +369,147 @@ func (s *solver) pathCost() int64 {
 	return c
 }
 
+// timeUp checks the wall-clock deadline and the Cancel channel; the result
+// is sticky. It doubles as the engine's mid-propagation Interrupt hook.
+func (s *solver) timeUp() bool {
+	if s.expired {
+		return true
+	}
+	if s.hasDeadline && time.Now().After(s.deadline) {
+		s.expired = true
+		return true
+	}
+	if s.opt.Cancel != nil {
+		select {
+		case <-s.opt.Cancel:
+			s.expired = true
+			return true
+		default:
+		}
+	}
+	return false
+}
+
 func (s *solver) budgetExpired() bool {
+	if s.expired {
+		return true
+	}
 	if s.opt.MaxConflicts > 0 && s.stats.BoundConflicts+s.eng.Stats.Conflicts >= s.opt.MaxConflicts {
 		return true
 	}
 	if s.opt.MaxDecisions > 0 && s.eng.Stats.Decisions >= s.opt.MaxDecisions {
 		return true
 	}
-	if s.hasDeadline && s.nodeCounter%64 == 0 && time.Now().After(s.deadline) {
-		return true
+	if !s.hasDeadline && s.opt.Cancel == nil {
+		return false
 	}
-	if s.opt.Cancel != nil && s.nodeCounter%64 == 0 {
-		select {
-		case <-s.opt.Cancel:
-			return true
-		default:
-		}
+	// Wall-clock / cancellation granularity: consult the clock every 16
+	// nodes, and additionally whenever propagation has advanced far since
+	// the last check — so propagation-heavy nodes cannot ride a cheap node
+	// counter past the deadline. (The engine Interrupt hook covers a single
+	// huge fixpoint; this covers many medium ones.)
+	if s.nodeCounter%16 == 0 || s.eng.Stats.Propagations-s.lastPropSeen >= 2048 {
+		s.lastPropSeen = s.eng.Stats.Propagations
+		return s.timeUp()
 	}
 	return false
+}
+
+// boundBudget derives the wall-clock budget for one lower-bound estimation:
+// an explicit Options.BoundBudget wins; otherwise an eighth of the remaining
+// TimeLimit, clamped to [5ms, 500ms]. The budget never extends past the
+// run's own deadline, and carries the Cancel channel so a cancelled search
+// does not sit inside a subgradient loop.
+func (s *solver) boundBudget() bounds.Budget {
+	bud := bounds.Budget{Cancel: s.opt.Cancel}
+	bb := s.opt.BoundBudget
+	if bb < 0 {
+		bb = 0 // explicitly uncapped
+	} else if bb == 0 && s.hasDeadline {
+		rem := time.Until(s.deadline)
+		if rem < 0 {
+			rem = 0
+		}
+		bb = rem / 8
+		if bb > 500*time.Millisecond {
+			bb = 500 * time.Millisecond
+		}
+		if bb < 5*time.Millisecond {
+			bb = 5 * time.Millisecond
+		}
+	}
+	if bb > 0 {
+		bud.Deadline = time.Now().Add(bb)
+	}
+	if s.hasDeadline && (bud.Deadline.IsZero() || s.deadline.Before(bud.Deadline)) {
+		bud.Deadline = s.deadline
+	}
+	return bud
+}
+
+// estimate runs the lower-bound ladder at one node: the primary procedure
+// behind a panic barrier, then — if the primary failed (panic, numerical
+// corruption, solver error) or produced no usable bound within its budget —
+// the MIS fallback, so the node still prunes with eq. 8/eq. 9 bound
+// conflicts where possible. After FallbackAfter consecutive hard failures
+// the circuit breaker demotes the primary to MIS for the rest of the run.
+func (s *solver) estimate(red *bounds.Reduced, target int64) bounds.Result {
+	bud := s.boundBudget()
+	res, failed := s.tryEstimate(s.est, red, target, bud)
+	if res.Incomplete {
+		s.stats.BoundTimeouts++
+	}
+	if !failed {
+		s.consecFails = 0
+		// A budget-limited call that produced nothing still deserves the
+		// cheap fallback — without feeding the circuit breaker.
+		if res.Incomplete && res.Bound <= 0 && s.fallback != nil {
+			if fres, ffailed := s.tryEstimate(s.fallback, red, target, bud); !ffailed && fres.Bound > 0 {
+				s.stats.BoundFallbacks++
+				return fres
+			}
+		}
+		return res
+	}
+	s.stats.BoundFailures++
+	s.consecFails++
+	if s.fallback != nil {
+		if fres, ffailed := s.tryEstimate(s.fallback, red, target, bud); !ffailed {
+			s.stats.BoundFallbacks++
+			res = fres
+		}
+	}
+	threshold := s.opt.FallbackAfter
+	if threshold == 0 {
+		threshold = 8
+	}
+	if threshold > 0 && s.consecFails >= threshold && s.fallback != nil {
+		// Demote: the primary procedure is persistently failing; stop
+		// paying for it (and for its panics) at every node.
+		s.est = s.fallback
+		s.fallback = nil
+		s.consecFails = 0
+		s.stats.BoundDemotions++
+	}
+	return res
+}
+
+// tryEstimate runs one estimator behind a recover barrier and sanitizes the
+// outcome. failed reports a hard failure: the result carries no usable
+// information and the call counts toward the circuit breaker.
+func (s *solver) tryEstimate(est bounds.Estimator, red *bounds.Reduced, target int64, bud bounds.Budget) (res bounds.Result, failed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.stats.BoundPanics++
+			res = bounds.Result{}
+			failed = true
+		}
+	}()
+	res = est.Estimate(s.eng, red, s.prob.Cost, target, bud)
+	if res.Failed || res.Bound < 0 {
+		return bounds.Result{}, true
+	}
+	return res, false
 }
 
 // finish converts the incumbent state into a terminal result.
@@ -361,7 +574,7 @@ func (s *solver) search() Result {
 			s.nodeCounter%s.opt.BoundEvery == 0 {
 			red := bounds.Extract(s.eng)
 			s.stats.BoundCalls++
-			res := s.est.Estimate(s.eng, red, s.prob.Cost, s.upper-path)
+			res := s.estimate(red, s.upper-path)
 			if path+res.Bound >= s.upper {
 				s.stats.BoundPrunes++
 				if !s.boundConflict(res.Responsible, res.ExcludedVars) {

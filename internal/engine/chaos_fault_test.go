@@ -1,0 +1,157 @@
+// Fault-driven variant of the chaos stress test. It lives in package
+// engine_test so it can layer the bounds estimators (which import engine)
+// and the fault framework on top of the same feature-interleaving loop.
+package engine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/pb"
+)
+
+// TestChaosWithInjectedLPRFailures interleaves injected LPR failures with
+// the engine feature stress loop: at every propagation fixpoint the LPR
+// estimator runs against the live engine state with its fault points armed
+// (panics on ~1-in-3 calls, pivot corruption on ~1-in-4). The injected
+// failures must never corrupt the engine — counter invariants hold after
+// every recovery — and the final classification must still match
+// pb.BruteForce exactly as in the unfaulted chaos test. Bounds that do come
+// back are cross-checked against the brute-force optimum for soundness.
+func TestChaosWithInjectedLPRFailures(t *testing.T) {
+	defer fault.Reset()
+	rng := rand.New(rand.NewSource(27182))
+	var panics, boundsSeen int
+	for iter := 0; iter < 80; iter++ {
+		n := 5 + rng.Intn(6)
+		p := pb.NewProblem(n)
+		for v := 0; v < n; v++ {
+			p.SetCost(pb.Var(v), int64(rng.Intn(6)))
+		}
+		m := 3 + rng.Intn(10)
+		for i := 0; i < m; i++ {
+			nt := 1 + rng.Intn(4)
+			terms := make([]pb.Term, nt)
+			for k := range terms {
+				terms[k] = pb.Term{
+					Coef: int64(1 + rng.Intn(4)),
+					Lit:  pb.MkLit(pb.Var(rng.Intn(n)), rng.Intn(2) == 0),
+				}
+			}
+			_ = p.AddConstraint(terms, pb.GE, int64(1+rng.Intn(5)))
+		}
+		want := pb.BruteForce(p)
+
+		fault.Reset()
+		fault.Arm("lpr.solve", fault.Spec{Kind: fault.KindPanic, Prob: 0.34, Seed: int64(iter + 1)})
+		fault.Arm("lp.pivot", fault.Spec{Kind: fault.KindCorrupt, Prob: 0.25, Seed: int64(iter + 7)})
+
+		e := engine.New(p)
+		if e.SeedUnits() < 0 {
+			if want.Feasible {
+				t.Fatalf("iter %d: seed claims conflict on feasible instance", iter)
+			}
+			continue
+		}
+		est := bounds.LPR{}
+		sat, done := false, false
+		for conflicts := 0; conflicts < 20000; {
+			confl := e.Propagate()
+			if confl >= 0 {
+				conflicts++
+				if rng.Intn(2) == 0 {
+					if terms, deg := e.AnalyzeCuttingPlane(confl); terms != nil {
+						ci := e.AddCons(terms, deg, true)
+						e.ScheduleCheck(ci)
+					}
+				}
+				res := e.AnalyzeConstraint(confl)
+				if res.Unsat {
+					done = true
+					break
+				}
+				if e.LearnAndBackjump(res) < 0 {
+					done = true
+					break
+				}
+				switch rng.Intn(8) {
+				case 0:
+					e.BacktrackTo(0)
+				case 1:
+					e.BacktrackTo(0)
+					e.ReduceDB()
+				}
+				continue
+			}
+
+			// Propagation fixpoint: run the faulted LPR bound against the
+			// live engine state. A panic here is the injected fault — it
+			// must leave the engine untouched.
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if !fault.IsInjected(r) {
+							panic(r)
+						}
+						panics++
+					}
+				}()
+				red := bounds.Extract(e)
+				bres := est.Estimate(e, red, p.Cost, 1<<30, bounds.Budget{})
+				if !bres.Failed && bres.Bound > 0 && want.Feasible {
+					boundsSeen++
+					// Soundness cross-check, valid at decision level 0 only:
+					// level-0 assignments hold in every model, so the bound
+					// plus the cost of the forced-true literals can never
+					// exceed the global optimum. (Deeper in the tree the
+					// subtree optimum may exceed the global one, so the
+					// check would be meaningless there.)
+					if e.DecisionLevel() == 0 {
+						path := int64(0)
+						for v := 0; v < n; v++ {
+							if e.Value(pb.Var(v)) == engine.True {
+								path += p.Cost[v]
+							}
+						}
+						if path+bres.Bound > want.Optimum {
+							t.Fatalf("iter %d: unsound root bound %d + forced %d > optimum %d",
+								iter, bres.Bound, path, want.Optimum)
+						}
+					}
+				}
+			}()
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatalf("iter %d: invariants broken after faulted bound: %v", iter, err)
+			}
+
+			if e.NumUnsatisfied() == 0 {
+				sat, done = true, true
+				break
+			}
+			v := e.PickBranchVar()
+			if v < 0 {
+				break
+			}
+			e.Decide(pb.MkLit(v, e.PreferredPhase(v) == engine.False))
+		}
+		fault.Reset()
+		if !done {
+			t.Fatalf("iter %d: conflict budget exhausted", iter)
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if sat != want.Feasible {
+			t.Fatalf("iter %d: sat=%v brute=%v", iter, sat, want.Feasible)
+		}
+	}
+	if panics == 0 {
+		t.Fatal("LPR fault never fired inside the chaos loop")
+	}
+	if boundsSeen == 0 {
+		t.Fatal("no successful bounds between faults: nothing cross-checked")
+	}
+}

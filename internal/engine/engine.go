@@ -130,6 +130,15 @@ type Engine struct {
 	// literal l (see watched.go).
 	watchList [][]int32
 
+	// Interrupt, when non-nil, is polled every ~1k propagations inside
+	// Propagate; returning true stops the fixpoint early and Propagate
+	// returns -1 (no conflict). The caller is expected to notice that its
+	// budget expired and abort the search — the engine state stays
+	// consistent (merely not yet at fixpoint; a later Propagate resumes).
+	// This is how deadline/cancellation checks reach propagation-heavy
+	// nodes that would otherwise overshoot the time limit by seconds.
+	Interrupt func() bool
+
 	Stats Stats
 }
 
@@ -464,6 +473,9 @@ func (e *Engine) Propagate() int {
 		l := e.trail[e.propHead]
 		e.propHead++
 		e.Stats.Propagations++
+		if e.Interrupt != nil && e.Stats.Propagations&1023 == 0 && e.Interrupt() {
+			return -1 // budget expired mid-fixpoint; caller aborts
+		}
 		// Literal ¬l became false: every constraint containing ¬l lost
 		// weight and may now be conflicting or propagating.
 		nl := l.Neg()

@@ -1,0 +1,231 @@
+// Package fault is a lightweight fault-injection framework for resilience
+// testing. Production code declares *named injection points* on its hot
+// paths — fault.Fire("lpr.solve"), fault.Corrupt("lp.pivot", piv) — which
+// are no-ops (a single atomic load) unless a test arms the point with a
+// failure Spec. Armed points can inject
+//
+//   - panics (Kind Panic), to exercise the panic-isolation and fallback
+//     ladders in core and portfolio;
+//   - artificial delays (Kind Delay), to exercise deadline propagation into
+//     the bound procedures;
+//   - numeric corruption (Kind Corrupt), turning a float value into NaN (or
+//     an overflow-scale value), to exercise the numerical-failure detection
+//     in the simplex and the bound estimators.
+//
+// Arming is global to the process, so tests that arm points must not run in
+// parallel with each other and should `defer fault.Reset()`. All operations
+// are safe for concurrent use by the instrumented code (the portfolio runs
+// solver workers on separate goroutines).
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects what an armed point injects when it fires.
+type Kind int
+
+const (
+	// Panic makes the point panic with an *Injected value.
+	KindPanic Kind = iota
+	// Delay makes the point sleep for Spec.Delay.
+	KindDelay
+	// Corrupt makes Corrupt() return NaN (or Spec.Value when non-zero)
+	// instead of the original value. Fire() treats Corrupt as a no-op.
+	KindCorrupt
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	default:
+		return "corrupt"
+	}
+}
+
+// Spec configures when and how an armed point fires.
+type Spec struct {
+	Kind Kind
+	// Every fires the point on every k-th matching hit (1 = every hit).
+	// When zero, Prob governs firing instead.
+	Every int
+	// Prob fires the point independently with this probability per matching
+	// hit (used only when Every == 0). Deterministic under Seed.
+	Prob float64
+	// Seed seeds the per-point RNG used for Prob (0 = a fixed default).
+	Seed int64
+	// Delay is the sleep duration for Kind Delay.
+	Delay time.Duration
+	// Value replaces the input of Corrupt when the point fires; the zero
+	// value means NaN.
+	Value float64
+	// Match restricts firing to hits that pass a matching key (see Fire's
+	// variadic keys). Empty matches every hit.
+	Match string
+}
+
+// Injected is the panic value used by Kind Panic, so recover sites can tell
+// injected crashes from genuine ones.
+type Injected struct {
+	Point string
+}
+
+func (in *Injected) Error() string { return "fault: injected panic at " + in.Point }
+
+type point struct {
+	spec  Spec
+	hits  int64 // matching hits observed
+	fires int64 // hits that actually fired
+	rng   *rand.Rand
+}
+
+var (
+	mu     sync.Mutex
+	armed  atomic.Int32 // number of armed points; fast-path gate
+	points = map[string]*point{}
+)
+
+// Arm installs (or replaces) the failure spec for the named point.
+func Arm(name string, s Spec) {
+	if s.Every == 0 && s.Prob <= 0 {
+		s.Every = 1 // arming with a zero spec means "always fire"
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 0x5eed + int64(len(name))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; !ok {
+		armed.Add(1)
+	}
+	points[name] = &point{spec: s, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Disarm removes the spec for the named point (no-op when not armed).
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every point. Tests that arm points should defer this.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for name := range points {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Active reports whether any point is armed (cheap; used by instrumented
+// code that wants to skip building Fire arguments).
+func Active() bool { return armed.Load() != 0 }
+
+// Counts returns how many matching hits the named point has observed and how
+// many of them fired, since it was armed.
+func Counts(name string) (hits, fires int64) {
+	mu.Lock()
+	defer mu.Unlock()
+	if pt, ok := points[name]; ok {
+		return pt.hits, pt.fires
+	}
+	return 0, 0
+}
+
+// shouldFire consults the named point. It returns the spec and true when the
+// point fires. The zero Spec is returned for unarmed points.
+func shouldFire(name string, keys []string) (Spec, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	pt, ok := points[name]
+	if !ok {
+		return Spec{}, false
+	}
+	if pt.spec.Match != "" {
+		matched := false
+		for _, k := range keys {
+			if k == pt.spec.Match {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return Spec{}, false
+		}
+	}
+	pt.hits++
+	fire := false
+	if pt.spec.Every > 0 {
+		fire = pt.hits%int64(pt.spec.Every) == 0
+	} else {
+		fire = pt.rng.Float64() < pt.spec.Prob
+	}
+	if fire {
+		pt.fires++
+	}
+	return pt.spec, fire
+}
+
+// Fire is the hot-path hook for panic and delay injection. It is a no-op
+// (one atomic load) unless the named point is armed and fires. keys are
+// matched against Spec.Match; a point armed without Match fires regardless.
+func Fire(name string, keys ...string) {
+	if armed.Load() == 0 {
+		return
+	}
+	spec, fire := shouldFire(name, keys)
+	if !fire {
+		return
+	}
+	switch spec.Kind {
+	case KindPanic:
+		panic(&Injected{Point: name})
+	case KindDelay:
+		time.Sleep(spec.Delay)
+	}
+	// Corrupt specs are meaningful only for Corrupt(); ignore here.
+}
+
+// Corrupt passes v through unless the named point is armed with Kind
+// Corrupt and fires, in which case it returns NaN (or Spec.Value). Points
+// armed with Panic or Delay behave exactly like Fire.
+func Corrupt(name string, v float64, keys ...string) float64 {
+	if armed.Load() == 0 {
+		return v
+	}
+	spec, fire := shouldFire(name, keys)
+	if !fire {
+		return v
+	}
+	switch spec.Kind {
+	case KindPanic:
+		panic(&Injected{Point: name})
+	case KindDelay:
+		time.Sleep(spec.Delay)
+		return v
+	default:
+		if spec.Value != 0 {
+			return spec.Value
+		}
+		return math.NaN()
+	}
+}
+
+// IsInjected reports whether a recovered panic value originates from this
+// package (useful for assertions and for re-panicking on genuine bugs).
+func IsInjected(r any) bool {
+	_, ok := r.(*Injected)
+	return ok
+}

@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUnarmedIsNoop(t *testing.T) {
+	Reset()
+	Fire("nope")
+	if v := Corrupt("nope", 3.5); v != 3.5 {
+		t.Fatalf("Corrupt on unarmed point changed value: %v", v)
+	}
+	if Active() {
+		t.Fatal("Active() true with no armed points")
+	}
+}
+
+func TestEverySemantics(t *testing.T) {
+	defer Reset()
+	Arm("p", Spec{Kind: KindPanic, Every: 3})
+	fires := 0
+	for i := 0; i < 9; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if !IsInjected(r) {
+						t.Fatalf("panic value not Injected: %v", r)
+					}
+					fires++
+				}
+			}()
+			Fire("p")
+		}()
+	}
+	if fires != 3 {
+		t.Fatalf("Every=3 over 9 hits fired %d times, want 3", fires)
+	}
+	hits, fired := Counts("p")
+	if hits != 9 || fired != 3 {
+		t.Fatalf("Counts = (%d,%d), want (9,3)", hits, fired)
+	}
+}
+
+func TestProbDeterministicUnderSeed(t *testing.T) {
+	defer Reset()
+	run := func() int64 {
+		Arm("q", Spec{Kind: KindDelay, Prob: 0.5, Seed: 42})
+		for i := 0; i < 100; i++ {
+			Fire("q")
+		}
+		_, fires := Counts("q")
+		Disarm("q")
+		return fires
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different fire counts: %d vs %d", a, b)
+	}
+	if a == 0 || a == 100 {
+		t.Fatalf("Prob=0.5 fired %d/100 times; want something in between", a)
+	}
+}
+
+func TestMatchFilter(t *testing.T) {
+	defer Reset()
+	Arm("worker", Spec{Kind: KindCorrupt, Every: 1, Match: "lpr"})
+	if v := Corrupt("worker", 1.0, "mis"); v != 1.0 {
+		t.Fatalf("non-matching key fired: %v", v)
+	}
+	if v := Corrupt("worker", 1.0, "lpr"); !math.IsNaN(v) {
+		t.Fatalf("matching key did not corrupt: %v", v)
+	}
+	hits, fires := Counts("worker")
+	if hits != 1 || fires != 1 {
+		t.Fatalf("non-matching hits counted: (%d,%d), want (1,1)", hits, fires)
+	}
+}
+
+func TestCorruptValueOverride(t *testing.T) {
+	defer Reset()
+	Arm("c", Spec{Kind: KindCorrupt, Every: 1, Value: math.Inf(1)})
+	if v := Corrupt("c", 2.0); !math.IsInf(v, 1) {
+		t.Fatalf("Value override ignored: %v", v)
+	}
+}
+
+func TestDelayActuallySleeps(t *testing.T) {
+	defer Reset()
+	Arm("d", Spec{Kind: KindDelay, Every: 1, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	Fire("d")
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("delay fired but only slept %v", el)
+	}
+}
+
+func TestConcurrentFireIsSafe(t *testing.T) {
+	defer Reset()
+	Arm("race", Spec{Kind: KindDelay, Prob: 0.5, Delay: 0})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				Fire("race")
+				Corrupt("race2", 1.0)
+			}
+		}()
+	}
+	wg.Wait()
+	hits, _ := Counts("race")
+	if hits != 8000 {
+		t.Fatalf("lost hits under concurrency: %d, want 8000", hits)
+	}
+}
+
+func TestResetDisarmsEverything(t *testing.T) {
+	Arm("a", Spec{Kind: KindPanic, Every: 1})
+	Arm("b", Spec{Kind: KindPanic, Every: 1})
+	Reset()
+	if Active() {
+		t.Fatal("Active() after Reset")
+	}
+	Fire("a") // must not panic
+	Fire("b")
+}

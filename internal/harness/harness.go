@@ -194,36 +194,50 @@ type RunResult struct {
 	HasUB    bool
 	Best     int64 // incumbent (upper bound when !Solved)
 	Duration time.Duration
+	// Err is non-empty when the solver crashed (recovered panic) or ended
+	// in core.StatusError; the cell renders as "crash" and never counts as
+	// solved. One crashing column must not abort a whole table run.
+	Err string
 }
 
-// Run executes one solver on one instance.
+// Run executes one solver on one instance. The solver runs behind a panic
+// barrier: a crash is reported in RunResult.Err instead of tearing down the
+// matrix run.
 func Run(inst Instance, id SolverID, lim Limits) RunResult {
 	start := time.Now()
 	rr := RunResult{Instance: inst.Name, Family: inst.Family, Solver: id}
 	bl := baseline.Limits{TimeLimit: lim.Time, MaxConflicts: lim.MaxConflicts}
-	switch id {
-	case SolverPBS:
-		fill(&rr, baseline.PBS(inst.Prob, bl))
-	case SolverGalena:
-		fill(&rr, baseline.Galena(inst.Prob, bl))
-	case SolverMILP:
-		nodes := lim.MilpNodes
-		if nodes == 0 {
-			nodes = 2_000_000
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				rr.Solved, rr.HasUB = false, false
+				rr.Err = fmt.Sprintf("panic: %v", r)
+			}
+		}()
+		switch id {
+		case SolverPBS:
+			fill(&rr, baseline.PBS(inst.Prob, bl))
+		case SolverGalena:
+			fill(&rr, baseline.Galena(inst.Prob, bl))
+		case SolverMILP:
+			nodes := lim.MilpNodes
+			if nodes == 0 {
+				nodes = 2_000_000
+			}
+			m := milp.Solve(inst.Prob, milp.Options{TimeLimit: lim.Time, MaxNodes: nodes})
+			rr.Solved = m.Status == milp.StatusOptimal || m.Status == milp.StatusInfeasible
+			rr.HasUB = m.HasSolution
+			rr.Best = m.Best
+		case SolverPlain:
+			fill(&rr, baseline.Bsolo(inst.Prob, core.LBNone, bl))
+		case SolverMIS:
+			fill(&rr, baseline.Bsolo(inst.Prob, core.LBMIS, bl))
+		case SolverLGR:
+			fill(&rr, baseline.Bsolo(inst.Prob, core.LBLGR, bl))
+		case SolverLPR:
+			fill(&rr, baseline.Bsolo(inst.Prob, core.LBLPR, bl))
 		}
-		m := milp.Solve(inst.Prob, milp.Options{TimeLimit: lim.Time, MaxNodes: nodes})
-		rr.Solved = m.Status == milp.StatusOptimal || m.Status == milp.StatusInfeasible
-		rr.HasUB = m.HasSolution
-		rr.Best = m.Best
-	case SolverPlain:
-		fill(&rr, baseline.Bsolo(inst.Prob, core.LBNone, bl))
-	case SolverMIS:
-		fill(&rr, baseline.Bsolo(inst.Prob, core.LBMIS, bl))
-	case SolverLGR:
-		fill(&rr, baseline.Bsolo(inst.Prob, core.LBLGR, bl))
-	case SolverLPR:
-		fill(&rr, baseline.Bsolo(inst.Prob, core.LBLPR, bl))
-	}
+	}()
 	rr.Duration = time.Since(start)
 	// Enforce the wall-clock budget strictly (the paper's 1h cutoff): a
 	// solver that only finished after the deadline does not count as
@@ -240,6 +254,14 @@ func fill(rr *RunResult, res core.Result) {
 		res.Status == core.StatusUnsat
 	rr.HasUB = res.HasSolution
 	rr.Best = res.Best
+	if res.Status == core.StatusError {
+		rr.Solved, rr.HasUB = false, false
+		if res.Err != nil {
+			rr.Err = res.Err.Error()
+		} else {
+			rr.Err = "error"
+		}
+	}
 }
 
 // RunMatrix runs every solver on every instance.
@@ -288,6 +310,8 @@ func FormatTable(results []RunResult, solvers []SolverID) string {
 			case r.Solved:
 				solved[s]++
 				fmt.Fprintf(&sb, " %12s", fmtDur(r.Duration))
+			case r.Err != "":
+				fmt.Fprintf(&sb, " %12s", "crash")
 			case r.HasUB:
 				fmt.Fprintf(&sb, " %12s", fmt.Sprintf("ub %d", r.Best))
 			default:

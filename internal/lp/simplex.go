@@ -16,6 +16,9 @@ package lp
 import (
 	"fmt"
 	"math"
+	"time"
+
+	"repro/internal/fault"
 )
 
 // Entry is one nonzero coefficient of a row.
@@ -40,6 +43,11 @@ type Problem struct {
 	// MaxIter bounds the total number of simplex iterations (both phases).
 	// Zero selects a size-dependent default.
 	MaxIter int
+	// Deadline, when non-zero, bounds wall-clock time: the solve returns
+	// with Status IterLimit (the anytime outcome) as soon as the deadline is
+	// observed, checked every few dozen iterations. This is how the search's
+	// per-node bound budget propagates into the simplex.
+	Deadline time.Time
 }
 
 // Status is the outcome of a solve.
@@ -53,8 +61,13 @@ const (
 	// Unbounded: the objective decreases without bound (cannot occur when
 	// all variables have finite bounds).
 	Unbounded
-	// IterLimit: the iteration budget was exhausted before optimality.
+	// IterLimit: the iteration budget (or the wall-clock Deadline) was
+	// exhausted before optimality.
 	IterLimit
+	// Numerical: floating-point corruption (NaN/Inf) was detected in the
+	// working state; the solution is unusable. Callers should treat this as
+	// a failed bound call and fall back to a cheaper procedure.
+	Numerical
 )
 
 func (s Status) String() string {
@@ -65,6 +78,8 @@ func (s Status) String() string {
 		return "infeasible"
 	case Unbounded:
 		return "unbounded"
+	case Numerical:
+		return "numerical"
 	default:
 		return "iterlimit"
 	}
@@ -111,9 +126,10 @@ type simplex struct {
 	basis   []int
 	inBasis []bool
 	status  []nbStatus // nonbasic status per variable
-	xval    []float64  // value of nonbasic variables (at a bound)
-	iters   int
-	maxIter int
+	xval     []float64 // value of nonbasic variables (at a bound)
+	iters    int
+	maxIter  int
+	deadline time.Time // zero = no wall-clock cap
 }
 
 // Solve solves the LP. It never panics on valid input; malformed input
@@ -159,7 +175,7 @@ func Solve(p *Problem) (Solution, error) {
 		}
 	}
 
-	s := &simplex{n: n, m: m, nTot: n + 2*m}
+	s := &simplex{n: n, m: m, nTot: n + 2*m, deadline: p.Deadline}
 	s.maxIter = p.MaxIter
 	if s.maxIter == 0 {
 		s.maxIter = 100*(n+m) + 5000
@@ -250,8 +266,8 @@ func Solve(p *Problem) (Solution, error) {
 			cost1[j] = 1
 		}
 		st := s.run(cost1)
-		if st == IterLimit {
-			return Solution{Status: IterLimit, Iterations: s.iters}, nil
+		if st == IterLimit || st == Numerical {
+			return Solution{Status: st, Iterations: s.iters}, nil
 		}
 		var art float64
 		for i := 0; i < m; i++ {
@@ -292,6 +308,9 @@ func Solve(p *Problem) (Solution, error) {
 	} else if st == Unbounded {
 		sol.Status = Unbounded
 		return sol, nil
+	} else if st == Numerical {
+		sol.Status = Numerical
+		return sol, nil
 	}
 	// Extract primal values.
 	x := make([]float64, n)
@@ -318,6 +337,11 @@ func Solve(p *Problem) (Solution, error) {
 	var obj float64
 	for j := 0; j < n; j++ {
 		obj += p.Cost[j] * x[j]
+	}
+	if math.IsNaN(obj) || math.IsInf(obj, 0) {
+		// Corruption that slipped past the periodic checks (e.g. a NaN
+		// introduced on the very last pivot): refuse to report a solution.
+		return Solution{Status: Numerical, Iterations: s.iters}, nil
 	}
 	sol.Objective = obj
 	// Slacks from the original rows.
@@ -417,9 +441,17 @@ func (s *simplex) run(cost []float64) Status {
 
 	blandAfter := s.maxIter / 2
 	for ; s.iters < s.maxIter; s.iters++ {
+		if s.iters%64 == 63 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			// Wall-clock budget exhausted: stop with the current (still
+			// primal-feasible) basis — the anytime outcome.
+			return IterLimit
+		}
 		if s.iters%256 == 255 {
 			s.refreshBeta()
 			recomputeD()
+			if s.corrupted() {
+				return Numerical
+			}
 		}
 		bland := s.iters > blandAfter
 		enter := price(bland)
@@ -497,7 +529,12 @@ func (s *simplex) run(cost []float64) Status {
 		s.basis[r] = enter
 		s.beta[r] = enterVal
 		// Gauss-Jordan elimination on column enter, pivot row r.
-		piv := s.tab[r][enter]
+		// fault point "lp.pivot": tests corrupt the pivot (NaN/overflow) to
+		// exercise the Numerical detection and the caller's fallback ladder.
+		piv := fault.Corrupt("lp.pivot", s.tab[r][enter])
+		if math.IsNaN(piv) || math.IsInf(piv, 0) {
+			return Numerical
+		}
 		if math.Abs(piv) < epsPivot {
 			// Numerically unusable pivot: refresh and retry next iteration.
 			s.refreshBeta()
@@ -536,6 +573,19 @@ func (s *simplex) run(cost []float64) Status {
 		d[enter] = 0
 	}
 	return IterLimit
+}
+
+// corrupted reports whether floating-point corruption (NaN/Inf) has reached
+// the working basic solution. Called from the periodic refresh so the cost
+// stays off the per-pivot path.
+func (s *simplex) corrupted() bool {
+	for i := 0; i < s.m; i++ {
+		if math.IsNaN(s.beta[i]) || math.IsInf(s.beta[i], 0) ||
+			math.IsNaN(s.rhsB[i]) || math.IsInf(s.rhsB[i], 0) {
+			return true
+		}
+	}
+	return false
 }
 
 // refreshBeta recomputes the basic variable values from rhsB and the

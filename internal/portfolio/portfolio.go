@@ -9,12 +9,20 @@
 // satisfiability for objective-free instances) the others are cancelled.
 // If every worker hits its budget, the best incumbent across workers is
 // returned.
+//
+// Workers are panic-isolated: a member that crashes (a genuine bug, or an
+// injected fault in tests) ends as core.StatusError and merely degrades the
+// race — the surviving members still produce the answer. Crash details are
+// reported in Result.Errors.
 package portfolio
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/pb"
 )
 
@@ -44,11 +52,22 @@ type Result struct {
 	// Winner names the member that produced the result ("" when no member
 	// finished and the best incumbent was stitched together).
 	Winner string
+	// Errors maps member names to their crash (recovered panic) when they
+	// ended in core.StatusError. Nil when every member ran to completion.
+	Errors map[string]error
 }
 
 // Solve races the given configurations. Limits in each member's Options
 // still apply individually (set a common TimeLimit to bound the whole run).
 func Solve(p *pb.Problem, configs []Config) Result {
+	return SolveWithCancel(p, configs, nil)
+}
+
+// SolveWithCancel is Solve with an external stop channel: closing stop
+// cancels every member, and the best incumbent found so far is stitched
+// together (StatusLimit), exactly as when all members hit their budgets.
+// Used by the CLI's SIGINT/SIGTERM handler.
+func SolveWithCancel(p *pb.Problem, configs []Config, stop <-chan struct{}) Result {
 	if len(configs) == 0 {
 		configs = DefaultConfigs()
 	}
@@ -57,15 +76,26 @@ func Solve(p *pb.Problem, configs []Config) Result {
 		res  core.Result
 	}
 	cancel := make(chan struct{})
+	var cancelOnce sync.Once
+	closeCancel := func() { cancelOnce.Do(func() { close(cancel) }) }
+	if stop != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-stop:
+				closeCancel()
+			case <-done:
+			}
+		}()
+	}
 	results := make(chan outcome, len(configs))
 	var wg sync.WaitGroup
 	for _, cfg := range configs {
 		wg.Add(1)
 		go func(cfg Config) {
 			defer wg.Done()
-			opt := cfg.Options
-			opt.Cancel = cancel
-			results <- outcome{cfg.name(), core.Solve(p, opt)}
+			results <- outcome{cfg.name(), runMember(p, cfg, cancel)}
 		}(cfg)
 	}
 
@@ -75,11 +105,21 @@ func Solve(p *pb.Problem, configs []Config) Result {
 		return s == core.StatusOptimal || s == core.StatusSatisfiable || s == core.StatusUnsat
 	}
 	var winner *outcome
+	var errs map[string]error
 	for i := 0; i < len(configs); i++ {
 		oc := <-results
+		if oc.res.Status == core.StatusError {
+			// Panic isolation: record the crash and keep consuming results —
+			// the race degrades instead of aborting.
+			if errs == nil {
+				errs = map[string]error{}
+			}
+			errs[oc.name] = oc.res.Err
+			continue
+		}
 		if winner == nil && conclusive(oc.res.Status) {
 			winner = &oc
-			close(cancel) // stop the rest
+			closeCancel() // stop the rest
 		}
 		// Track the best incumbent for the all-limits case.
 		if oc.res.HasSolution && (!gotBest || !best.HasSolution || oc.res.Best < best.Best) {
@@ -89,13 +129,32 @@ func Solve(p *pb.Problem, configs []Config) Result {
 	}
 	wg.Wait()
 	if winner != nil {
-		return Result{Result: winner.res, Winner: winner.name}
+		return Result{Result: winner.res, Winner: winner.name, Errors: errs}
 	}
 	if gotBest {
 		best.Status = core.StatusLimit
+		best.Errors = errs
 		return best
 	}
-	return Result{Result: core.Result{Status: core.StatusLimit}}
+	return Result{Result: core.Result{Status: core.StatusLimit}, Errors: errs}
+}
+
+// runMember executes one configuration behind a panic barrier, so a member
+// crash (including one injected at the "portfolio.worker" fault point,
+// keyed by member name) becomes a StatusError outcome.
+func runMember(p *pb.Problem, cfg Config, cancel <-chan struct{}) (res core.Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = core.Result{
+				Status: core.StatusError,
+				Err:    fmt.Errorf("portfolio: member %q panicked: %v\n%s", cfg.name(), r, debug.Stack()),
+			}
+		}
+	}()
+	fault.Fire("portfolio.worker", cfg.name())
+	opt := cfg.Options
+	opt.Cancel = cancel
+	return core.Solve(p, opt)
 }
 
 func (c Config) name() string {

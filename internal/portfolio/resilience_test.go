@@ -1,0 +1,114 @@
+package portfolio
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/pb"
+)
+
+// TestPanickingMemberDoesNotPreventWin is the ISSUE's portfolio acceptance
+// property: with the "lpr" member armed to panic on entry, a surviving
+// member must still win the race with the brute-force optimum, and the
+// crash must be reported in Errors rather than aborting the portfolio.
+func TestPanickingMemberDoesNotPreventWin(t *testing.T) {
+	defer fault.Reset()
+	rng := rand.New(rand.NewSource(31337))
+	sawCrash := false
+	for iter := 0; iter < 40; iter++ {
+		p := randomPBO(rng, 2+rng.Intn(7), 1+rng.Intn(8))
+		want := pb.BruteForce(p)
+
+		fault.Reset()
+		fault.Arm("portfolio.worker", fault.Spec{Kind: fault.KindPanic, Every: 1, Match: "lpr"})
+		res := Solve(p, DefaultConfigs())
+		fault.Reset()
+
+		if want.Feasible {
+			if res.Status != core.StatusOptimal || res.Best != want.Optimum {
+				t.Fatalf("iter %d: status=%v best=%d want optimal %d",
+					iter, res.Status, res.Best, want.Optimum)
+			}
+			if !p.Feasible(res.Values) {
+				t.Fatalf("iter %d: winner returned infeasible values", iter)
+			}
+		} else if res.Status != core.StatusUnsat {
+			t.Fatalf("iter %d: status=%v want unsat", iter, res.Status)
+		}
+		if res.Winner == "lpr" {
+			t.Fatalf("iter %d: the crashed member cannot win", iter)
+		}
+		if err, ok := res.Errors["lpr"]; ok {
+			sawCrash = true
+			if err == nil || !strings.Contains(err.Error(), "panicked") {
+				t.Fatalf("iter %d: crash error missing panic context: %v", iter, err)
+			}
+		}
+	}
+	if !sawCrash {
+		t.Fatal("the armed member never crashed: the test exercised nothing")
+	}
+}
+
+// TestAllMembersCrashReportsEveryError arms the worker point without a
+// Match key so every member panics: the portfolio must degrade to a
+// solution-less StatusLimit with all four crashes recorded.
+func TestAllMembersCrashReportsEveryError(t *testing.T) {
+	defer fault.Reset()
+	rng := rand.New(rand.NewSource(99))
+	p := randomPBO(rng, 6, 6)
+	fault.Arm("portfolio.worker", fault.Spec{Kind: fault.KindPanic, Every: 1})
+	res := Solve(p, DefaultConfigs())
+	fault.Reset()
+	if res.Status != core.StatusLimit {
+		t.Fatalf("status=%v want limit", res.Status)
+	}
+	if res.HasSolution {
+		t.Fatal("no member survived yet a solution was reported")
+	}
+	if len(res.Errors) != 4 {
+		t.Fatalf("got %d errors, want 4: %v", len(res.Errors), res.Errors)
+	}
+	for _, name := range []string{"plain", "mis", "lgr", "lpr"} {
+		if res.Errors[name] == nil {
+			t.Fatalf("member %q crash not recorded", name)
+		}
+	}
+}
+
+// TestSolveWithCancelStitchesIncumbent closes the external stop channel
+// after the first incumbent callback: the race must unwind with the best
+// incumbent found so far instead of hanging on un-budgeted members.
+func TestSolveWithCancelStitchesIncumbent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2718))
+	sawLimit := false
+	for iter := 0; iter < 20 && !sawLimit; iter++ {
+		p := randomPBO(rng, 12+rng.Intn(6), 10+rng.Intn(8))
+		stop := make(chan struct{})
+		var once sync.Once
+		configs := DefaultConfigs()
+		for i := range configs {
+			configs[i].Options.OnIncumbent = func(int64) {
+				once.Do(func() { close(stop) })
+			}
+		}
+		res := SolveWithCancel(p, configs, stop)
+		switch res.Status {
+		case core.StatusLimit:
+			sawLimit = true
+			if res.HasSolution && !p.Feasible(res.Values) {
+				t.Fatalf("iter %d: stitched incumbent infeasible", iter)
+			}
+		case core.StatusOptimal, core.StatusUnsat:
+			// A member finished before the stop propagated — legal.
+		default:
+			t.Fatalf("iter %d: unexpected status %v", iter, res.Status)
+		}
+	}
+	// Racy by nature: members may always finish before the stop lands, so
+	// sawLimit is best-effort. The test still asserts no wrong statuses.
+}
