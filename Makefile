@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench table examples clean ci vet
+.PHONY: all build test race fuzz bench bench-bounds table examples clean ci vet
 
 all: build test
 
@@ -11,9 +11,12 @@ vet:
 
 # What CI runs: vet + build + full test suite, then the race detector on
 # the concurrency-sensitive packages (engine interrupt hook, solver
-# cancellation, portfolio racing, fault injection).
+# cancellation, portfolio racing, fault injection, the incremental
+# Reducer's watcher protocol, the warm-start LP state), then a
+# single-iteration smoke pass over the bound-pipeline benchmarks.
 ci: vet build test
-	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/fault
+	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/fault ./internal/bounds ./internal/lp
+	$(MAKE) bench-bounds BENCHTIME=1x
 
 build:
 	$(GO) build ./...
@@ -31,6 +34,14 @@ fuzz:
 # Table 1 benches + ablations A1-A6 (see DESIGN.md section 4).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .
+
+# Bound-pipeline microbenchmarks: from-scratch Extract vs the incremental
+# Reducer, and the LPR node-loop with cold vs warm-started LP solves.
+# Override BENCHTIME (e.g. BENCHTIME=2s) for stable comparative numbers.
+BENCHTIME ?= 2s
+bench-bounds:
+	$(GO) test -bench='BenchmarkExtract|BenchmarkReducerIncremental' -benchmem -benchtime=$(BENCHTIME) -run='^$$' ./internal/bounds
+	$(GO) test -bench='BenchmarkLPRNodeLoop' -benchmem -benchtime=$(BENCHTIME) -run='^$$' ./internal/lp
 
 # Regenerate the paper's Table 1 at reproduction scale (minutes).
 table:

@@ -43,6 +43,8 @@ func main() {
 		pre          = flag.Bool("preprocess", false, "apply probing/strengthening/subsumption first")
 		coverRed     = flag.Bool("cover", false, "apply covering-problem reductions (implies -preprocess machinery)")
 		pbLearn      = flag.Bool("pb-learning", false, "derive Galena-style cutting-plane constraints at conflicts")
+		incremental  = flag.Bool("incremental", true, "maintain the reduced problem incrementally across nodes (false = rebuild per node)")
+		warmLP       = flag.Bool("warm-lp", true, "warm-start the LPR simplex from the previous node's basis")
 		portfolioRun = flag.Bool("portfolio", false, "race all four lower-bound methods concurrently")
 		showStats    = flag.Bool("stats", false, "print solver statistics")
 		showModel    = flag.Bool("model", true, "print the v (values) line")
@@ -91,6 +93,8 @@ func main() {
 		PBLearning:           *pbLearn,
 		BoundBudget:          *boundBudget,
 		FallbackAfter:        *fallbackK,
+		NoIncrementalReduce:  !*incremental,
+		NoWarmLP:             !*warmLP,
 	}
 
 	// SIGINT/SIGTERM close the Cancel channel so the search unwinds
@@ -184,6 +188,11 @@ func main() {
 		if st.BoundFailures > 0 || st.BoundFallbacks > 0 || st.BoundTimeouts > 0 || st.BoundDemotions > 0 {
 			fmt.Printf("c boundFailures=%d boundPanics=%d boundFallbacks=%d boundTimeouts=%d boundDemotions=%d\n",
 				st.BoundFailures, st.BoundPanics, st.BoundFallbacks, st.BoundTimeouts, st.BoundDemotions)
+		}
+		if st.Bounds.TotalCalls() > 0 || st.Bounds.Reduces > 0 {
+			for _, line := range strings.Split(st.Bounds.String(), "\n") {
+				fmt.Printf("c %s\n", line)
+			}
 		}
 	}
 }

@@ -36,6 +36,10 @@ func main() {
 		accTeams   = flag.Int("acc-teams", 0, "override acc team count")
 		csvOut     = flag.String("csv", "", "also write machine-readable results to this file")
 		ablations  = flag.Bool("ablations", false, "run the A1-A6 ablations instead of Table 1")
+
+		incremental  = flag.Bool("incremental", true, "incremental reduced-problem maintenance in the bsolo columns")
+		warmLP       = flag.Bool("warm-lp", true, "LP warm starting in the lpr column")
+		boundProfile = flag.Bool("bound-profile", false, "print per-solver bound-pipeline timing after the table")
 	)
 	flag.Parse()
 
@@ -96,7 +100,8 @@ func main() {
 	fmt.Printf("running %d instances x %d solvers (limit %v per run)\n",
 		len(insts), len(cols), *timeLimit)
 
-	lim := harness.Limits{Time: *timeLimit, MaxConflicts: *conflicts, MilpNodes: *milpNodes}
+	lim := harness.Limits{Time: *timeLimit, MaxConflicts: *conflicts, MilpNodes: *milpNodes,
+		NoIncrementalReduce: !*incremental, NoWarmLP: !*warmLP}
 	var results []harness.RunResult
 	for _, inst := range insts {
 		for _, id := range cols {
@@ -114,6 +119,12 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(harness.FormatTable(results, cols))
+	if *boundProfile {
+		if prof := harness.FormatBoundProfile(results); prof != "" {
+			fmt.Println()
+			fmt.Print(prof)
+		}
+	}
 	if *csvOut != "" {
 		if err := os.WriteFile(*csvOut, []byte(harness.FormatCSV(results)), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "pbbench: writing csv:", err)

@@ -27,6 +27,11 @@ type Limits struct {
 	MaxConflicts int64
 	MaxDecisions int64
 	TimeLimit    time.Duration
+	// NoIncrementalReduce / NoWarmLP disable the incremental bound pipeline
+	// (per-node Extract, cold LP solves) for ablation runs; they affect only
+	// the bsolo columns, which are the only users of lower bounding.
+	NoIncrementalReduce bool
+	NoWarmLP            bool
 }
 
 // PBS runs the PBS-style linear-search solver.
@@ -75,5 +80,7 @@ func Bsolo(p *pb.Problem, method core.Method, lim Limits) core.Result {
 		MaxDecisions:         lim.MaxDecisions,
 		TimeLimit:            lim.TimeLimit,
 		CardinalityInference: true,
+		NoIncrementalReduce:  lim.NoIncrementalReduce,
+		NoWarmLP:             lim.NoWarmLP,
 	})
 }

@@ -130,8 +130,9 @@ func (l LGR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64
 	for k := 0; k < iters; k++ {
 		// Deadline propagation: the subgradient loop honours the per-node
 		// budget — any prefix of the ascent still yields a sound bound from
-		// the best multipliers seen so far.
-		if k&7 == 7 && bud.Expired() {
+		// the best multipliers seen so far. (Expired self-amortizes its
+		// time.Now polling, so calling it every iteration is cheap.)
+		if bud.Expired() {
 			incomplete = true
 			break
 		}

@@ -45,6 +45,10 @@ type LPR struct {
 	// (complementary slackness), so the explanation clause is weaker but
 	// matches the paper's formulation exactly.
 	ZeroSlackExplanations bool
+	// State, when non-nil, enables warm-started LP solves: the basis of each
+	// solve is snapshotted into State and reused by the next call (see
+	// LPRState). nil preserves the cold per-node behaviour.
+	State *LPRState
 }
 
 // Name implements Estimator.
@@ -97,7 +101,47 @@ func (l LPR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64
 		}
 	}
 
-	sol, err := lp.Solve(prob)
+	var sol lp.Solution
+	var err error
+	if st := l.State; st != nil {
+		// Warm path: identify LP columns and rows by search-stable keys so
+		// the previous node's basis maps onto this node's (re-numbered)
+		// problem. y_i is keyed by its engine constraint index, w_j and row j
+		// by the pb.Var they belong to; the two key spaces are disjoint by
+		// the low tag bit.
+		varKeys := make([]int64, m+n)
+		for i, xr := range xp.rows {
+			varKeys[i] = int64(xr.engIdx) << 1
+		}
+		for j, v := range xp.vars {
+			varKeys[m+j] = int64(v)<<1 | 1
+		}
+		rowKeys := make([]int64, n)
+		for j, v := range xp.vars {
+			rowKeys[j] = int64(v)
+		}
+		hadBasis := st.basis != nil
+		var next *lp.Basis
+		sol, next, err = lp.SolveWarm(prob, varKeys, rowKeys, st.basis)
+		st.basis = next
+		if err == nil {
+			if sol.Warm {
+				st.warmSolves.Add(1)
+			} else {
+				st.coldSolves.Add(1)
+				if hadBasis {
+					st.warmFallbacks.Add(1)
+				}
+			}
+		}
+		if err != nil || sol.Status == lp.Numerical {
+			// A basis that produced (or accompanied) numerical corruption is
+			// not worth keeping.
+			st.Invalidate()
+		}
+	} else {
+		sol, err = lp.Solve(prob)
+	}
 	if err != nil {
 		// Malformed LP (should not happen for Extract output): report a
 		// failed call so the ladder can fall back rather than silently

@@ -39,18 +39,47 @@ type Budget struct {
 	// Cancel, when non-nil, aborts the estimation as soon as the channel is
 	// closed (the search is being cancelled; any bound is fine).
 	Cancel <-chan struct{}
+
+	// polls amortizes the cost of Expired: the system clock and the Cancel
+	// channel are consulted only every budgetPollStride-th call (and on the
+	// first), keeping budget polling off the profiles of tight estimator
+	// loops. expired latches the verdict.
+	polls   uint32
+	expired bool
 }
 
-// Expired reports whether the budget is exhausted.
-func (b Budget) Expired() bool {
+// budgetPollStride is how many Expired calls share one real clock/channel
+// consultation. Estimator loops may therefore overshoot their deadline by up
+// to stride−1 iterations — microseconds, far below the budget's granularity.
+const budgetPollStride = 8
+
+// Expired reports whether the budget is exhausted. The check is amortized:
+// only every budgetPollStride-th call (per Budget copy) touches time.Now and
+// the Cancel channel; once expired, the result is sticky.
+func (b *Budget) Expired() bool {
+	if b.expired {
+		return true
+	}
+	if b.Deadline.IsZero() && b.Cancel == nil {
+		return false
+	}
+	b.polls++
+	if b.polls&(budgetPollStride-1) != 1 {
+		return false
+	}
 	if b.Cancel != nil {
 		select {
 		case <-b.Cancel:
+			b.expired = true
 			return true
 		default:
 		}
 	}
-	return !b.Deadline.IsZero() && time.Now().After(b.Deadline)
+	if !b.Deadline.IsZero() && time.Now().After(b.Deadline) {
+		b.expired = true
+		return true
+	}
+	return false
 }
 
 // InfBound is the bound value returned when the reduced problem is detected

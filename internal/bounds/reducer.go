@@ -1,0 +1,209 @@
+package bounds
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/pb"
+)
+
+// Reducer builds the reduced problem incrementally. Where Extract re-scans
+// the whole constraint store and allocates fresh Row/Term slices at every
+// search node, a Reducer
+//
+//   - maintains the set of unsatisfied problem constraints from the engine's
+//     trail deltas (satisfaction-transition notifications, O(1) per
+//     transition — see engine.ConsWatcher), so each Reduce call touches only
+//     the constraints that can contribute rows, never the full store with
+//     its thousands of learned clauses; and
+//   - owns reusable Row and Term scratch buffers (a flat term arena), so the
+//     per-node reduction allocates nothing in steady state.
+//
+// Residual degrees need no bookkeeping of their own: the engine already
+// maintains trueSum per constraint incrementally, and the residual is
+// Degree − trueSum.
+//
+// The produced Reduced is bit-identical to Extract's output on the same
+// engine state (same rows in the same order, same clipped coefficients, same
+// infeasibility flag) — the differential property test in reducer_test.go
+// enforces this across decisions, backjumps, restarts and ReduceDB.
+//
+// The returned *Reduced aliases the Reducer's internal buffers: it is valid
+// until the next Reduce call. Estimators copy what they keep (toXSpace), so
+// the single-node usage in core is safe.
+type Reducer struct {
+	eng *engine.Engine
+
+	// active is the dense set of unsatisfied problem constraint indices;
+	// pos[idx] is the position of idx in active (-1 when absent). The set is
+	// kept unordered for O(1) add/remove and sorted lazily per Reduce so the
+	// output matches Extract's store-order exactly.
+	active []int32
+	pos    []int32
+	sorted bool
+
+	// Reusable output buffers.
+	red       Reduced
+	termArena []pb.Term
+	rowSpans  []rowSpan
+
+	// Stats.
+	reduces   int64
+	peakRows  int
+	peakTerms int
+}
+
+type rowSpan struct{ start, end int32 }
+
+// NewReducer attaches a Reducer to e, snapshotting the current satisfaction
+// state and registering for trail-delta notifications. The engine supports a
+// single watcher: attaching a second Reducer replaces the first (Detach the
+// old one explicitly if both must coexist — they cannot).
+func NewReducer(e *engine.Engine) *Reducer {
+	r := &Reducer{eng: e}
+	r.resync()
+	e.SetConsWatcher(r)
+	return r
+}
+
+// resync rebuilds the active set from a full scan (used at attach time; the
+// trail deltas keep it current afterwards).
+func (r *Reducer) resync() {
+	r.active = r.active[:0]
+	n := r.eng.NumCons()
+	if cap(r.pos) < n {
+		r.pos = make([]int32, n)
+	}
+	r.pos = r.pos[:n]
+	for i := range r.pos {
+		r.pos[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		c := r.eng.Cons(i)
+		if c.Learned || c.Removed() || c.Satisfied() {
+			continue
+		}
+		r.pos[i] = int32(len(r.active))
+		r.active = append(r.active, int32(i))
+	}
+	r.sorted = true
+}
+
+// Detach unregisters the Reducer from the engine. Reduce may still be called
+// afterwards but will no longer track assignments.
+func (r *Reducer) Detach() { r.eng.SetConsWatcher(nil) }
+
+// ConsSatisfied implements engine.ConsWatcher.
+func (r *Reducer) ConsSatisfied(idx int) { r.remove(int32(idx)) }
+
+// ConsUnsatisfied implements engine.ConsWatcher.
+func (r *Reducer) ConsUnsatisfied(idx int) { r.add(int32(idx)) }
+
+// ConsAdded implements engine.ConsWatcher.
+func (r *Reducer) ConsAdded(idx int, satisfied bool) {
+	for len(r.pos) <= idx {
+		r.pos = append(r.pos, -1)
+	}
+	if !satisfied {
+		r.add(int32(idx))
+	}
+}
+
+func (r *Reducer) add(idx int32) {
+	if int(idx) < len(r.pos) && r.pos[idx] >= 0 {
+		return
+	}
+	for len(r.pos) <= int(idx) {
+		r.pos = append(r.pos, -1)
+	}
+	r.pos[idx] = int32(len(r.active))
+	r.active = append(r.active, idx)
+	r.sorted = false
+}
+
+func (r *Reducer) remove(idx int32) {
+	p := r.pos[idx]
+	if p < 0 {
+		return
+	}
+	last := int32(len(r.active) - 1)
+	moved := r.active[last]
+	r.active[p] = moved
+	r.pos[moved] = p
+	r.active = r.active[:last]
+	r.pos[idx] = -1
+	if p != last {
+		r.sorted = false
+	}
+}
+
+// ActiveCount returns the current number of tracked unsatisfied problem
+// constraints (test/diagnostic hook; must equal engine.NumUnsatisfied()).
+func (r *Reducer) ActiveCount() int { return len(r.active) }
+
+// Reduces returns how many reductions this Reducer has produced.
+func (r *Reducer) Reduces() int64 { return r.reduces }
+
+// Reduce builds the reduced problem for the engine's current assignment into
+// the Reducer's reusable buffers and returns it. The result aliases those
+// buffers and is invalidated by the next Reduce call.
+func (r *Reducer) Reduce() *Reduced {
+	r.reduces++
+	if !r.sorted {
+		sort.Slice(r.active, func(a, b int) bool { return r.active[a] < r.active[b] })
+		for p, idx := range r.active {
+			r.pos[idx] = int32(p)
+		}
+		r.sorted = true
+	}
+	red := &r.red
+	red.Rows = red.Rows[:0]
+	red.Infeasible = false
+	red.InfeasibleRow = 0
+	arena := r.termArena[:0]
+	spans := r.rowSpans[:0]
+	e := r.eng
+	for _, ci := range r.active {
+		c := e.Cons(int(ci))
+		residual := c.Degree - c.TrueSum()
+		start := int32(len(arena))
+		var sum int64
+		for _, t := range c.Terms {
+			if e.LitValue(t.Lit) != engine.Unassigned {
+				continue
+			}
+			coef := t.Coef
+			if coef > residual {
+				coef = residual
+			}
+			arena = append(arena, pb.Term{Coef: coef, Lit: t.Lit})
+			sum += coef
+		}
+		if sum < residual && !red.Infeasible {
+			red.Infeasible = true
+			red.InfeasibleRow = int(ci)
+		}
+		spans = append(spans, rowSpan{start, int32(len(arena))})
+		red.Rows = append(red.Rows, Row{EngIdx: int(ci), Degree: residual})
+	}
+	// Materialize the Terms slices only after the arena has stopped growing:
+	// appending above may reallocate the backing array, so slicing eagerly
+	// would leave earlier rows pointing at a stale copy.
+	for i := range red.Rows {
+		sp := spans[i]
+		if sp.start == sp.end {
+			red.Rows[i].Terms = nil // match Extract: fully-assigned rows carry no slice
+			continue
+		}
+		red.Rows[i].Terms = arena[sp.start:sp.end:sp.end]
+	}
+	r.termArena = arena
+	r.rowSpans = spans
+	if len(red.Rows) > r.peakRows {
+		r.peakRows = len(red.Rows)
+	}
+	if len(arena) > r.peakTerms {
+		r.peakTerms = len(arena)
+	}
+	return red
+}

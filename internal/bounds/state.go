@@ -1,0 +1,57 @@
+package bounds
+
+import (
+	"sync/atomic"
+
+	"repro/internal/lp"
+)
+
+// LPRState is the persistent warm-start state threaded through consecutive
+// LPR estimations. It carries the previous node's LP basis, snapshotted by
+// lp.SolveWarm under search-stable keys (engine constraint indices for y
+// variables, pb.Var for w variables and rows), so the next node's LP —
+// usually differing in a handful of columns and rows — starts from a
+// near-optimal basis instead of the slack crash.
+//
+// Soundness is independent of this state: LPR recomputes its bound from the
+// returned multipliers via weak duality, and lp.SolveWarm falls back to a
+// cold solve whenever the mapped basis is poor or numerically suspect. The
+// state is therefore a pure accelerator; invalidating it at any point (the
+// search does so on restarts, database reductions and estimator demotions)
+// costs one cold solve and nothing else.
+//
+// The zero value is ready to use. Not safe for concurrent use, matching the
+// single-threaded search loop; the counters are read with atomics only so
+// harness goroutines may sample them mid-run.
+type LPRState struct {
+	basis *lp.Basis
+
+	// Counters (sampled by Stats): warm solves, cold solves (first node,
+	// invalidations, and fallbacks), and the subset of cold solves where a
+	// warm attempt was abandoned mid-flight.
+	warmSolves    atomic.Int64
+	coldSolves    atomic.Int64
+	warmFallbacks atomic.Int64
+}
+
+// Invalidate drops the stored basis: the next LPR call solves cold. Called
+// by the search when the node-to-node continuity the basis assumes is broken
+// (restart, ReduceDB, estimator demotion) or after a hard LPR failure.
+func (st *LPRState) Invalidate() {
+	if st != nil {
+		st.basis = nil
+	}
+}
+
+// HasBasis reports whether a basis is currently stored (diagnostics only).
+func (st *LPRState) HasBasis() bool { return st != nil && st.basis != nil }
+
+// WarmSolves returns the number of LP solves that reused a previous basis.
+func (st *LPRState) WarmSolves() int64 { return st.warmSolves.Load() }
+
+// ColdSolves returns the number of from-scratch LP solves.
+func (st *LPRState) ColdSolves() int64 { return st.coldSolves.Load() }
+
+// WarmFallbacks returns the number of cold solves that began as warm
+// attempts (poor mapping, corrupted pivots, numerical trouble).
+func (st *LPRState) WarmFallbacks() int64 { return st.warmFallbacks.Load() }

@@ -155,6 +155,16 @@ type Options struct {
 	// Individual failed calls always fall back to MIS for that node
 	// regardless of the breaker state.
 	FallbackAfter int
+
+	// NoIncrementalReduce disables the persistent incremental Reducer and
+	// rebuilds the reduced problem from scratch at every node
+	// (bounds.Extract) — the pre-incremental behaviour, kept for ablation
+	// and as a differential-testing oracle.
+	NoIncrementalReduce bool
+	// NoWarmLP disables LP warm starting for LBLPR: every node's LP is
+	// solved cold. Kept for ablation; warm starts never change results
+	// (see bounds.LPRState), only node cost.
+	NoWarmLP bool
 }
 
 // Status reports how a solve ended.
@@ -231,6 +241,11 @@ type Stats struct {
 	// BoundTimeouts counts bound calls that exhausted their per-node
 	// wall-clock budget (sound anytime bound used; not a failure).
 	BoundTimeouts int64
+
+	// Bounds is the bound-pipeline observability block: reduction mode and
+	// cost, per-estimator call/time/strength aggregates, and the LP
+	// warm-start counters (see bounds.Stats).
+	Bounds bounds.Stats
 }
 
 // Result is the outcome of Solve.
@@ -261,6 +276,18 @@ type solver struct {
 	// failed primary calls toward the FallbackAfter circuit breaker.
 	fallback    bounds.Estimator
 	consecFails int
+
+	// reducer is the persistent incremental reduced-problem builder (nil
+	// with Options.NoIncrementalReduce or LBNone: Extract per node instead).
+	reducer *bounds.Reducer
+	// lprState carries the LP warm-start basis between LPR calls (nil
+	// unless LowerBound is LBLPR and warm starts are enabled).
+	lprState *bounds.LPRState
+	// bstats aggregates the bound pipeline's observability (surfaced as
+	// Stats.Bounds). lastEst names the estimator whose result the last
+	// estimate() call returned, for per-estimator prune attribution.
+	bstats  bounds.Stats
+	lastEst string
 
 	upper    int64 // best objective found so far, excluding CostOffset
 	bestVals []bool
@@ -316,12 +343,24 @@ func Solve(p *pb.Problem, opt Options) Result {
 		s.est = bounds.LGR{Iterations: opt.LGRIterations, WarmStart: !opt.LGRColdStart}
 		s.fallback = bounds.MIS{}
 	case LBLPR:
-		s.est = bounds.LPR{AlphaFilter: opt.LPRAlphaFilter, ZeroSlackExplanations: opt.LPRZeroSlack}
+		if !opt.NoWarmLP {
+			s.lprState = &bounds.LPRState{}
+		}
+		s.est = bounds.LPR{AlphaFilter: opt.LPRAlphaFilter, ZeroSlackExplanations: opt.LPRZeroSlack,
+			State: s.lprState}
 		s.fallback = bounds.MIS{}
 	default:
 		s.est = bounds.None{}
 	}
 	s.eng = engine.New(p)
+	if !opt.NoIncrementalReduce && opt.LowerBound != LBNone {
+		// Persistent incremental reduction: track satisfaction transitions
+		// from the trail instead of re-scanning the constraint store at every
+		// node. Attached after engine.New so the initial resync sees the full
+		// problem.
+		s.reducer = bounds.NewReducer(s.eng)
+		s.bstats.Incremental = true
+	}
 	if s.hasDeadline || opt.Cancel != nil {
 		// Reach propagation-heavy nodes: the engine polls this inside long
 		// BCP fixpoints, so a single huge propagation cascade cannot
@@ -332,6 +371,15 @@ func Solve(p *pb.Problem, opt Options) Result {
 		s.prepareCardSets()
 	}
 	res := s.search()
+	if s.reducer != nil {
+		s.reducer.Detach()
+	}
+	if s.lprState != nil {
+		s.bstats.WarmSolves = s.lprState.WarmSolves()
+		s.bstats.ColdSolves = s.lprState.ColdSolves()
+		s.bstats.WarmFallbacks = s.lprState.WarmFallbacks()
+	}
+	s.stats.Bounds = s.bstats
 	res.Stats = s.stats
 	res.Stats.Decisions = s.eng.Stats.Decisions
 	res.Stats.Conflicts = s.eng.Stats.Conflicts
@@ -447,6 +495,22 @@ func (s *solver) boundBudget() bounds.Budget {
 	return bud
 }
 
+// reduce builds the reduced problem for the current node: incrementally via
+// the persistent Reducer when attached, from scratch otherwise. Construction
+// cost is folded into the bound-pipeline stats either way.
+func (s *solver) reduce() *bounds.Reduced {
+	start := time.Now()
+	var red *bounds.Reduced
+	if s.reducer != nil {
+		red = s.reducer.Reduce()
+	} else {
+		red = bounds.Extract(s.eng)
+	}
+	s.bstats.Reduces++
+	s.bstats.ReduceTime += time.Since(start)
+	return red
+}
+
 // estimate runs the lower-bound ladder at one node: the primary procedure
 // behind a panic barrier, then — if the primary failed (panic, numerical
 // corruption, solver error) or produced no usable bound within its budget —
@@ -455,6 +519,7 @@ func (s *solver) boundBudget() bounds.Budget {
 // the circuit breaker demotes the primary to MIS for the rest of the run.
 func (s *solver) estimate(red *bounds.Reduced, target int64) bounds.Result {
 	bud := s.boundBudget()
+	s.lastEst = s.est.Name()
 	res, failed := s.tryEstimate(s.est, red, target, bud)
 	if res.Incomplete {
 		s.stats.BoundTimeouts++
@@ -466,6 +531,7 @@ func (s *solver) estimate(red *bounds.Reduced, target int64) bounds.Result {
 		if res.Incomplete && res.Bound <= 0 && s.fallback != nil {
 			if fres, ffailed := s.tryEstimate(s.fallback, red, target, bud); !ffailed && fres.Bound > 0 {
 				s.stats.BoundFallbacks++
+				s.lastEst = s.fallback.Name()
 				return fres
 			}
 		}
@@ -473,9 +539,14 @@ func (s *solver) estimate(red *bounds.Reduced, target int64) bounds.Result {
 	}
 	s.stats.BoundFailures++
 	s.consecFails++
+	// A hard failure voids any trust in carried-over LP state (a panicked
+	// solve may have published a corrupt basis snapshot): drop it so the
+	// next LPR call starts cold. Nil-safe.
+	s.lprState.Invalidate()
 	if s.fallback != nil {
 		if fres, ffailed := s.tryEstimate(s.fallback, red, target, bud); !ffailed {
 			s.stats.BoundFallbacks++
+			s.lastEst = s.fallback.Name()
 			res = fres
 		}
 	}
@@ -485,11 +556,14 @@ func (s *solver) estimate(red *bounds.Reduced, target int64) bounds.Result {
 	}
 	if threshold > 0 && s.consecFails >= threshold && s.fallback != nil {
 		// Demote: the primary procedure is persistently failing; stop
-		// paying for it (and for its panics) at every node.
+		// paying for it (and for its panics) at every node. The warm-start
+		// state dies with the demoted estimator.
 		s.est = s.fallback
 		s.fallback = nil
 		s.consecFails = 0
 		s.stats.BoundDemotions++
+		s.lprState.Invalidate()
+		s.lprState = nil
 	}
 	return res
 }
@@ -498,16 +572,20 @@ func (s *solver) estimate(red *bounds.Reduced, target int64) bounds.Result {
 // outcome. failed reports a hard failure: the result carries no usable
 // information and the call counts toward the circuit breaker.
 func (s *solver) tryEstimate(est bounds.Estimator, red *bounds.Reduced, target int64, bud bounds.Budget) (res bounds.Result, failed bool) {
+	start := time.Now()
 	defer func() {
+		panicked := false
 		if r := recover(); r != nil {
 			s.stats.BoundPanics++
-			res = bounds.Result{}
+			res = bounds.Result{Failed: true}
 			failed = true
+			panicked = true
 		}
+		s.bstats.Record(est.Name(), res, time.Since(start), panicked)
 	}()
 	res = est.Estimate(s.eng, red, s.prob.Cost, target, bud)
 	if res.Failed || res.Bound < 0 {
-		return bounds.Result{}, true
+		return bounds.Result{Failed: true}, true
 	}
 	return res, false
 }
@@ -572,11 +650,12 @@ func (s *solver) search() Result {
 		fracX = nil
 		if hasObjective && s.upper < upperInf && s.opt.LowerBound != LBNone &&
 			s.nodeCounter%s.opt.BoundEvery == 0 {
-			red := bounds.Extract(s.eng)
+			red := s.reduce()
 			s.stats.BoundCalls++
 			res := s.estimate(red, s.upper-path)
 			if path+res.Bound >= s.upper {
 				s.stats.BoundPrunes++
+				s.bstats.Proc(s.lastEst).Prunes++
 				if !s.boundConflict(res.Responsible, res.ExcludedVars) {
 					return s.finish(true)
 				}
@@ -835,9 +914,12 @@ func (s *solver) pickBranch(fracX map[pb.Var]float64) pb.Lit {
 func (s *solver) addIncumbentCuts() {
 	if s.opt.Strategy == StrategyLinearSearch {
 		s.addCostUpperBoundCut()
-		// PBS/Galena restart from scratch after each solution.
+		// PBS/Galena restart from scratch after each solution. The jump to
+		// the root breaks the node-to-node continuity the warm-start basis
+		// assumes, so drop it (nil-safe).
 		s.eng.BacktrackTo(0)
 		s.stats.Restarts++
+		s.lprState.Invalidate()
 		return
 	}
 	if !s.opt.NoKnapsackCuts {
@@ -985,12 +1067,17 @@ func (s *solver) maybeRestart() {
 		if s.eng.DecisionLevel() > 0 {
 			s.eng.BacktrackTo(0)
 			s.stats.Restarts++
+			// A restart teleports the search to an unrelated region; the
+			// previous node's LP basis is no longer a useful hint. (Ordinary
+			// backjumps keep it: the next node shares most of its columns.)
+			s.lprState.Invalidate()
 		}
 		// Garbage-collect learned constraints when the database has grown
 		// past the threshold since the last collection.
 		if s.eng.Stats.Learned-s.lastReduceAt > 4000 {
 			s.eng.ReduceDB()
 			s.lastReduceAt = s.eng.Stats.Learned
+			s.lprState.Invalidate()
 		}
 	}
 }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/pb"
+)
+
+// TestIncrementalPipelineOptimaUnchanged asserts the incremental bound
+// pipeline (persistent Reducer + LP warm starting) is a pure optimization:
+// for every lower-bound method, solving with the pipeline enabled and
+// disabled must agree on feasibility and on the optimum.
+func TestIncrementalPipelineOptimaUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	methods := []Method{LBNone, LBMIS, LBLGR, LBLPR}
+	names := []string{"plain", "mis", "lgr", "lpr"}
+	var totalWarm int64
+	for iter := 0; iter < 8; iter++ {
+		// Mix the paper's global-routing family (deep branch-and-bound trees,
+		// so warm starting genuinely engages) with random covering-flavoured
+		// instances for structural variety.
+		var p *pb.Problem
+		if iter < 4 {
+			var err error
+			p, err = gen.Grout(gen.GroutConfig{
+				Width: 5, Height: 5, Nets: 8 + iter, PathsPerNet: 4,
+				Capacity: 2, Seed: int64(100 + iter),
+			})
+			if err != nil {
+				t.Fatalf("iter %d: grout: %v", iter, err)
+			}
+		} else {
+			n := 14 + rng.Intn(12)
+			p = pb.NewProblem(n)
+			for v := 0; v < n; v++ {
+				p.SetCost(pb.Var(v), int64(rng.Intn(10)))
+			}
+			m := n/2 + rng.Intn(n)
+			for i := 0; i < m; i++ {
+				nt := 2 + rng.Intn(4)
+				terms := make([]pb.Term, nt)
+				for k := range terms {
+					terms[k] = pb.Term{
+						Coef: int64(1 + rng.Intn(5)),
+						Lit:  pb.MkLit(pb.Var(rng.Intn(n)), rng.Intn(3) == 0),
+					}
+				}
+				_ = p.AddConstraint(terms, pb.GE, int64(1+rng.Intn(6)))
+			}
+		}
+		for mi, method := range methods {
+			on := Solve(p, Options{LowerBound: method, MaxConflicts: 500000})
+			off := Solve(p, Options{LowerBound: method, MaxConflicts: 500000,
+				NoIncrementalReduce: true, NoWarmLP: true})
+			if on.Status == StatusLimit || off.Status == StatusLimit {
+				continue
+			}
+			if on.Status != off.Status {
+				t.Fatalf("iter %d %s: status disagreement incremental=%v rebuild=%v",
+					iter, names[mi], on.Status, off.Status)
+			}
+			if on.Status != StatusOptimal {
+				continue
+			}
+			if on.Best != off.Best {
+				t.Fatalf("iter %d %s: optimum disagreement incremental=%d rebuild=%d",
+					iter, names[mi], on.Best, off.Best)
+			}
+			if !p.Feasible(on.Values) || p.ObjectiveValue(on.Values) != on.Best {
+				t.Fatalf("iter %d %s: incremental solution inconsistent", iter, names[mi])
+			}
+			totalWarm += on.Stats.Bounds.WarmSolves
+			if off.Stats.Bounds.WarmSolves != 0 {
+				t.Fatalf("iter %d %s: warm solves recorded with warm starting disabled", iter, names[mi])
+			}
+			if off.Stats.Bounds.Incremental {
+				t.Fatalf("iter %d %s: incremental flag set with reducer disabled", iter, names[mi])
+			}
+		}
+	}
+	if totalWarm == 0 {
+		t.Fatalf("no warm LP solves happened across the whole run; warm starting is not engaging")
+	}
+}

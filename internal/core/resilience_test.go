@@ -282,3 +282,61 @@ func TestDeadlineRespectedOnPropagationHeavyRuns(t *testing.T) {
 	}
 	_ = res
 }
+
+// TestWarmStartCorruptionStaysSound is the chaos property for the
+// incremental bound pipeline: with the warm-start crash pivots randomly
+// corrupted (NaN injection at "lp.warmcrash"), the solver must still prove
+// the exact brute-force optimum — a poisoned basis may only cost pivots
+// (per-column fallback, cold re-solves), never soundness, because the LPR
+// bound is recomputed from the returned duals via weak duality. The second
+// arm corrupts every crash pivot, degenerating every warm attempt.
+func TestWarmStartCorruptionStaysSound(t *testing.T) {
+	defer fault.Reset()
+	rng := rand.New(rand.NewSource(8888))
+	specs := []fault.Spec{
+		{Kind: fault.KindCorrupt, Prob: 0.4},
+		{Kind: fault.KindCorrupt, Every: 1},
+	}
+	var totalWarm, totalCold, fires int64
+	for iter := 0; iter < 24; iter++ {
+		p := coverPBO(rng, 12+rng.Intn(6), 14+rng.Intn(10))
+		want := pb.BruteForce(p)
+
+		fault.Reset()
+		clean := Solve(p, Options{LowerBound: LBLPR})
+
+		spec := specs[iter%len(specs)]
+		spec.Seed = int64(iter + 1)
+		fault.Arm("lp.warmcrash", spec)
+		faulted := Solve(p, Options{LowerBound: LBLPR})
+		_, f := fault.Counts("lp.warmcrash")
+		fires += f
+		fault.Reset()
+
+		if faulted.Status != clean.Status {
+			t.Fatalf("iter %d: faulted status=%v clean=%v", iter, faulted.Status, clean.Status)
+		}
+		if want.Feasible {
+			if faulted.Status != StatusOptimal || faulted.Best != want.Optimum {
+				t.Fatalf("iter %d: faulted status=%v best=%d, brute optimum=%d",
+					iter, faulted.Status, faulted.Best, want.Optimum)
+			}
+			if !p.Feasible(faulted.Values) {
+				t.Fatalf("iter %d: faulted run returned infeasible values", iter)
+			}
+		} else if faulted.Status != StatusUnsat {
+			t.Fatalf("iter %d: faulted status=%v want unsat", iter, faulted.Status)
+		}
+		totalWarm += faulted.Stats.Bounds.WarmSolves
+		totalCold += faulted.Stats.Bounds.ColdSolves
+	}
+	if fires == 0 {
+		t.Fatal("corruption never fired: the test exercised nothing")
+	}
+	if totalWarm+totalCold == 0 {
+		t.Fatal("no LP solves with persistent state recorded: warm pipeline not engaged")
+	}
+	if totalCold == 0 {
+		t.Fatal("no cold solves despite injected crash corruption")
+	}
+}

@@ -130,6 +130,10 @@ type Engine struct {
 	// literal l (see watched.go).
 	watchList [][]int32
 
+	// consWatcher, when non-nil, observes satisfaction transitions of
+	// problem constraints (see notify.go). Registered via SetConsWatcher.
+	consWatcher ConsWatcher
+
 	// Interrupt, when non-nil, is polled every ~1k propagations inside
 	// Propagate; returning true stops the fixpoint early and Propagate
 	// returns -1 (no conflict). The caller is expected to notice that its
@@ -256,8 +260,13 @@ func (e *Engine) AddCons(terms []pb.Term, degree int64, learned bool) int {
 			c.trueSum += t.Coef
 		}
 	}
-	if !learned && !c.Satisfied() {
-		e.numUnsatisfied++
+	if !learned {
+		if !c.Satisfied() {
+			e.numUnsatisfied++
+		}
+		if e.consWatcher != nil {
+			e.consWatcher.ConsAdded(int(idx), c.Satisfied())
+		}
 	}
 	return int(idx)
 }
@@ -292,6 +301,9 @@ func (e *Engine) assign(l pb.Lit, reason int32) {
 		c.trueSum += c.Terms[ref.term].Coef
 		if !wasSat && c.Satisfied() && !c.Learned {
 			e.numUnsatisfied--
+			if e.consWatcher != nil {
+				e.consWatcher.ConsSatisfied(int(ref.cons))
+			}
 		}
 	}
 	for _, ref := range e.occ[l.Neg()] {
@@ -403,7 +415,17 @@ func (e *Engine) UpdateDegree(idx int, degree int64) {
 	if degree <= c.Degree {
 		return
 	}
+	wasSat := c.Satisfied()
 	c.Degree = degree
+	// Tightening can un-satisfy a constraint in place. Only the incumbent
+	// cuts (learned) are tightened today, but keep the problem-constraint
+	// bookkeeping (and the watcher) honest should that ever change.
+	if !c.Learned && wasSat && !c.Satisfied() {
+		e.numUnsatisfied++
+		if e.consWatcher != nil {
+			e.consWatcher.ConsUnsatisfied(idx)
+		}
+	}
 	e.pending = append(e.pending, int32(idx))
 }
 
@@ -530,6 +552,9 @@ func (e *Engine) BacktrackTo(lvl int) {
 			c.trueSum -= c.Terms[ref.term].Coef
 			if wasSat && !c.Satisfied() && !c.Learned {
 				e.numUnsatisfied++
+				if e.consWatcher != nil {
+					e.consWatcher.ConsUnsatisfied(int(ref.cons))
+				}
 			}
 		}
 		for _, ref := range e.occ[l.Neg()] {

@@ -1,0 +1,48 @@
+// Trail-delta notifications: the engine already maintains, incrementally and
+// in O(1) per assignment, exactly the quantities a reduced-problem builder
+// needs (per-constraint trueSum/watchSum and the satisfied/unsatisfied
+// transition of every problem constraint). This file exposes those
+// transitions to a single registered watcher so downstream state — the
+// persistent bounds.Reducer, in particular — can be *maintained* from trail
+// deltas instead of being recomputed from a full constraint-store scan at
+// every search node.
+//
+// Design notes:
+//
+//   - Notifications fire only for problem (non-learned) constraints: learned
+//     clauses and incumbent cuts never participate in lower-bound reduction
+//     (their presence would make bound explanations circular), and skipping
+//     them keeps the hook entirely off the clause-learning hot path.
+//   - The hooks piggyback on the existing numUnsatisfied bookkeeping, so a
+//     registered watcher adds one predictable nil-check per satisfaction
+//     transition — not per assignment.
+//   - Backtracking, restarts and ReduceDB need no special casing: BacktrackTo
+//     fires the inverse transitions in reverse trail order, and ReduceDB only
+//     ever removes learned constraints.
+package engine
+
+// ConsWatcher observes satisfaction transitions of problem (non-learned)
+// constraints. Implementations must be cheap (O(1)): the callbacks run inside
+// the propagation and backtracking loops.
+type ConsWatcher interface {
+	// ConsSatisfied fires when problem constraint idx becomes satisfied by
+	// true literals alone (trueSum crossed its degree upward).
+	ConsSatisfied(idx int)
+	// ConsUnsatisfied fires when problem constraint idx stops being satisfied
+	// (a true literal was unassigned during backtracking, or its degree was
+	// tightened in place past the current trueSum).
+	ConsUnsatisfied(idx int)
+	// ConsAdded fires when a new problem constraint enters the store;
+	// satisfied reports its initial satisfaction state.
+	ConsAdded(idx int, satisfied bool)
+}
+
+// SetConsWatcher registers w as the engine's constraint watcher (nil
+// unregisters). At most one watcher is supported; the caller owning the
+// search loop decides who observes. The watcher receives only transitions
+// that happen after registration — a new watcher should snapshot the current
+// satisfaction state first (see bounds.NewReducer).
+func (e *Engine) SetConsWatcher(w ConsWatcher) { e.consWatcher = w }
+
+// ConsWatcherAttached reports whether a watcher is currently registered.
+func (e *Engine) ConsWatcherAttached() bool { return e.consWatcher != nil }

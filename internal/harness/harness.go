@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/milp"
@@ -183,6 +184,10 @@ type Limits struct {
 	Time         time.Duration
 	MaxConflicts int64
 	MilpNodes    int64
+	// NoIncrementalReduce / NoWarmLP run the bsolo columns with the
+	// incremental bound pipeline disabled (ablation; see core.Options).
+	NoIncrementalReduce bool
+	NoWarmLP            bool
 }
 
 // RunResult is one cell of the table.
@@ -198,7 +203,18 @@ type RunResult struct {
 	// in core.StatusError; the cell renders as "crash" and never counts as
 	// solved. One crashing column must not abort a whole table run.
 	Err string
+	// Bounds is the bound-pipeline profile of the run (bsolo columns only:
+	// reduction mode/cost, per-estimator call/time aggregates, LP warm-start
+	// counters). Zero for the baselines and the MILP column.
+	Bounds bounds.Stats
 }
+
+// BoundCalls returns the total estimation calls of the run.
+func (r *RunResult) BoundCalls() int64 { return r.Bounds.TotalCalls() }
+
+// BoundTime returns the wall-clock the run spent in the bound pipeline
+// (reduction + estimation).
+func (r *RunResult) BoundTime() time.Duration { return r.Bounds.TotalTime() }
 
 // Run executes one solver on one instance. The solver runs behind a panic
 // barrier: a crash is reported in RunResult.Err instead of tearing down the
@@ -206,7 +222,8 @@ type RunResult struct {
 func Run(inst Instance, id SolverID, lim Limits) RunResult {
 	start := time.Now()
 	rr := RunResult{Instance: inst.Name, Family: inst.Family, Solver: id}
-	bl := baseline.Limits{TimeLimit: lim.Time, MaxConflicts: lim.MaxConflicts}
+	bl := baseline.Limits{TimeLimit: lim.Time, MaxConflicts: lim.MaxConflicts,
+		NoIncrementalReduce: lim.NoIncrementalReduce, NoWarmLP: lim.NoWarmLP}
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -254,6 +271,7 @@ func fill(rr *RunResult, res core.Result) {
 		res.Status == core.StatusUnsat
 	rr.HasUB = res.HasSolution
 	rr.Best = res.Best
+	rr.Bounds = res.Stats.Bounds
 	if res.Status == core.StatusError {
 		rr.Solved, rr.HasUB = false, false
 		if res.Err != nil {
@@ -351,18 +369,86 @@ func fmtDur(d time.Duration) string {
 }
 
 // FormatCSV renders results machine-readably: one line per (instance,
-// solver) cell with status, incumbent and wall time in milliseconds.
+// solver) cell with status, incumbent, wall time in milliseconds, and the
+// bound-pipeline profile (estimation calls, milliseconds spent estimating,
+// LP warm/cold solve counts — zero for the non-bsolo columns).
 func FormatCSV(results []RunResult) string {
 	var sb strings.Builder
-	sb.WriteString("instance,family,solver,solved,best,ms\n")
+	sb.WriteString("instance,family,solver,solved,best,ms,boundCalls,boundMs,lpWarm,lpCold\n")
 	for _, r := range results {
 		best := ""
 		if r.HasUB {
 			best = fmt.Sprint(r.Best)
 		}
-		fmt.Fprintf(&sb, "%s,%s,%s,%t,%s,%.2f\n",
+		fmt.Fprintf(&sb, "%s,%s,%s,%t,%s,%.2f,%d,%.2f,%d,%d\n",
 			r.Instance, r.Family, r.Solver, r.Solved, best,
-			float64(r.Duration.Microseconds())/1000)
+			float64(r.Duration.Microseconds())/1000,
+			r.BoundCalls(), float64(r.BoundTime().Microseconds())/1000,
+			r.Bounds.WarmSolves, r.Bounds.ColdSolves)
+	}
+	return sb.String()
+}
+
+// FormatBoundProfile renders the bound-pipeline timing columns aggregated
+// per solver: estimator call volume, mean per-call cost, total share of the
+// run, and the LP warm-start ratio where applicable. Rows for solvers that
+// never estimated a bound (pbs, galena, milp, plain) are omitted.
+func FormatBoundProfile(results []RunResult) string {
+	type agg struct {
+		calls, warm, cold, fallbacks, incomplete, failed int64
+		time, wall                                       time.Duration
+		reduces                                          int64
+		reduceTime                                       time.Duration
+	}
+	bysolver := map[SolverID]*agg{}
+	var order []SolverID
+	for _, r := range results {
+		if r.Bounds.TotalCalls() == 0 && r.Bounds.Reduces == 0 {
+			continue
+		}
+		a, ok := bysolver[r.Solver]
+		if !ok {
+			a = &agg{}
+			bysolver[r.Solver] = a
+			order = append(order, r.Solver)
+		}
+		a.calls += r.Bounds.TotalCalls()
+		a.warm += r.Bounds.WarmSolves
+		a.cold += r.Bounds.ColdSolves
+		a.fallbacks += r.Bounds.WarmFallbacks
+		a.reduces += r.Bounds.Reduces
+		a.reduceTime += r.Bounds.ReduceTime
+		for _, p := range r.Bounds.Per {
+			a.time += p.Time
+			a.incomplete += p.Incomplete
+			a.failed += p.Failed
+		}
+		a.wall += r.Duration
+	}
+	if len(order) == 0 {
+		return ""
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %10s %12s %12s %8s %18s %10s\n",
+		"solver", "boundCalls", "boundTime", "meanCall", "share", "lpWarm/cold(fb)", "reduceTime")
+	for _, s := range order {
+		a := bysolver[s]
+		mean := time.Duration(0)
+		if a.calls > 0 {
+			mean = a.time / time.Duration(a.calls)
+		}
+		share := 0.0
+		if a.wall > 0 {
+			share = float64(a.time+a.reduceTime) / float64(a.wall) * 100
+		}
+		warmcold := "-"
+		if a.warm+a.cold > 0 {
+			warmcold = fmt.Sprintf("%d/%d(%d)", a.warm, a.cold, a.fallbacks)
+		}
+		fmt.Fprintf(&sb, "%-8s %10d %12v %12v %7.1f%% %18s %10v\n",
+			s, a.calls, a.time.Round(time.Microsecond), mean.Round(time.Microsecond),
+			share, warmcold, a.reduceTime.Round(time.Microsecond))
 	}
 	return sb.String()
 }

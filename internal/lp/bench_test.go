@@ -45,6 +45,97 @@ func BenchmarkSimplexCovering(b *testing.B) {
 	}
 }
 
+// lprNodeSequence builds the LP sequence an LPR estimator meets walking down
+// a branch: a dual-shaped base problem followed by cumulative small
+// perturbations (a row disappears when its variable is assigned, costs and
+// RHS drift as degree clipping changes). Perturbations only weaken y rewards
+// and degrees, so every problem in the chain stays bounded.
+func lprNodeSequence(seed int64, m, n, steps int) (probs []*Problem, varKeys, rowKeys [][]int64) {
+	rng := rand.New(rand.NewSource(seed))
+	p := dualLPLike(rng, m, n)
+	vk, rk := keysFor(p)
+	probs = append(probs, p)
+	varKeys = append(varKeys, vk)
+	rowKeys = append(rowKeys, rk)
+	for s := 0; s < steps; s++ {
+		q := &Problem{NumVars: p.NumVars, Cost: append([]float64(nil), p.Cost...),
+			Lo: p.Lo, Hi: p.Hi}
+		qvk := append([]int64(nil), vk...)
+		qrk := append([]int64(nil), rk...)
+		for _, r := range p.Rows {
+			q.Rows = append(q.Rows, Row{Entries: append([]Entry(nil), r.Entries...), RHS: r.RHS})
+		}
+		switch rng.Intn(4) {
+		case 0:
+			if len(q.Rows) > n/2 {
+				i := rng.Intn(len(q.Rows))
+				// Dropping row i removes column mass from every y it carries;
+				// weaken those rewards by the lost coefficient so d ≤ Σ G
+				// (boundedness) is preserved.
+				for _, e := range q.Rows[i].Entries {
+					if e.Var < m {
+						q.Cost[e.Var] += -e.Coef // e.Coef is negative: reward shrinks
+					}
+				}
+				q.Rows = append(q.Rows[:i], q.Rows[i+1:]...)
+				qrk = append(qrk[:i], qrk[i+1:]...)
+			}
+		case 1:
+			q.Cost[rng.Intn(m)] += 0.25 // weaken a y reward: stays bounded
+		default:
+			q.Rows[rng.Intn(len(q.Rows))].RHS += 0.5 // residual degree shrank
+		}
+		probs = append(probs, q)
+		varKeys = append(varKeys, qvk)
+		rowKeys = append(rowKeys, qrk)
+		p, vk, rk = q, qvk, qrk
+	}
+	return
+}
+
+// BenchmarkLPRNodeLoopCold solves every LP in the node sequence from
+// scratch — the pre-warm-start behaviour of the LPR column.
+func BenchmarkLPRNodeLoopCold(b *testing.B) {
+	probs, _, _ := lprNodeSequence(21, 40, 60, 30)
+	var iters int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range probs {
+			sol, err := Solve(p)
+			if err != nil || sol.Status != Optimal {
+				b.Fatalf("status=%v err=%v", sol.Status, err)
+			}
+			iters += sol.Iterations
+		}
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "simplex-iters/walk")
+}
+
+// BenchmarkLPRNodeLoopWarm chains SolveWarm across the identical sequence,
+// reusing each solve's basis for the next. The speedup over the cold loop is
+// the per-node win the persistent LPRState buys inside the search.
+func BenchmarkLPRNodeLoopWarm(b *testing.B) {
+	probs, varKeys, rowKeys := lprNodeSequence(21, 40, 60, 30)
+	var iters, warm int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var bas *Basis
+		for k, p := range probs {
+			sol, next, err := SolveWarm(p, varKeys[k], rowKeys[k], bas)
+			if err != nil || sol.Status != Optimal {
+				b.Fatalf("status=%v err=%v", sol.Status, err)
+			}
+			bas = next
+			iters += sol.Iterations
+			if sol.Warm {
+				warm++
+			}
+		}
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "simplex-iters/walk")
+	b.ReportMetric(float64(warm)/float64(b.N*len(probs)), "warm-fraction")
+}
+
 func benchName(n, m int) string {
 	return "n" + itobench(n) + "m" + itobench(m)
 }

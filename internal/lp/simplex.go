@@ -97,8 +97,12 @@ type Solution struct {
 	// Dual[i] is the dual multiplier of row i (≥ 0 at optimality for ≥ rows
 	// in a minimization).
 	Dual []float64
-	// Iterations is the total simplex iteration count.
+	// Iterations is the total simplex iteration count (including dual
+	// simplex restoration steps on the warm-start path).
 	Iterations int
+	// Warm reports that the solve reused a previous basis (see SolveWarm);
+	// false on the cold path, including warm attempts that fell back.
+	Warm bool
 }
 
 const (
@@ -132,15 +136,16 @@ type simplex struct {
 	deadline time.Time // zero = no wall-clock cap
 }
 
-// Solve solves the LP. It never panics on valid input; malformed input
-// (entries out of range, NaN coefficients, lo > hi) yields an error.
-func Solve(p *Problem) (Solution, error) {
-	n, m := p.NumVars, len(p.Rows)
+// validate checks the problem for malformed input and materializes the
+// variable bounds. A nil early result means "proceed"; a non-nil one is a
+// terminal verdict (Infeasible on crossed bounds).
+func validate(p *Problem) (lo, hi []float64, early *Solution, err error) {
+	n := p.NumVars
 	if len(p.Cost) != n {
-		return Solution{}, fmt.Errorf("lp: len(Cost)=%d != NumVars=%d", len(p.Cost), n)
+		return nil, nil, nil, fmt.Errorf("lp: len(Cost)=%d != NumVars=%d", len(p.Cost), n)
 	}
-	lo := p.Lo
-	hi := p.Hi
+	lo = p.Lo
+	hi = p.Hi
 	if lo == nil {
 		lo = make([]float64, n)
 	}
@@ -151,30 +156,53 @@ func Solve(p *Problem) (Solution, error) {
 		}
 	}
 	if len(lo) != n || len(hi) != n {
-		return Solution{}, fmt.Errorf("lp: bounds length mismatch")
+		return nil, nil, nil, fmt.Errorf("lp: bounds length mismatch")
 	}
 	for j := 0; j < n; j++ {
 		if lo[j] > hi[j]+epsBound {
-			return Solution{Status: Infeasible}, nil
+			return nil, nil, &Solution{Status: Infeasible}, nil
 		}
 		if math.IsNaN(lo[j]) || math.IsNaN(hi[j]) || math.IsNaN(p.Cost[j]) {
-			return Solution{}, fmt.Errorf("lp: NaN in input")
+			return nil, nil, nil, fmt.Errorf("lp: NaN in input")
 		}
 	}
 	for i, r := range p.Rows {
 		if math.IsNaN(r.RHS) {
-			return Solution{}, fmt.Errorf("lp: NaN rhs in row %d", i)
+			return nil, nil, nil, fmt.Errorf("lp: NaN rhs in row %d", i)
 		}
 		for _, e := range r.Entries {
 			if e.Var < 0 || e.Var >= n {
-				return Solution{}, fmt.Errorf("lp: row %d references var %d out of range", i, e.Var)
+				return nil, nil, nil, fmt.Errorf("lp: row %d references var %d out of range", i, e.Var)
 			}
 			if math.IsNaN(e.Coef) {
-				return Solution{}, fmt.Errorf("lp: NaN coefficient in row %d", i)
+				return nil, nil, nil, fmt.Errorf("lp: NaN coefficient in row %d", i)
 			}
 		}
 	}
+	return lo, hi, nil, nil
+}
 
+// Solve solves the LP from scratch. It never panics on valid input;
+// malformed input (entries out of range, NaN coefficients, lo > hi) yields
+// an error. For re-solving a sequence of related LPs, see SolveWarm.
+func Solve(p *Problem) (Solution, error) {
+	lo, hi, early, err := validate(p)
+	if err != nil {
+		return Solution{}, err
+	}
+	if early != nil {
+		return *early, nil
+	}
+	sol, _ := solveCold(p, lo, hi)
+	return sol, nil
+}
+
+// solveCold runs the classical two-phase solve and returns the final simplex
+// state alongside the solution (nil when the solve ended before phase 2
+// produced a usable basis — infeasible, iteration-capped phase 1, or
+// numerical corruption).
+func solveCold(p *Problem, lo, hi []float64) (Solution, *simplex) {
+	n, m := p.NumVars, len(p.Rows)
 	s := &simplex{n: n, m: m, nTot: n + 2*m, deadline: p.Deadline}
 	s.maxIter = p.MaxIter
 	if s.maxIter == 0 {
@@ -297,7 +325,18 @@ func Solve(p *Problem) (Solution, error) {
 	s.cost = make([]float64, s.nTot)
 	copy(s.cost, p.Cost)
 	st := s.run(s.cost)
+	if st == Unbounded || st == Numerical {
+		return Solution{Status: st, Iterations: s.iters}, nil
+	}
+	return s.extractSolution(p, lo, hi, st), s
+}
 
+// extractSolution reads the primal point, objective, slacks and duals out of
+// the final simplex state. st is the phase-2 outcome (Optimal or IterLimit —
+// in the latter case the basis is still primal-feasible, so the extracted
+// point and duals remain usable: the anytime behaviour).
+func (s *simplex) extractSolution(p *Problem, lo, hi []float64, st Status) Solution {
+	n, m := s.n, s.m
 	sol := Solution{Status: Optimal, Iterations: s.iters}
 	if st == IterLimit {
 		// Anytime behaviour: the basis is still primal-feasible, so the
@@ -305,12 +344,6 @@ func Solve(p *Problem) (Solution, error) {
 		// upper approximation of the optimum; the projected duals give a
 		// valid Lagrangian bound).
 		sol.Status = IterLimit
-	} else if st == Unbounded {
-		sol.Status = Unbounded
-		return sol, nil
-	} else if st == Numerical {
-		sol.Status = Numerical
-		return sol, nil
 	}
 	// Extract primal values.
 	x := make([]float64, n)
@@ -341,7 +374,7 @@ func Solve(p *Problem) (Solution, error) {
 	if math.IsNaN(obj) || math.IsInf(obj, 0) {
 		// Corruption that slipped past the periodic checks (e.g. a NaN
 		// introduced on the very last pivot): refuse to report a solution.
-		return Solution{Status: Numerical, Iterations: s.iters}, nil
+		return Solution{Status: Numerical, Iterations: s.iters}
 	}
 	sol.Objective = obj
 	// Slacks from the original rows.
@@ -373,7 +406,7 @@ func Solve(p *Problem) (Solution, error) {
 		}
 		sol.Dual[i] = d
 	}
-	return sol, nil
+	return sol
 }
 
 // run optimizes the given cost vector from the current basis. Returns

@@ -1,0 +1,526 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// This file implements warm-started re-solving for sequences of related LPs
+// (§3.1 usage pattern: one LP relaxation per search node, with consecutive
+// nodes differing in a handful of assigned variables). The previous optimal
+// basis is snapshotted under caller-stable integer identities, mapped onto
+// the next problem's columns and rows, installed by a Gauss-Jordan crash,
+// repaired to primal feasibility by a dual simplex pass, and polished by the
+// ordinary primal simplex. Any step that fails — too few identities survive
+// the node transition, a corrupted pivot, numerical trouble, a stalled dual
+// pass — abandons the warm attempt and falls back to the classical cold
+// solve, so warm starting is strictly an acceleration: it can never change
+// the set of statuses the caller observes, only how fast Optimal is reached.
+//
+// Soundness note. The caller (bounds.LPR) never trusts the objective of a
+// warm solution directly: it recomputes the bound from the returned duals via
+// the weak-duality Lagrangian formula, which is valid for any y ≥ 0. A stale
+// or badly mapped basis therefore yields a weaker bound, never an unsound
+// one.
+
+// basicID identifies the variable occupying a basis row, in caller-key space
+// so it survives column/row renumbering between problems.
+type basicID struct {
+	// surplus marks the surplus variable of the row identified by key;
+	// otherwise key identifies a structural variable.
+	surplus bool
+	key     int64
+}
+
+// Basis is an opaque snapshot of a simplex basis keyed by the caller's
+// stable identities. It is produced by SolveWarm and fed back into the next
+// SolveWarm call; callers never inspect it.
+type Basis struct {
+	// rows maps a row's key to the identity of its basic variable.
+	rows map[int64]basicID
+	// upper is the set of structural variable keys nonbasic at their upper
+	// bound (empty when all upper bounds are infinite, as in the LPR dual).
+	upper map[int64]bool
+}
+
+// Len returns the number of snapshotted basis rows (diagnostic only).
+func (b *Basis) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.rows)
+}
+
+// SolveWarm solves p, reusing prev (a Basis returned by an earlier SolveWarm
+// call on a related problem) as the starting basis when possible. varKeys[j]
+// and rowKeys[i] are caller-chosen stable identities for column j and row i —
+// the same logical variable/constraint must receive the same key across
+// calls, and keys must be unique within a call. prev == nil (or an
+// unmappable basis) degrades to the cold Solve path. The returned Basis
+// snapshots the final state for the next call (nil when the solve ended
+// without a usable basis). Solution.Warm reports whether the previous basis
+// was actually reused; a caller that passed prev != nil and observes
+// Warm == false has witnessed a cold fallback.
+func SolveWarm(p *Problem, varKeys, rowKeys []int64, prev *Basis) (Solution, *Basis, error) {
+	if len(varKeys) != p.NumVars {
+		return Solution{}, nil, fmt.Errorf("lp: len(varKeys)=%d != NumVars=%d", len(varKeys), p.NumVars)
+	}
+	if len(rowKeys) != len(p.Rows) {
+		return Solution{}, nil, fmt.Errorf("lp: len(rowKeys)=%d != len(Rows)=%d", len(rowKeys), len(p.Rows))
+	}
+	lo, hi, early, err := validate(p)
+	if err != nil {
+		return Solution{}, nil, err
+	}
+	if early != nil {
+		return *early, nil, nil
+	}
+
+	cold := func() (Solution, *Basis, error) {
+		sol, s := solveCold(p, lo, hi)
+		var bas *Basis
+		if s != nil && (sol.Status == Optimal || sol.Status == IterLimit) {
+			bas = s.snapshot(varKeys, rowKeys)
+		}
+		return sol, bas, nil
+	}
+
+	if prev.Len() == 0 || len(p.Rows) == 0 {
+		return cold()
+	}
+
+	s := buildWarm(p, lo, hi)
+	if !s.crashBasis(varKeys, rowKeys, prev) {
+		return cold()
+	}
+	s.refreshBeta()
+	if s.corrupted() {
+		return cold()
+	}
+	s.cost = make([]float64, s.nTot)
+	copy(s.cost, p.Cost)
+	// Dual pass: restore primal feasibility while (approximately) preserving
+	// dual feasibility. Anything but Optimal means the mapped basis was not
+	// worth keeping.
+	if st := s.runDual(s.cost); st != Optimal {
+		return cold()
+	}
+	// Polish with the true costs: the dual pass may have shifted costs to
+	// stay well-defined, and the crash may have left mild dual
+	// infeasibility; the primal simplex finishes from a primal-feasible
+	// basis that is typically a handful of pivots from optimal.
+	st := s.run(s.cost)
+	if st == Unbounded || st == Numerical {
+		return cold()
+	}
+	sol := s.extractSolution(p, lo, hi, st)
+	if sol.Status == Numerical {
+		return cold()
+	}
+	sol.Warm = true
+	return sol, s.snapshot(varKeys, rowKeys), nil
+}
+
+// buildWarm constructs the simplex working state with rows in their natural
+// (non-negated) orientation — A_i·x − s_i = b_i with the surplus column −1 —
+// and artificials locked at zero from the start. Unlike the cold slack-basis
+// crash, no row is negated: the basis comes from the previous solve, not
+// from the sign of the initial residual. The dual-extraction identity
+// d_surplus_i = y_i holds in this orientation too (the stored surplus column
+// is B⁻¹·(−e_i), so −cB·B⁻¹·(−e_i) = y_i).
+func buildWarm(p *Problem, lo, hi []float64) *simplex {
+	n, m := p.NumVars, len(p.Rows)
+	s := &simplex{n: n, m: m, nTot: n + 2*m, deadline: p.Deadline}
+	s.maxIter = p.MaxIter
+	if s.maxIter == 0 {
+		s.maxIter = 100*(n+m) + 5000
+	}
+	s.lo = make([]float64, s.nTot)
+	s.hi = make([]float64, s.nTot)
+	copy(s.lo, lo)
+	copy(s.hi, hi)
+	for j := n; j < n+m; j++ { // surplus: [0, +inf)
+		s.hi[j] = math.Inf(1)
+	}
+	// Artificials stay locked at zero: the crash never needs them feasible,
+	// only pivotable (their +1 entry is guaranteed intact when their row
+	// comes up, see crashBasis).
+	s.tab = make([][]float64, m)
+	s.rhsB = make([]float64, m)
+	s.beta = make([]float64, m)
+	s.basis = make([]int, m)
+	s.inBasis = make([]bool, s.nTot)
+	s.status = make([]nbStatus, s.nTot)
+	s.xval = make([]float64, s.nTot)
+	for j := 0; j < n; j++ {
+		s.xval[j] = lo[j]
+	}
+	for i, r := range p.Rows {
+		row := make([]float64, s.nTot)
+		for _, e := range r.Entries {
+			row[e.Var] += e.Coef
+		}
+		row[n+i] = -1.0  // surplus
+		row[n+m+i] = 1.0 // artificial (locked)
+		s.tab[i] = row
+		s.rhsB[i] = r.RHS
+	}
+	return s
+}
+
+// crashBasis maps prev onto the current problem and installs it by
+// Gauss-Jordan pivots with partial pivoting. A basis is a column SET —
+// which row a basic column ends up attached to is irrelevant to
+// feasibility — so rather than tying each previous column to its previous
+// row (whose pivot entry may have become zero in fixed-order elimination
+// even though the set is nonsingular), the crash pivots each mapped column
+// in whichever remaining row has the largest entry. For a nonsingular
+// mapped set in exact arithmetic every column then finds a pivot, so on an
+// unchanged problem the crash reconstructs the previous basis exactly and
+// the dual pass confirms feasibility with zero iterations.
+//
+// Rows left unpivoted (unmapped rows, dependent or corrupted columns) fall
+// back to their own surplus, then their own artificial. Both fallbacks have
+// guaranteed unit-magnitude pivots: column n+r (resp. n+m+r) is nonzero
+// only in row r of the initial tableau, and while row r remains unpivoted
+// it is never used as a pivot row, so no elimination can spread that column
+// into other rows or alter row r's own entry — tab[r][n+r] is still exactly
+// −1 and tab[r][n+m+r] exactly +1 when row r's fallback turn comes.
+//
+// The crash declines (cold fallback) when fewer than half the rows map, in
+// which case installing the remnant would cost more pivoting than it saves.
+//
+// fault point "lp.warmcrash": tests corrupt mapped pivot values to force the
+// per-column fallback and, en masse, the cold fallback.
+func (s *simplex) crashBasis(varKeys, rowKeys []int64, prev *Basis) bool {
+	n, m := s.n, s.m
+	varCol := make(map[int64]int, n)
+	for j, k := range varKeys {
+		varCol[k] = j
+	}
+	rowAt := make(map[int64]int, m)
+	for i, k := range rowKeys {
+		rowAt[k] = i
+	}
+	// The desired basic column set, deduplicated via inBasis as a scratch
+	// "seen" marker (reset below before the pivots mark real basis members).
+	cols := make([]int, 0, m)
+	for i := 0; i < m; i++ {
+		id, ok := prev.rows[rowKeys[i]]
+		if !ok {
+			continue
+		}
+		c := -1
+		if id.surplus {
+			if k, ok := rowAt[id.key]; ok {
+				c = n + k
+			}
+		} else if j, ok := varCol[id.key]; ok {
+			c = j
+		}
+		if c >= 0 && !s.inBasis[c] {
+			s.inBasis[c] = true
+			cols = append(cols, c)
+		}
+	}
+	for _, c := range cols {
+		s.inBasis[c] = false
+	}
+	if 2*len(cols) < m {
+		return false // mapping too poor: the crash would mostly build a slack basis anyway
+	}
+	// Restore nonbasic-at-upper statuses (no-op when upper bounds are
+	// infinite, as in the LPR dual LP).
+	if len(prev.upper) > 0 {
+		for j := 0; j < n; j++ {
+			if prev.upper[varKeys[j]] && !math.IsInf(s.hi[j], 1) {
+				s.status[j] = atUpper
+				s.xval[j] = s.hi[j]
+			}
+		}
+	}
+	// Gauss-Jordan pivot on (r, col); unit-magnitude pivots and unit columns
+	// (the common case for the LPR dual, whose w columns are unit vectors)
+	// skip nearly all the work.
+	pivot := func(r, col int, piv float64) {
+		if inv := 1.0 / piv; inv != 1.0 {
+			row := s.tab[r]
+			for j := 0; j < s.nTot; j++ {
+				row[j] *= inv
+			}
+			s.rhsB[r] *= inv
+		}
+		rowR := s.tab[r]
+		for i := 0; i < m; i++ {
+			if i == r {
+				continue
+			}
+			f := s.tab[i][col]
+			if f == 0 {
+				continue
+			}
+			rowI := s.tab[i]
+			for j := 0; j < s.nTot; j++ {
+				rowI[j] -= f * rowR[j]
+			}
+			s.rhsB[i] -= f * s.rhsB[r]
+		}
+		s.basis[r] = col
+		s.inBasis[col] = true
+	}
+	pivoted := make([]bool, m)
+	for _, col := range cols {
+		best, bestAbs := -1, epsPivot
+		for i := 0; i < m; i++ {
+			if pivoted[i] {
+				continue
+			}
+			if a := math.Abs(s.tab[i][col]); a > bestAbs {
+				best, bestAbs = i, a
+			}
+		}
+		if best < 0 {
+			continue // dependent or vanished column: its row falls back below
+		}
+		piv := fault.Corrupt("lp.warmcrash", s.tab[best][col])
+		if math.IsNaN(piv) || math.IsInf(piv, 0) || math.Abs(piv) < epsPivot {
+			continue
+		}
+		pivot(best, col, piv)
+		pivoted[best] = true
+	}
+	for r := 0; r < m; r++ {
+		if pivoted[r] {
+			continue
+		}
+		if !s.inBasis[n+r] {
+			pivot(r, n+r, s.tab[r][n+r]) // exactly −1 (see above)
+		} else {
+			pivot(r, n+m+r, s.tab[r][n+m+r]) // exactly +1
+		}
+	}
+	return true
+}
+
+// runDual restores primal feasibility from a dual-reasonable basis by dual
+// simplex steps: pick the most bound-violating basic variable, drive it to
+// the violated bound, and bring in the nonbasic column that preserves dual
+// feasibility at minimal reduced-cost ratio. Dual feasibility of the start
+// is manufactured where needed by cost shifting (raising the working cost of
+// a wrong-signed nonbasic column just past zero); shifts only distort the
+// path, not the outcome, because the caller re-runs the primal simplex with
+// the true costs afterwards. Returns Optimal when every basic variable is
+// within bounds, Infeasible when a violated row has no eligible entering
+// column (primal infeasible or hopeless mapping), IterLimit/Numerical on
+// budget exhaustion or corruption — everything but Optimal sends the caller
+// to the cold path.
+func (s *simplex) runDual(cost []float64) Status {
+	cols := make([]int, 0, s.nTot)
+	for j := 0; j < s.nTot; j++ {
+		if s.inBasis[j] || s.hi[j]-s.lo[j] >= epsBound || s.xval[j] != 0 {
+			cols = append(cols, j)
+		}
+	}
+	wcost := make([]float64, s.nTot)
+	copy(wcost, cost)
+	d := make([]float64, s.nTot)
+	cB := make([]float64, s.m)
+	recompute := func() {
+		for i := 0; i < s.m; i++ {
+			cB[i] = wcost[s.basis[i]]
+		}
+		for _, j := range cols {
+			d[j] = wcost[j]
+		}
+		for i := 0; i < s.m; i++ {
+			if cB[i] == 0 {
+				continue
+			}
+			row := s.tab[i]
+			c := cB[i]
+			for _, j := range cols {
+				d[j] -= c * row[j]
+			}
+		}
+	}
+	shift := func() {
+		for _, j := range cols {
+			if s.inBasis[j] {
+				continue
+			}
+			if s.status[j] == atLower && d[j] < -epsCost {
+				wcost[j] += -d[j] + epsCost
+				d[j] = epsCost
+			} else if s.status[j] == atUpper && d[j] > epsCost {
+				wcost[j] += -epsCost - d[j]
+				d[j] = -epsCost
+			}
+		}
+	}
+	recompute()
+	shift()
+
+	for ; s.iters < s.maxIter; s.iters++ {
+		if s.iters%64 == 63 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			return IterLimit
+		}
+		if s.iters%256 == 255 {
+			s.refreshBeta()
+			if s.corrupted() {
+				return Numerical
+			}
+		}
+		// Leaving row: most violated basic bound.
+		r := -1
+		worst := epsBound
+		for i := 0; i < s.m; i++ {
+			bi := s.basis[i]
+			if v := s.lo[bi] - s.beta[i]; v > worst {
+				worst = v
+				r = i
+			}
+			if !math.IsInf(s.hi[bi], 1) {
+				if v := s.beta[i] - s.hi[bi]; v > worst {
+					worst = v
+					r = i
+				}
+			}
+		}
+		if r == -1 {
+			return Optimal // primal feasible
+		}
+		leave := s.basis[r]
+		below := s.beta[r] < s.lo[leave]
+		target := s.lo[leave]
+		if !below {
+			target = s.hi[leave]
+		}
+		// Entering column: dual ratio test. Moving nonbasic j off its bound
+		// by t (direction dir_j) changes beta[r] by −α_j·dir_j·t; we need it
+		// to move toward target. Among eligible columns, minimize the
+		// reduced-cost ratio |d_j|/|α_j| (preserves dual feasibility), with
+		// ties broken toward the largest pivot magnitude for stability.
+		enter := -1
+		bestRatio := math.Inf(1)
+		bestAbs := 0.0
+		row := s.tab[r]
+		for _, j := range cols {
+			if s.inBasis[j] || s.hi[j]-s.lo[j] < epsBound {
+				continue
+			}
+			a := row[j]
+			if math.Abs(a) < epsPivot {
+				continue
+			}
+			var ok bool
+			if s.status[j] == atLower { // dir +1: Δbeta[r] has sign −a
+				ok = (a < 0) == below
+			} else { // dir −1: Δbeta[r] has sign +a
+				ok = (a > 0) == below
+			}
+			if !ok {
+				continue
+			}
+			df := d[j]
+			if s.status[j] == atUpper {
+				df = -df
+			}
+			if df < 0 {
+				df = 0 // numerically wrong-signed: treat as degenerate
+			}
+			abs := math.Abs(a)
+			ratio := df / abs
+			if ratio < bestRatio-epsPivot || (ratio < bestRatio+epsPivot && abs > bestAbs) {
+				bestRatio = ratio
+				bestAbs = abs
+				enter = j
+			}
+		}
+		if enter == -1 {
+			return Infeasible // dual unbounded: no point salvaging this basis
+		}
+		piv := fault.Corrupt("lp.pivot", row[enter])
+		if math.IsNaN(piv) || math.IsInf(piv, 0) {
+			return Numerical
+		}
+		dir := 1.0
+		if s.status[enter] == atUpper {
+			dir = -1.0
+		}
+		t := (target - s.beta[r]) / (-piv * dir)
+		if t < 0 {
+			t = 0 // numerical noise; pivot is still the right basis change
+		}
+		for i := 0; i < s.m; i++ {
+			s.beta[i] -= s.tab[i][enter] * dir * t
+		}
+		if below {
+			s.status[leave] = atLower
+			s.xval[leave] = s.lo[leave]
+		} else {
+			s.status[leave] = atUpper
+			s.xval[leave] = s.hi[leave]
+		}
+		s.inBasis[leave] = false
+		enterVal := s.xval[enter] + dir*t
+		s.inBasis[enter] = true
+		s.basis[r] = enter
+		s.beta[r] = enterVal
+		inv := 1.0 / piv
+		rowR := s.tab[r]
+		for _, j := range cols {
+			rowR[j] *= inv
+		}
+		s.rhsB[r] *= inv
+		for i := 0; i < s.m; i++ {
+			if i == r {
+				continue
+			}
+			f := s.tab[i][enter]
+			if f == 0 {
+				continue
+			}
+			rowI := s.tab[i]
+			for _, j := range cols {
+				rowI[j] -= f * rowR[j]
+			}
+			s.rhsB[i] -= f * s.rhsB[r]
+		}
+		// Full recompute per iteration: dual repair runs for a handful of
+		// steps at a typical node transition, so simplicity beats the
+		// incremental update here; shift keeps the next ratio test
+		// well-defined against drift.
+		recompute()
+		shift()
+	}
+	return IterLimit
+}
+
+// snapshot records the final basis under the caller's stable keys for reuse
+// by the next SolveWarm call. Rows whose basic variable is an artificial
+// (possible only on degenerate cold solves) are simply omitted — the crash
+// treats them as unmapped and installs their surplus.
+func (s *simplex) snapshot(varKeys, rowKeys []int64) *Basis {
+	b := &Basis{rows: make(map[int64]basicID, s.m)}
+	for i := 0; i < s.m; i++ {
+		bi := s.basis[i]
+		switch {
+		case bi < s.n:
+			b.rows[rowKeys[i]] = basicID{key: varKeys[bi]}
+		case bi < s.n+s.m:
+			b.rows[rowKeys[i]] = basicID{surplus: true, key: rowKeys[bi-s.n]}
+		}
+	}
+	for j := 0; j < s.n; j++ {
+		if !s.inBasis[j] && s.status[j] == atUpper {
+			if b.upper == nil {
+				b.upper = make(map[int64]bool)
+			}
+			b.upper[varKeys[j]] = true
+		}
+	}
+	return b
+}
