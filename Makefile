@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-bounds table examples clean ci vet
+.PHONY: all build test race fuzz bench bench-bounds bench-portfolio table examples clean ci vet
 
 all: build test
 
@@ -11,12 +11,14 @@ vet:
 
 # What CI runs: vet + build + full test suite, then the race detector on
 # the concurrency-sensitive packages (engine interrupt hook, solver
-# cancellation, portfolio racing, fault injection, the incremental
-# Reducer's watcher protocol, the warm-start LP state), then a
-# single-iteration smoke pass over the bound-pipeline benchmarks.
+# cancellation, portfolio racing + clause sharing, fault injection, the
+# incremental Reducer's watcher protocol, the warm-start LP state), then a
+# single-iteration smoke pass over the bound-pipeline and portfolio-sharing
+# benchmarks.
 ci: vet build test
-	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/fault ./internal/bounds ./internal/lp
+	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/share ./internal/fault ./internal/bounds ./internal/lp
 	$(MAKE) bench-bounds BENCHTIME=1x
+	$(MAKE) bench-portfolio BENCHTIME=1x
 
 build:
 	$(GO) build ./...
@@ -42,6 +44,13 @@ BENCHTIME ?= 2s
 bench-bounds:
 	$(GO) test -bench='BenchmarkExtract|BenchmarkReducerIncremental' -benchmem -benchtime=$(BENCHTIME) -run='^$$' ./internal/bounds
 	$(GO) test -bench='BenchmarkLPRNodeLoop' -benchmem -benchtime=$(BENCHTIME) -run='^$$' ./internal/lp
+
+# Cooperative-portfolio benchmarks: every member proving the optimum with and
+# without the sharing board (total conflicts/decisions across members), the
+# end-to-end race, and the per-node board hot path. Override BENCHTIME for
+# stable comparative numbers.
+bench-portfolio:
+	$(GO) test -bench='BenchmarkPortfolioSharedVsIsolated|BenchmarkPortfolioRace|BenchmarkBoardHotPath' -benchmem -benchtime=$(BENCHTIME) -run='^$$' ./internal/portfolio
 
 # Regenerate the paper's Table 1 at reproduction scale (minutes).
 table:

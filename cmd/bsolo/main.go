@@ -24,6 +24,7 @@ import (
 	"repro/internal/opb"
 	"repro/internal/portfolio"
 	"repro/internal/preprocess"
+	"repro/internal/share"
 	"repro/internal/verify"
 )
 
@@ -46,6 +47,13 @@ func main() {
 		incremental  = flag.Bool("incremental", true, "maintain the reduced problem incrementally across nodes (false = rebuild per node)")
 		warmLP       = flag.Bool("warm-lp", true, "warm-start the LPR simplex from the previous node's basis")
 		portfolioRun = flag.Bool("portfolio", false, "race all four lower-bound methods concurrently")
+		shareOn      = flag.Bool("share", true, "with -portfolio: cooperative sharing (incumbents + learned clauses); false = isolated race")
+		shareLen     = flag.Int("share-len", 8, "with -portfolio -share: max literals of an exchanged clause")
+		shareLBD     = flag.Int("share-lbd", 4, "with -portfolio -share: max LBD of an exchanged clause")
+		shareCap     = flag.Int("share-cap", 4096, "with -portfolio -share: exchange ring capacity in clauses")
+		maxMembers   = flag.Int("members", 0, "with -portfolio: cap on concurrently running members (0 = GOMAXPROCS; 1 + -share=false = deterministic)")
+		seed         = flag.Int64("seed", 0, "RNG seed for -random-branch (0 = default seed 1; portfolio members use per-member seeds)")
+		randBranch   = flag.Float64("random-branch", 0, "probability of a random branch decision (single-solver diversification; 0 = off)")
 		showStats    = flag.Bool("stats", false, "print solver statistics")
 		showModel    = flag.Bool("model", true, "print the v (values) line")
 	)
@@ -133,8 +141,12 @@ func main() {
 		fatal(fmt.Errorf("unknown -strategy %q", *strategy))
 	}
 
+	opt.Seed = *seed
+	opt.RandomBranchFreq = *randBranch
+
 	start := time.Now()
 	var res core.Result
+	var pres *portfolio.Result
 	if *portfolioRun {
 		configs := portfolio.DefaultConfigs()
 		for i := range configs {
@@ -143,10 +155,17 @@ func main() {
 			configs[i].Options.BoundBudget = opt.BoundBudget
 			configs[i].Options.FallbackAfter = opt.FallbackAfter
 		}
-		pres := portfolio.SolveWithCancel(prob, configs, cancel)
-		res = pres.Result
-		fmt.Printf("c portfolio winner: %s\n", pres.Winner)
-		for name, err := range pres.Errors {
+		p := portfolio.SolveOpts(prob, configs, portfolio.Options{
+			NoSharing:     !*shareOn,
+			Share:         share.Config{Capacity: *shareCap, MaxLen: *shareLen, MaxLBD: *shareLBD},
+			MaxConcurrent: *maxMembers,
+			Stop:          cancel,
+		})
+		pres = &p
+		res = p.Result
+		fmt.Printf("c portfolio winner: %s (members=%d concurrency=%d sharing=%t)\n",
+			p.Winner, len(p.Members), p.Concurrency, p.Sharing)
+		for name, err := range p.Errors {
 			fmt.Printf("c portfolio member %s crashed: %v\n", name, firstLine(err))
 		}
 	} else {
@@ -194,7 +213,46 @@ func main() {
 				fmt.Printf("c %s\n", line)
 			}
 		}
+		if st.RandomDecisions > 0 {
+			fmt.Printf("c randomDecisions=%d\n", st.RandomDecisions)
+		}
+		if pres != nil {
+			printPortfolioStats(pres)
+		} else if st.Sharing.Active() {
+			printSharing("", &st.Sharing, st.ImportedClauses)
+		}
 	}
+}
+
+// printPortfolioStats prints the board's global counters and each member's
+// sharing-side view as comment lines.
+func printPortfolioStats(p *portfolio.Result) {
+	if p.Sharing {
+		b := p.Board
+		owner := b.BestOwner
+		if owner == "" {
+			owner = "-"
+		}
+		fmt.Printf("c board: incumbents=%d owner=%s clausesPublished=%d tooLong=%d highLBD=%d dup=%d lapped=%d\n",
+			b.Incumbents, owner, b.ClausesPublished, b.ClausesTooLong,
+			b.ClausesHighLBD, b.ClausesDuplicate, b.ClausesLapped)
+	}
+	for _, m := range p.Members {
+		fmt.Printf("c member %-6s status=%s decisions=%d conflicts=%d boundConflicts=%d\n",
+			m.Name, m.Status, m.Stats.Decisions, m.Stats.Conflicts, m.Stats.BoundConflicts)
+		if m.Stats.Sharing.Active() {
+			printSharing(m.Name+" ", &m.Stats.Sharing, m.Stats.ImportedClauses)
+		}
+	}
+}
+
+func printSharing(prefix string, sh *core.SharingStats, imported int64) {
+	fmt.Printf("c %ssharing: incumbents=%d/%d foreignUB=%d foreignPrunes=%d ubInterrupts=%d\n",
+		prefix, sh.IncumbentsWon, sh.IncumbentsPublished, sh.ForeignIncumbents,
+		sh.ForeignUBPrunes, sh.UBInterrupts)
+	fmt.Printf("c %ssharing: clausesPub=%d rejected=%d imported=%d (units=%d) dropped=%d invalid=%d conflicts=%d\n",
+		prefix, sh.ClausesPublished, sh.ClausesRejected, imported,
+		sh.ImportedUnits, sh.ImportsDropped, sh.ImportsRejected, sh.ImportConflicts)
 }
 
 // firstLine trims a multi-line error (StatusError carries a stack trace) to

@@ -8,6 +8,15 @@
 //
 //	pbbench -all -time 10s
 //	pbbench -family grout -solvers lpr,plain -time 5s
+//
+// Beyond Table 1's seven columns, the solver list accepts "portfolio" (the
+// cooperative four-member race: shared incumbents + clause exchange) and
+// "portfolio-iso" (the same race with sharing disconnected); the CSV output
+// carries their conflict/decision totals and sharing counters, so
+//
+//	pbbench -family synth -solvers portfolio,portfolio-iso -csv out.csv
+//
+// measures what cooperation buys on identical instances.
 package main
 
 import (
@@ -114,7 +123,12 @@ func main() {
 					status = fmt.Sprintf("ub %d", r.Best)
 				}
 			}
-			fmt.Fprintf(os.Stderr, "  %-18s %-7s %-10s %v\n", inst.Name, id, status, r.Duration.Round(time.Millisecond))
+			extra := ""
+			if r.Members > 0 {
+				extra = fmt.Sprintf("  winner=%s conflicts=%d decisions=%d shImp=%d shPrunes=%d",
+					r.Winner, r.Conflicts, r.Decisions, r.ShClausesImp, r.ShForeignPrunes)
+			}
+			fmt.Fprintf(os.Stderr, "  %-18s %-7s %-10s %v%s\n", inst.Name, id, status, r.Duration.Round(time.Millisecond), extra)
 		}
 	}
 	fmt.Println()

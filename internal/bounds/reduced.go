@@ -39,6 +39,14 @@ type Budget struct {
 	// Cancel, when non-nil, aborts the estimation as soon as the channel is
 	// closed (the search is being cancelled; any bound is fine).
 	Cancel <-chan struct{}
+	// Interrupt, when non-nil, is polled at the same amortized stride as the
+	// deadline; returning true ends the estimation early with its
+	// best-so-far (sound) bound, marked Incomplete. The cooperative
+	// portfolio wires this to "a foreign incumbent arrived below the bound
+	// target": the target this estimation was asked to beat just dropped,
+	// so finishing the full computation is wasted work — return, let the
+	// search adopt the tighter upper bound, and re-check the prune.
+	Interrupt func() bool
 
 	// polls amortizes the cost of Expired: the system clock and the Cancel
 	// channel are consulted only every budgetPollStride-th call (and on the
@@ -60,12 +68,16 @@ func (b *Budget) Expired() bool {
 	if b.expired {
 		return true
 	}
-	if b.Deadline.IsZero() && b.Cancel == nil {
+	if b.Deadline.IsZero() && b.Cancel == nil && b.Interrupt == nil {
 		return false
 	}
 	b.polls++
 	if b.polls&(budgetPollStride-1) != 1 {
 		return false
+	}
+	if b.Interrupt != nil && b.Interrupt() {
+		b.expired = true
+		return true
 	}
 	if b.Cancel != nil {
 		select {

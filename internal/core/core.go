@@ -165,6 +165,24 @@ type Options struct {
 	// solved cold. Kept for ablation; warm starts never change results
 	// (see bounds.LPRState), only node cost.
 	NoWarmLP bool
+
+	// Share, when non-nil, connects this solve to a cooperative-portfolio
+	// board (see Sharer): incumbents are published and adopted, learned
+	// clauses exchanged, and bound estimations interrupted by foreign upper
+	// bounds. nil (the default) is the fully isolated — and deterministic —
+	// mode.
+	Share Sharer
+
+	// Seed seeds the engine's explicit RNG; meaningful only with a positive
+	// RandomBranchFreq. Runs are reproducible for a fixed (Seed,
+	// RandomBranchFreq) pair — the engine contains no other randomness, and
+	// portfolio members receive explicit per-member seeds so repeated runs
+	// are deterministic across processes.
+	Seed int64
+	// RandomBranchFreq is the probability that a decision branches on a
+	// random unassigned variable instead of the VSIDS maximum (portfolio
+	// diversification). 0 (the default) disables randomization entirely.
+	RandomBranchFreq float64
 }
 
 // Status reports how a solve ended.
@@ -246,6 +264,18 @@ type Stats struct {
 	// cost, per-estimator call/time/strength aggregates, and the LP
 	// warm-start counters (see bounds.Stats).
 	Bounds bounds.Stats
+
+	// Sharing counts cooperative-portfolio events (all zero when
+	// Options.Share is nil): incumbents published/adopted, clauses
+	// exchanged, pruning attributable to foreign upper bounds.
+	Sharing SharingStats
+
+	// ImportedClauses mirrors the engine's count of installed foreign
+	// clauses (units + watched).
+	ImportedClauses int64
+	// RandomDecisions counts seeded-RNG branch picks (Options.Seed /
+	// RandomBranchFreq).
+	RandomDecisions int64
 }
 
 // Result is the outcome of Solve.
@@ -291,6 +321,10 @@ type solver struct {
 
 	upper    int64 // best objective found so far, excluding CostOffset
 	bestVals []bool
+	// upperForeign marks an incumbent adopted from the sharing board (reset
+	// whenever a locally found solution takes over); prunes under a foreign
+	// incumbent are attributed to sharing in the stats.
+	upperForeign bool
 
 	stats        Stats
 	deadline     time.Time
@@ -353,6 +387,13 @@ func Solve(p *pb.Problem, opt Options) Result {
 		s.est = bounds.None{}
 	}
 	s.eng = engine.New(p)
+	if opt.RandomBranchFreq > 0 {
+		seed := opt.Seed
+		if seed == 0 {
+			seed = 1 // explicit default: randomized runs stay reproducible
+		}
+		s.eng.SeedRandom(seed, opt.RandomBranchFreq)
+	}
 	if !opt.NoIncrementalReduce && opt.LowerBound != LBNone {
 		// Persistent incremental reduction: track satisfaction transitions
 		// from the trail instead of re-scanning the constraint store at every
@@ -385,6 +426,8 @@ func Solve(p *pb.Problem, opt Options) Result {
 	res.Stats.Conflicts = s.eng.Stats.Conflicts
 	res.Stats.Propagations = s.eng.Stats.Propagations
 	res.Stats.LearnedClauses = s.eng.Stats.Learned
+	res.Stats.ImportedClauses = s.eng.Stats.Imported
+	res.Stats.RandomDecisions = s.eng.Stats.RandomDecisions
 	return res
 }
 
@@ -492,6 +535,7 @@ func (s *solver) boundBudget() bounds.Budget {
 	if s.hasDeadline && (bud.Deadline.IsZero() || s.deadline.Before(bud.Deadline)) {
 		bud.Deadline = s.deadline
 	}
+	s.shareInterruptBudget(&bud)
 	return bud
 }
 
@@ -520,12 +564,19 @@ func (s *solver) reduce() *bounds.Reduced {
 func (s *solver) estimate(red *bounds.Reduced, target int64) bounds.Result {
 	bud := s.boundBudget()
 	s.lastEst = s.est.Name()
+	ubi0 := s.stats.Sharing.UBInterrupts
 	res, failed := s.tryEstimate(s.est, red, target, bud)
 	if res.Incomplete {
 		s.stats.BoundTimeouts++
 	}
 	if !failed {
 		s.consecFails = 0
+		// An estimation cut short by a foreign incumbent is not worth
+		// rescuing: the caller is about to adopt a tighter upper bound and
+		// re-check the prune — skip the fallback rung.
+		if s.stats.Sharing.UBInterrupts != ubi0 {
+			return res
+		}
 		// A budget-limited call that produced nothing still deserves the
 		// cheap fallback — without feeding the circuit breaker.
 		if res.Incomplete && res.Bound <= 0 && s.fallback != nil {
@@ -590,8 +641,12 @@ func (s *solver) tryEstimate(est bounds.Estimator, red *bounds.Reduced, target i
 	return res, false
 }
 
-// finish converts the incumbent state into a terminal result.
+// finish converts the incumbent state into a terminal result. The terminal
+// board poll (adoptFinal) runs first: a member whose imports assumed foreign
+// incumbents must account for the board's best solution before claiming
+// "optimal" or "unsatisfiable" (DESIGN.md §9).
 func (s *solver) finish(proved bool) Result {
+	s.adoptFinal()
 	if s.bestVals != nil {
 		status := StatusLimit
 		if proved {
@@ -626,6 +681,20 @@ func (s *solver) search() Result {
 			return s.finish(false)
 		}
 
+		// Cooperative portfolio: adopt a strictly better foreign incumbent
+		// (one atomic load when there is nothing new) and, at the root,
+		// install clauses learned by other members. An import conflicting at
+		// the root proves the space below the board's assumptions empty —
+		// finish(true) with adoptFinal supplying the matching incumbent.
+		if s.opt.Share != nil {
+			if hasObjective {
+				s.adoptShared()
+			}
+			if !s.importShared() {
+				return s.finish(true)
+			}
+		}
+
 		if confl := s.eng.Propagate(); confl >= 0 {
 			if !s.resolveConstraintConflict(confl) {
 				return s.finish(true)
@@ -639,6 +708,9 @@ func (s *solver) search() Result {
 		if hasObjective {
 			path = s.pathCost()
 			if path >= s.upper {
+				if s.upperForeign {
+					s.stats.Sharing.ForeignUBPrunes++
+				}
 				if !s.boundConflict(nil, nil) {
 					return s.finish(true)
 				}
@@ -653,9 +725,17 @@ func (s *solver) search() Result {
 			red := s.reduce()
 			s.stats.BoundCalls++
 			res := s.estimate(red, s.upper-path)
+			// Make a mid-estimation foreign incumbent pay off immediately:
+			// adopt it before the prune comparison, so an estimation cut
+			// short by Budget.Interrupt still gets its node pruned against
+			// the tighter upper bound.
+			s.adoptShared()
 			if path+res.Bound >= s.upper {
 				s.stats.BoundPrunes++
 				s.bstats.Proc(s.lastEst).Prunes++
+				if s.upperForeign {
+					s.stats.Sharing.ForeignUBPrunes++
+				}
 				if !s.boundConflict(res.Responsible, res.ExcludedVars) {
 					return s.finish(true)
 				}
@@ -676,6 +756,11 @@ func (s *solver) search() Result {
 			if path < s.upper {
 				s.upper = path
 				s.bestVals = s.eng.Values()
+				s.upperForeign = false
+				// Publish before any clause learned under the new bound can
+				// reach the exchange — the ordering the sharing soundness
+				// argument rests on (DESIGN.md §9).
+				s.publishIncumbent()
 				if s.opt.OnIncumbent != nil {
 					s.opt.OnIncumbent(s.upper + s.prob.CostOffset)
 				}
@@ -726,6 +811,7 @@ func (s *solver) resolveConstraintConflict(confl int) bool {
 		if idx < 0 {
 			return false
 		}
+		s.publishLearnt(res.Learnt)
 		// Install the cutting plane after the backjump (it is usually a
 		// strict strengthening of the clause) and schedule it for an
 		// immediate propagation check.
@@ -831,6 +917,7 @@ func (s *solver) boundConflict(responsible []int, excluded map[pb.Var]bool) bool
 	if idx < 0 {
 		return false
 	}
+	s.publishLearnt(res.Learnt)
 	// Chronological backtracking would have returned to curLevel−1; levels
 	// skipped beyond that are the §4 non-chronological saving.
 	if saved := int64(curLevel-1) - int64(res.BackLevel); saved > 0 {
@@ -865,9 +952,15 @@ func dominatedByClause(terms []pb.Term, degree int64, clause []pb.Lit) bool {
 // when fractional values are available, otherwise VSIDS with saved phases.
 func (s *solver) pickBranch(fracX map[pb.Var]float64) pb.Lit {
 	if fracX != nil && !s.opt.NoLPBranching && s.opt.LowerBound == LBLPR {
+		// Two passes over the (unordered) map, so the selection is
+		// independent of Go's randomized map iteration order: pass 1 finds
+		// the exact minimum distance to 0.5, pass 2 picks the winner among
+		// everything within numerical noise of it by (activity, then
+		// smallest variable index) — both order-free criteria. Portfolio
+		// members must replay identically across processes for the
+		// deterministic mode to mean anything.
 		const intEps = 1e-6
 		bestDist := math.Inf(1)
-		var cands []pb.Var
 		for v, x := range fracX {
 			if s.eng.Value(v) != engine.Unassigned {
 				continue
@@ -875,25 +968,25 @@ func (s *solver) pickBranch(fracX map[pb.Var]float64) pb.Lit {
 			if x < intEps || x > 1-intEps {
 				continue // integral in the LP: not a §5 candidate
 			}
-			d := math.Abs(x - 0.5)
-			switch {
-			case d < bestDist-1e-9:
+			if d := math.Abs(x - 0.5); d < bestDist {
 				bestDist = d
-				cands = cands[:0]
-				cands = append(cands, v)
-			case d < bestDist+1e-9:
-				cands = append(cands, v)
 			}
 		}
-		if len(cands) == 1 {
-			v := cands[0]
-			return pb.MkLit(v, fracX[v] < 0.5)
-		}
-		if len(cands) > 1 {
-			// Ties broken by the VSIDS heuristic of Chaff (§5).
-			best := cands[0]
-			for _, v := range cands[1:] {
-				if s.eng.Activity(v) > s.eng.Activity(best) ||
+		if !math.IsInf(bestDist, 1) {
+			best := pb.Var(-1)
+			for v, x := range fracX {
+				if s.eng.Value(v) != engine.Unassigned {
+					continue
+				}
+				if x < intEps || x > 1-intEps {
+					continue
+				}
+				if math.Abs(x-0.5) > bestDist+1e-9 {
+					continue
+				}
+				// Ties broken by the VSIDS heuristic of Chaff (§5), then by
+				// variable index.
+				if best < 0 || s.eng.Activity(v) > s.eng.Activity(best) ||
 					(s.eng.Activity(v) == s.eng.Activity(best) && v < best) {
 					best = v
 				}

@@ -21,6 +21,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
 	"repro/internal/pb"
@@ -92,6 +93,12 @@ type Stats struct {
 	Conflicts    int64
 	Learned      int64
 	MaxTrail     int
+	// Imported counts foreign clauses installed via ImportClause (units and
+	// watched clauses; rejected or dropped imports are not counted).
+	Imported int64
+	// RandomDecisions counts branch picks made by the seeded RNG (see
+	// SeedRandom) instead of VSIDS.
+	RandomDecisions int64
 }
 
 // Engine is the CDCL search state.
@@ -133,6 +140,13 @@ type Engine struct {
 	// consWatcher, when non-nil, observes satisfaction transitions of
 	// problem constraints (see notify.go). Registered via SetConsWatcher.
 	consWatcher ConsWatcher
+
+	// rng, when non-nil, injects seeded random branching: with probability
+	// randFreq a decision picks a random unassigned variable instead of the
+	// VSIDS maximum (portfolio diversification). Deterministic per seed —
+	// the only randomness in the engine, and always explicit.
+	rng      *rand.Rand
+	randFreq float64
 
 	// Interrupt, when non-nil, is polled every ~1k propagations inside
 	// Propagate; returning true stops the fixpoint early and Propagate
@@ -799,9 +813,36 @@ func (e *Engine) varDecay() {
 // Activity returns the VSIDS activity of v.
 func (e *Engine) Activity(v pb.Var) float64 { return e.activity[v] }
 
+// SeedRandom arms the engine's explicit, per-solver RNG: with probability
+// freq each branch decision picks a random unassigned variable instead of
+// the VSIDS maximum. freq <= 0 disables randomization (the default). Runs
+// are reproducible for a fixed (seed, freq): this is the portfolio's
+// diversification knob, seeded per member.
+func (e *Engine) SeedRandom(seed int64, freq float64) {
+	if freq <= 0 {
+		e.rng, e.randFreq = nil, 0
+		return
+	}
+	e.rng = rand.New(rand.NewSource(seed))
+	e.randFreq = freq
+}
+
 // PickBranchVar returns the unassigned variable with maximal VSIDS activity,
-// or -1 when all variables are assigned.
+// or -1 when all variables are assigned. With SeedRandom armed, a fraction
+// of picks is uniformly random over unassigned variables instead.
 func (e *Engine) PickBranchVar() pb.Var {
+	if e.rng != nil && e.rng.Float64() < e.randFreq {
+		// A few random probes; on repeated misses fall through to VSIDS
+		// (the heap pop below). The probed variable stays in the heap —
+		// pops skip assigned variables anyway.
+		for i := 0; i < 8; i++ {
+			v := pb.Var(e.rng.Intn(e.nVars))
+			if e.value[v] == Unassigned {
+				e.Stats.RandomDecisions++
+				return v
+			}
+		}
+	}
 	for e.heap.size() > 0 {
 		v := e.heap.pop()
 		if e.value[v] == Unassigned {

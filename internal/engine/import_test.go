@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/pb"
+)
+
+// importFixture builds an engine whose root assignment is x0=true, x1=false
+// (via unit clauses), with x2..x4 unassigned.
+func importFixture(t *testing.T) *Engine {
+	t.Helper()
+	p := pb.NewProblem(5)
+	_ = p.AddClause(pb.PosLit(0))
+	_ = p.AddClause(pb.NegLit(1))
+	e := New(p)
+	if e.SeedUnits() < 0 {
+		t.Fatal("fixture unexpectedly unsat")
+	}
+	if confl := e.Propagate(); confl >= 0 {
+		t.Fatal("fixture propagation conflict")
+	}
+	if e.LitValue(pb.PosLit(0)) != True || e.LitValue(pb.NegLit(1)) != True {
+		t.Fatal("fixture root assignment wrong")
+	}
+	return e
+}
+
+func TestImportClauseStatuses(t *testing.T) {
+	cases := []struct {
+		name string
+		lits []pb.Lit
+		want ImportStatus
+	}{
+		{"empty input is invalid, not a conflict", nil, ImportInvalid},
+		{"out-of-range variable", []pb.Lit{pb.PosLit(99)}, ImportInvalid},
+		{"corrupt negative literal", []pb.Lit{pb.Lit(-3)}, ImportInvalid},
+		{"root-true literal satisfies", []pb.Lit{pb.PosLit(0), pb.PosLit(2)}, ImportSatisfied},
+		{"tautological pair satisfies", []pb.Lit{pb.PosLit(2), pb.NegLit(2)}, ImportSatisfied},
+		{"root-false literals drop to a unit", []pb.Lit{pb.PosLit(1), pb.PosLit(2)}, ImportUnit},
+		{"all literals root-false conflict", []pb.Lit{pb.PosLit(1), pb.NegLit(0)}, ImportConflict},
+		{"two unassigned literals stored", []pb.Lit{pb.PosLit(3), pb.PosLit(4)}, ImportAdded},
+		{"duplicate literal normalized away", []pb.Lit{pb.PosLit(3), pb.PosLit(3), pb.PosLit(1)}, ImportUnit},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := importFixture(t)
+			if got := e.ImportClause(tc.lits); got != tc.want {
+				t.Fatalf("ImportClause(%v) = %v, want %v", tc.lits, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestImportUnitAssignsAtRoot(t *testing.T) {
+	e := importFixture(t)
+	if got := e.ImportClause([]pb.Lit{pb.PosLit(1), pb.PosLit(2)}); got != ImportUnit {
+		t.Fatalf("status=%v", got)
+	}
+	if e.LitValue(pb.PosLit(2)) != True {
+		t.Fatal("imported unit not assigned")
+	}
+	if e.DecisionLevel() != 0 || e.Level(2) != 0 {
+		t.Fatal("imported unit not at the root level")
+	}
+	if e.Stats.Imported != 1 {
+		t.Fatalf("Stats.Imported=%d", e.Stats.Imported)
+	}
+}
+
+func TestImportedClausePropagates(t *testing.T) {
+	e := importFixture(t)
+	if got := e.ImportClause([]pb.Lit{pb.PosLit(3), pb.PosLit(4)}); got != ImportAdded {
+		t.Fatalf("status=%v", got)
+	}
+	e.Decide(pb.NegLit(3))
+	if confl := e.Propagate(); confl >= 0 {
+		t.Fatal("unexpected conflict")
+	}
+	if e.LitValue(pb.PosLit(4)) != True {
+		t.Fatal("imported watched clause did not propagate its last literal")
+	}
+}
+
+func TestImportedClauseConflicts(t *testing.T) {
+	e := importFixture(t)
+	if got := e.ImportClause([]pb.Lit{pb.PosLit(3), pb.PosLit(4)}); got != ImportAdded {
+		t.Fatalf("status=%v", got)
+	}
+	e.Decide(pb.NegLit(3))
+	if confl := e.Propagate(); confl >= 0 {
+		t.Fatal("unexpected conflict")
+	}
+	// x4 was propagated true by the import; the clause must participate in
+	// conflict analysis like any learned clause. Force a conflict through it
+	// by importing at the root after backtracking — here we simply check the
+	// reason wiring by analyzing a manual conflict seed.
+	res := e.AnalyzeClause([]pb.Lit{pb.NegLit(4)})
+	if res.Unsat {
+		t.Fatal("analysis claims unsat")
+	}
+	if len(res.Learnt) == 0 {
+		t.Fatal("no clause learned through the imported reason")
+	}
+}
+
+func TestImportClausePanicsOffRoot(t *testing.T) {
+	e := importFixture(t)
+	e.Decide(pb.PosLit(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ImportClause off the root did not panic")
+		}
+	}()
+	e.ImportClause([]pb.Lit{pb.PosLit(3), pb.PosLit(4)})
+}
+
+func TestSeedRandomBranching(t *testing.T) {
+	p := pb.NewProblem(24)
+	for v := 0; v < 24; v++ {
+		_ = p.AddClause(pb.PosLit(pb.Var(v)), pb.PosLit(pb.Var((v+1)%24)))
+	}
+	pick := func(seed int64) []pb.Var {
+		e := New(p)
+		e.SeedRandom(seed, 1.0) // every decision random
+		var got []pb.Var
+		for i := 0; i < 8; i++ {
+			v := e.PickBranchVar()
+			if v < 0 {
+				break
+			}
+			got = append(got, v)
+			e.Decide(pb.PosLit(v))
+		}
+		return got
+	}
+	a, b := pick(7), pick(7)
+	if len(a) == 0 {
+		t.Fatal("no decisions made")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	c := pick(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Log("seeds 7 and 8 produced identical picks (possible but unlikely)")
+	}
+}

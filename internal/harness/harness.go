@@ -17,6 +17,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/milp"
 	"repro/internal/pb"
+	"repro/internal/portfolio"
 )
 
 // Family identifies a Table 1 benchmark family.
@@ -174,6 +175,18 @@ const (
 	SolverLPR    SolverID = "lpr"
 )
 
+// The portfolio columns (beyond Table 1): the cooperative four-member race
+// and its sharing-ablated twin. Not part of Solvers() — select explicitly
+// (pbbench -solvers portfolio,portfolio-iso).
+const (
+	// SolverPortfolio races the four bsolo members cooperatively (shared
+	// incumbents + clause exchange; see internal/share).
+	SolverPortfolio SolverID = "portfolio"
+	// SolverPortfolioIso is the same race with sharing disconnected — the
+	// isolated baseline the sharing columns are compared against.
+	SolverPortfolioIso SolverID = "portfolio-iso"
+)
+
 // Solvers lists the columns in Table 1 order.
 func Solvers() []SolverID {
 	return []SolverID{SolverPBS, SolverGalena, SolverMILP, SolverPlain, SolverMIS, SolverLGR, SolverLPR}
@@ -207,6 +220,23 @@ type RunResult struct {
 	// reduction mode/cost, per-estimator call/time aggregates, LP warm-start
 	// counters). Zero for the baselines and the MILP column.
 	Bounds bounds.Stats
+	// Conflicts / Decisions measure search effort: BCP + bound conflicts and
+	// decisions (summed across members for the portfolio columns; zero for
+	// the MILP column). The sharing benchmarks compare these between the
+	// cooperative and isolated portfolio columns.
+	Conflicts int64
+	Decisions int64
+	// Members is the member count of a portfolio run (0 for single solvers);
+	// Winner names the member that produced the verdict.
+	Members int
+	Winner  string
+	// Sharing counters of a cooperative portfolio run: clauses accepted into
+	// the exchange, clauses imported into member engines, and nodes pruned
+	// while a foreign incumbent was in force. All zero for single solvers
+	// and for portfolio-iso.
+	ShClausesPub    int64
+	ShClausesImp    int64
+	ShForeignPrunes int64
 }
 
 // BoundCalls returns the total estimation calls of the run.
@@ -253,6 +283,10 @@ func Run(inst Instance, id SolverID, lim Limits) RunResult {
 			fill(&rr, baseline.Bsolo(inst.Prob, core.LBLGR, bl))
 		case SolverLPR:
 			fill(&rr, baseline.Bsolo(inst.Prob, core.LBLPR, bl))
+		case SolverPortfolio:
+			fillPortfolio(&rr, runPortfolio(inst.Prob, lim, false))
+		case SolverPortfolioIso:
+			fillPortfolio(&rr, runPortfolio(inst.Prob, lim, true))
 		}
 	}()
 	rr.Duration = time.Since(start)
@@ -272,6 +306,8 @@ func fill(rr *RunResult, res core.Result) {
 	rr.HasUB = res.HasSolution
 	rr.Best = res.Best
 	rr.Bounds = res.Stats.Bounds
+	rr.Conflicts = res.Stats.Conflicts + res.Stats.BoundConflicts
+	rr.Decisions = res.Stats.Decisions
 	if res.Status == core.StatusError {
 		rr.Solved, rr.HasUB = false, false
 		if res.Err != nil {
@@ -279,6 +315,36 @@ func fill(rr *RunResult, res core.Result) {
 		} else {
 			rr.Err = "error"
 		}
+	}
+}
+
+// runPortfolio runs the default four-member race under the harness limits,
+// cooperatively or isolated.
+func runPortfolio(p *pb.Problem, lim Limits, isolated bool) portfolio.Result {
+	configs := portfolio.DefaultConfigs()
+	for i := range configs {
+		configs[i].Options.TimeLimit = lim.Time
+		configs[i].Options.MaxConflicts = lim.MaxConflicts
+		configs[i].Options.NoIncrementalReduce = lim.NoIncrementalReduce
+		configs[i].Options.NoWarmLP = lim.NoWarmLP
+	}
+	return portfolio.SolveOpts(p, configs, portfolio.Options{NoSharing: isolated})
+}
+
+// fillPortfolio maps a portfolio outcome onto the table cell: the verdict and
+// incumbent come from the race result, the effort counters are summed across
+// every member, and the sharing columns aggregate the member-side counters
+// plus the board's accepted-clause total.
+func fillPortfolio(rr *RunResult, res portfolio.Result) {
+	fill(rr, res.Result)
+	rr.Winner = res.Winner
+	rr.Members = len(res.Members)
+	rr.Conflicts = res.TotalConflicts()
+	rr.Decisions = res.TotalDecisions()
+	rr.ShClausesPub = res.Board.ClausesPublished
+	for _, m := range res.Members {
+		rr.ShClausesImp += m.Stats.ImportedClauses
+		rr.ShForeignPrunes += m.Stats.Sharing.ForeignUBPrunes
 	}
 }
 
@@ -369,22 +435,28 @@ func fmtDur(d time.Duration) string {
 }
 
 // FormatCSV renders results machine-readably: one line per (instance,
-// solver) cell with status, incumbent, wall time in milliseconds, and the
+// solver) cell with status, incumbent, wall time in milliseconds, the
 // bound-pipeline profile (estimation calls, milliseconds spent estimating,
-// LP warm/cold solve counts — zero for the non-bsolo columns).
+// LP warm/cold solve counts — zero for the non-bsolo columns), the search
+// effort (conflicts, decisions — summed across members for the portfolio
+// columns), and the sharing counters (members, clauses published/imported,
+// foreign-UB prunes — zero outside the cooperative portfolio column).
 func FormatCSV(results []RunResult) string {
 	var sb strings.Builder
-	sb.WriteString("instance,family,solver,solved,best,ms,boundCalls,boundMs,lpWarm,lpCold\n")
+	sb.WriteString("instance,family,solver,solved,best,ms,boundCalls,boundMs,lpWarm,lpCold," +
+		"conflicts,decisions,members,shPub,shImp,shPrunes\n")
 	for _, r := range results {
 		best := ""
 		if r.HasUB {
 			best = fmt.Sprint(r.Best)
 		}
-		fmt.Fprintf(&sb, "%s,%s,%s,%t,%s,%.2f,%d,%.2f,%d,%d\n",
+		fmt.Fprintf(&sb, "%s,%s,%s,%t,%s,%.2f,%d,%.2f,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			r.Instance, r.Family, r.Solver, r.Solved, best,
 			float64(r.Duration.Microseconds())/1000,
 			r.BoundCalls(), float64(r.BoundTime().Microseconds())/1000,
-			r.Bounds.WarmSolves, r.Bounds.ColdSolves)
+			r.Bounds.WarmSolves, r.Bounds.ColdSolves,
+			r.Conflicts, r.Decisions,
+			r.Members, r.ShClausesPub, r.ShClausesImp, r.ShForeignPrunes)
 	}
 	return sb.String()
 }

@@ -4,6 +4,15 @@
 // bound method wins everywhere (Table 1's per-family spread), so racing
 // them hedges the choice at the price of cores.
 //
+// By default the race is *cooperative* (see internal/share and DESIGN.md §9):
+// members publish every incumbent to a shared board — instantly tightening
+// the paper's `path + lower ≥ upper` pruning in every other member — and
+// exchange short, low-LBD learned clauses through a bounded ring, imported at
+// restart/backjump-to-root boundaries. Options.NoSharing restores the
+// pre-cooperative isolated race, which combined with MaxConcurrent=1 is fully
+// deterministic (members run sequentially in config order, and each member's
+// search contains no other nondeterminism).
+//
 // Every worker receives its own engine state; the input problem is shared
 // read-only. When a worker proves optimality (or unsatisfiability, or
 // satisfiability for objective-free instances) the others are cancelled.
@@ -18,32 +27,76 @@ package portfolio
 
 import (
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/pb"
+	"repro/internal/share"
 )
+
+// The share.Member handle is the concrete Sharer the portfolio hands to each
+// member's solver; asserting it here keeps the import direction one-way
+// (portfolio → core + share, never core → share).
+var _ core.Sharer = (*share.Member)(nil)
 
 // Config is one portfolio member.
 type Config struct {
 	// Name labels the member in the result.
 	Name string
-	// Options configures the member's solver. Cancel is managed by Solve
-	// and must be nil.
+	// Options configures the member's solver. Cancel and Share are managed
+	// by Solve and must be nil.
 	Options core.Options
 }
 
 // DefaultConfigs returns the paper's four bsolo columns as portfolio
-// members.
+// members. Each member carries an explicit distinct seed and a small random
+// branching frequency: the seeds diversify the race (members explore
+// different regions even on instances where the bound methods behave alike)
+// while keeping every run of the same member bit-reproducible across
+// processes — the engine contains no other randomness.
 func DefaultConfigs() []Config {
+	const diversify = 0.02
 	return []Config{
-		{Name: "plain", Options: core.Options{LowerBound: core.LBNone}},
-		{Name: "mis", Options: core.Options{LowerBound: core.LBMIS, CardinalityInference: true}},
-		{Name: "lgr", Options: core.Options{LowerBound: core.LBLGR, CardinalityInference: true}},
-		{Name: "lpr", Options: core.Options{LowerBound: core.LBLPR, CardinalityInference: true}},
+		{Name: "plain", Options: core.Options{LowerBound: core.LBNone,
+			Seed: 1, RandomBranchFreq: diversify}},
+		{Name: "mis", Options: core.Options{LowerBound: core.LBMIS, CardinalityInference: true,
+			Seed: 2, RandomBranchFreq: diversify}},
+		{Name: "lgr", Options: core.Options{LowerBound: core.LBLGR, CardinalityInference: true,
+			Seed: 3, RandomBranchFreq: diversify}},
+		{Name: "lpr", Options: core.Options{LowerBound: core.LBLPR, CardinalityInference: true,
+			Seed: 4, RandomBranchFreq: diversify}},
 	}
+}
+
+// Options configures the portfolio run as a whole (per-member limits live in
+// each Config's core.Options). The zero value is the default cooperative
+// race: sharing on, concurrency capped at GOMAXPROCS.
+type Options struct {
+	// NoSharing disconnects the board entirely: members race in isolation
+	// (the pre-cooperative behaviour). Required for the deterministic mode
+	// and for sharing-ablation benchmarks.
+	NoSharing bool
+	// Share sizes the cooperative board (zero value = share defaults:
+	// capacity 4096, clause length ≤ 8, LBD ≤ 4). Ignored with NoSharing.
+	Share share.Config
+	// MaxConcurrent caps how many members run simultaneously; 0 selects
+	// GOMAXPROCS. Members beyond the cap wait their turn in config order.
+	// MaxConcurrent=1 runs the members strictly sequentially in config
+	// order, which with NoSharing is fully deterministic.
+	MaxConcurrent int
+	// Stop, when non-nil, cancels every member as soon as the channel is
+	// closed (the CLI's SIGINT/SIGTERM handler).
+	Stop <-chan struct{}
+}
+
+// MemberResult is one member's outcome, reported in config order.
+type MemberResult struct {
+	// Name is the member's label (Config.Name or the lower-bound method).
+	Name string
+	core.Result
 }
 
 // Result is the portfolio outcome.
@@ -55,48 +108,128 @@ type Result struct {
 	// Errors maps member names to their crash (recovered panic) when they
 	// ended in core.StatusError. Nil when every member ran to completion.
 	Errors map[string]error
+	// Members holds every member's individual outcome, in config order —
+	// including the losers, whose stats carry the sharing counters.
+	Members []MemberResult
+	// Concurrency is the member-level parallelism the run actually used
+	// (min of MaxConcurrent, GOMAXPROCS and the member count).
+	Concurrency int
+	// Sharing reports whether the cooperative board was connected.
+	Sharing bool
+	// Board is the board's final global snapshot (zero when !Sharing). Its
+	// BestOwner names the member whose solution the certificate carries —
+	// distinct from Winner when the prover adopted a foreign incumbent.
+	Board share.Stats
 }
 
-// Solve races the given configurations. Limits in each member's Options
-// still apply individually (set a common TimeLimit to bound the whole run).
+// TotalConflicts sums BCP + bound conflicts across every member — the
+// portfolio-level work measure the sharing benchmarks compare.
+func (r *Result) TotalConflicts() int64 {
+	var n int64
+	for _, m := range r.Members {
+		n += m.Stats.Conflicts + m.Stats.BoundConflicts
+	}
+	return n
+}
+
+// TotalDecisions sums decisions across every member.
+func (r *Result) TotalDecisions() int64 {
+	var n int64
+	for _, m := range r.Members {
+		n += m.Stats.Decisions
+	}
+	return n
+}
+
+// Solve races the given configurations cooperatively with default options.
+// Limits in each member's Options still apply individually (set a common
+// TimeLimit to bound the whole run).
 func Solve(p *pb.Problem, configs []Config) Result {
-	return SolveWithCancel(p, configs, nil)
+	return SolveOpts(p, configs, Options{})
 }
 
 // SolveWithCancel is Solve with an external stop channel: closing stop
 // cancels every member, and the best incumbent found so far is stitched
 // together (StatusLimit), exactly as when all members hit their budgets.
-// Used by the CLI's SIGINT/SIGTERM handler.
 func SolveWithCancel(p *pb.Problem, configs []Config, stop <-chan struct{}) Result {
+	return SolveOpts(p, configs, Options{Stop: stop})
+}
+
+// SolveOpts races the given configurations under the given portfolio
+// options.
+func SolveOpts(p *pb.Problem, configs []Config, opts Options) Result {
 	if len(configs) == 0 {
 		configs = DefaultConfigs()
 	}
-	type outcome struct {
-		name string
-		res  core.Result
+	maxConc := opts.MaxConcurrent
+	if maxConc <= 0 {
+		maxConc = runtime.GOMAXPROCS(0)
 	}
+	if maxConc > len(configs) {
+		maxConc = len(configs)
+	}
+	if maxConc < 1 {
+		maxConc = 1
+	}
+
+	// The board and the per-member handles are created up front, in config
+	// order, so member ids are deterministic and every member can see
+	// incumbents published before it was scheduled.
+	var board *share.Board
+	var handles []*share.Member
+	if !opts.NoSharing {
+		board = share.NewBoard(opts.Share)
+		handles = make([]*share.Member, len(configs))
+		for i, cfg := range configs {
+			handles[i] = board.Join(cfg.name())
+		}
+	}
+
 	cancel := make(chan struct{})
 	var cancelOnce sync.Once
 	closeCancel := func() { cancelOnce.Do(func() { close(cancel) }) }
-	if stop != nil {
+	if opts.Stop != nil {
 		done := make(chan struct{})
 		defer close(done)
 		go func() {
 			select {
-			case <-stop:
+			case <-opts.Stop:
 				closeCancel()
 			case <-done:
 			}
 		}()
 	}
+
+	type outcome struct {
+		idx  int
+		name string
+		res  core.Result
+	}
 	results := make(chan outcome, len(configs))
+
+	// A fixed pool of maxConc workers pulls member indices from an ordered
+	// queue: with maxConc=1 the members run strictly sequentially in config
+	// order (the deterministic mode); with more workers the queue merely
+	// bounds the parallelism at the configured cap.
+	queue := make(chan int, len(configs))
+	for i := range configs {
+		queue <- i
+	}
+	close(queue)
 	var wg sync.WaitGroup
-	for _, cfg := range configs {
+	for w := 0; w < maxConc; w++ {
 		wg.Add(1)
-		go func(cfg Config) {
+		go func() {
 			defer wg.Done()
-			results <- outcome{cfg.name(), runMember(p, cfg, cancel)}
-		}(cfg)
+			for i := range queue {
+				cfg := configs[i]
+				var m *share.Member
+				if handles != nil {
+					m = handles[i]
+				}
+				results <- outcome{i, cfg.name(), runMember(p, cfg, cancel, m)}
+			}
+		}()
 	}
 
 	var best Result
@@ -106,8 +239,10 @@ func SolveWithCancel(p *pb.Problem, configs []Config, stop <-chan struct{}) Resu
 	}
 	var winner *outcome
 	var errs map[string]error
+	members := make([]MemberResult, len(configs))
 	for i := 0; i < len(configs); i++ {
 		oc := <-results
+		members[oc.idx] = MemberResult{Name: oc.name, Result: oc.res}
 		if oc.res.Status == core.StatusError {
 			// Panic isolation: record the crash and keep consuming results —
 			// the race degrades instead of aborting.
@@ -128,21 +263,32 @@ func SolveWithCancel(p *pb.Problem, configs []Config, stop <-chan struct{}) Resu
 		}
 	}
 	wg.Wait()
+	closeCancel()
+
+	finalize := func(r Result) Result {
+		r.Errors = errs
+		r.Members = members
+		r.Concurrency = maxConc
+		if board != nil {
+			r.Sharing = true
+			r.Board = board.Snapshot()
+		}
+		return r
+	}
 	if winner != nil {
-		return Result{Result: winner.res, Winner: winner.name, Errors: errs}
+		return finalize(Result{Result: winner.res, Winner: winner.name})
 	}
 	if gotBest {
 		best.Status = core.StatusLimit
-		best.Errors = errs
-		return best
+		return finalize(best)
 	}
-	return Result{Result: core.Result{Status: core.StatusLimit}, Errors: errs}
+	return finalize(Result{Result: core.Result{Status: core.StatusLimit}})
 }
 
 // runMember executes one configuration behind a panic barrier, so a member
 // crash (including one injected at the "portfolio.worker" fault point,
 // keyed by member name) becomes a StatusError outcome.
-func runMember(p *pb.Problem, cfg Config, cancel <-chan struct{}) (res core.Result) {
+func runMember(p *pb.Problem, cfg Config, cancel <-chan struct{}, m *share.Member) (res core.Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = core.Result{
@@ -154,6 +300,9 @@ func runMember(p *pb.Problem, cfg Config, cancel <-chan struct{}) (res core.Resu
 	fault.Fire("portfolio.worker", cfg.name())
 	opt := cfg.Options
 	opt.Cancel = cancel
+	if m != nil {
+		opt.Share = m
+	}
 	return core.Solve(p, opt)
 }
 
