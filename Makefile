@@ -16,9 +16,10 @@ vet:
 # single-iteration smoke pass over the bound-pipeline and portfolio-sharing
 # benchmarks.
 ci: vet build test
-	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/share ./internal/fault ./internal/bounds ./internal/lp
+	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/share ./internal/fault ./internal/bounds ./internal/lp ./internal/fuzz
 	$(MAKE) bench-bounds BENCHTIME=1x
 	$(MAKE) bench-portfolio BENCHTIME=1x
+	$(MAKE) fuzz FUZZTIME=10s PBFUZZ_N=500
 
 build:
 	$(GO) build ./...
@@ -29,9 +30,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzzing session on the OPB parser (seed corpus always runs in `test`).
+# Differential fuzzing (see DESIGN.md section 10): replay the committed
+# reproducer corpus, sweep adversarial instances through every solver
+# configuration under the invariant auditor via cmd/pbfuzz, then short
+# coverage-guided sessions on the differential harness and the OPB parser.
+# Override FUZZTIME / PBFUZZ_N for longer hunts.
+FUZZTIME ?= 30s
+PBFUZZ_N ?= 2000
 fuzz:
-	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/opb
+	$(GO) test -run 'TestFuzzCorpus|TestAdversarialDifferential' -count=1 ./internal/fuzz
+	$(GO) run ./cmd/pbfuzz -n $(PBFUZZ_N) -seed 1
+	$(GO) test -fuzz=FuzzDifferential -fuzztime=$(FUZZTIME) ./internal/fuzz
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/opb
 
 # Table 1 benches + ablations A1-A6 (see DESIGN.md section 4).
 bench:

@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/opb"
 	"repro/internal/portfolio"
@@ -54,6 +55,7 @@ func main() {
 		maxMembers   = flag.Int("members", 0, "with -portfolio: cap on concurrently running members (0 = GOMAXPROCS; 1 + -share=false = deterministic)")
 		seed         = flag.Int64("seed", 0, "RNG seed for -random-branch (0 = default seed 1; portfolio members use per-member seeds)")
 		randBranch   = flag.Float64("random-branch", 0, "probability of a random branch decision (single-solver diversification; 0 = off)")
+		auditRun     = flag.Bool("audit", false, "replay learned clauses, bound conflicts, imports and incumbents against the original problem (exhaustive on small instances; see internal/audit)")
 		showStats    = flag.Bool("stats", false, "print solver statistics")
 		showModel    = flag.Bool("model", true, "print the v (values) line")
 	)
@@ -144,6 +146,16 @@ func main() {
 	opt.Seed = *seed
 	opt.RandomBranchFreq = *randBranch
 
+	var auditor *audit.Auditor
+	if *auditRun {
+		auditor = audit.New(prob)
+		opt.Audit = auditor
+		if prob.NumVars > audit.DefaultMaxExhaustiveVars {
+			fmt.Printf("c audit: %d variables exceed the exhaustive gate (%d); clause/bound replays will be skipped, incumbents still re-verified\n",
+				prob.NumVars, audit.DefaultMaxExhaustiveVars)
+		}
+	}
+
 	start := time.Now()
 	var res core.Result
 	var pres *portfolio.Result
@@ -160,6 +172,7 @@ func main() {
 			Share:         share.Config{Capacity: *shareCap, MaxLen: *shareLen, MaxLBD: *shareLBD},
 			MaxConcurrent: *maxMembers,
 			Stop:          cancel,
+			Audit:         auditor,
 		})
 		pres = &p
 		res = p.Result
@@ -173,6 +186,15 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("c solved in %v\n", elapsed)
+
+	auditOK := true
+	if auditor != nil {
+		rep := auditor.Snapshot()
+		auditOK = rep.Ok()
+		for _, line := range strings.Split(rep.String(), "\n") {
+			fmt.Printf("c audit: %s\n", strings.TrimSpace(line))
+		}
+	}
 
 	switch res.Status {
 	case core.StatusOptimal:
@@ -221,6 +243,9 @@ func main() {
 		} else if st.Sharing.Active() {
 			printSharing("", &st.Sharing, st.ImportedClauses)
 		}
+	}
+	if !auditOK {
+		os.Exit(2) // audit violations are a soundness bug, not a solver answer
 	}
 }
 

@@ -45,7 +45,8 @@ func main() {
 		fatal(err)
 	}
 	if a.Missing > 0 {
-		fmt.Printf("c %d variables missing from the value line (assumed 0)\n", a.Missing)
+		fmt.Printf("c %d variables missing from the value line (defaulted to the zero-cost polarity; %d derived from negative-cost partners)\n",
+			a.Missing, a.Derived)
 	}
 
 	rep := verify.Check(prob, a.Values)

@@ -1,0 +1,250 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/opb"
+	"repro/internal/pb"
+)
+
+// min 3a + b  s.t.  a + b ≥ 1: optimum 1 at (a=0, b=1).
+func sample(t *testing.T) *pb.Problem {
+	t.Helper()
+	p, err := opb.ParseString("min: +3 a +1 b ;\n+1 a +1 b >= 1 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNilAuditorIsNoOp(t *testing.T) {
+	var a *Auditor
+	a.LearnedClause([]pb.Lit{pb.PosLit(0)}, 0, false)
+	a.ImportedClause(nil, 0, false)
+	a.BoundConflict(nil, 0, 0)
+	a.Incumbent(0, nil)
+	a.Termination(Claim{})
+	if !a.Ok() {
+		t.Fatal("nil auditor must be Ok")
+	}
+	if rep := a.Snapshot(); !rep.Ok() {
+		t.Fatal("nil snapshot must be Ok")
+	}
+}
+
+func TestLearnedClauseSoundAndUnsound(t *testing.T) {
+	p := sample(t)
+	a := New(p)
+	// (a ∨ b) is implied by the problem outright.
+	a.LearnedClause([]pb.Lit{pb.PosLit(0), pb.PosLit(1)}, 0, false)
+	if !a.Ok() {
+		t.Fatalf("sound clause flagged: %v", a.Snapshot().Violations)
+	}
+	// (a) eliminates the feasible optimum (a=0, b=1): unsound.
+	a.LearnedClause([]pb.Lit{pb.PosLit(0)}, 0, false)
+	rep := a.Snapshot()
+	if rep.Ok() || rep.Violations[0].Kind != KindLearnedClause {
+		t.Fatalf("unsound clause not flagged: %+v", rep)
+	}
+	if w := rep.Violations[0].Witness; w == nil || w[0] || !w[1] {
+		t.Fatalf("witness should be the eliminated assignment (¬a, b): %v", w)
+	}
+	if rep.Counts.LearnedClauses != 2 {
+		t.Fatalf("counts: %+v", rep.Counts)
+	}
+}
+
+func TestLearnedClauseUnderUpperBound(t *testing.T) {
+	p := sample(t)
+	a := New(p)
+	// (a) is NOT implied by the problem alone, but under cost < 2 the only
+	// surviving feasible assignments are... (¬a, b) with cost 1 — which
+	// falsifies (a). Still unsound.
+	a.ImportedClause([]pb.Lit{pb.PosLit(0)}, 2, true)
+	if a.Ok() {
+		t.Fatal("clause eliminating the only sub-2 solution must be flagged")
+	}
+	// (¬a) under cost < 2: the sole feasible assignment below the bound,
+	// (¬a, b), satisfies it — sound relative to the assumption.
+	b := New(p)
+	b.ImportedClause([]pb.Lit{pb.NegLit(0)}, 2, true)
+	if !b.Ok() {
+		t.Fatalf("assumption-relative sound clause flagged: %v", b.Snapshot().Violations)
+	}
+	if b.Snapshot().Counts.ImportedClauses != 1 {
+		t.Fatalf("counts: %+v", b.Snapshot().Counts)
+	}
+}
+
+func TestBoundConflictReplay(t *testing.T) {
+	p := sample(t)
+	a := New(p)
+	// Trail: a=1 (path 3). Claiming every completion costs ≥ 3 is sound.
+	a.BoundConflict([]pb.Lit{pb.PosLit(0)}, 3, 0)
+	if !a.Ok() {
+		t.Fatalf("sound bound claim flagged: %v", a.Snapshot().Violations)
+	}
+	// Claiming ≥ 5 is unsound: completion (a, ¬b) costs 3.
+	a.BoundConflict([]pb.Lit{pb.PosLit(0)}, 3, 2)
+	rep := a.Snapshot()
+	if rep.Ok() || rep.Violations[0].Kind != KindBoundConflict {
+		t.Fatalf("unsound bound claim not flagged: %+v", rep)
+	}
+	// An infeasibility sentinel on a feasible subtree is also caught.
+	b := New(p)
+	b.BoundConflict([]pb.Lit{pb.PosLit(1)}, 1, int64(1)<<60)
+	if b.Ok() {
+		t.Fatal("false infeasibility claim must be flagged")
+	}
+}
+
+func TestIncumbentReplay(t *testing.T) {
+	p := sample(t)
+	a := New(p)
+	a.Incumbent(1, []bool{false, true}) // feasible, cost 1: fine
+	if !a.Ok() {
+		t.Fatalf("valid incumbent flagged: %v", a.Snapshot().Violations)
+	}
+	a.Incumbent(0, []bool{false, false}) // violates a+b ≥ 1
+	if a.Ok() {
+		t.Fatal("infeasible incumbent must be flagged")
+	}
+	b := New(p)
+	b.Incumbent(2, []bool{false, true}) // feasible but costs 1, not 2
+	if b.Ok() {
+		t.Fatal("mis-costed incumbent must be flagged")
+	}
+	c := New(p)
+	c.Incumbent(1, []bool{true}) // wrong arity
+	if c.Ok() {
+		t.Fatal("short assignment must be flagged")
+	}
+}
+
+func TestTerminationReplay(t *testing.T) {
+	p := sample(t)
+	a := New(p)
+	a.Termination(Claim{Optimal: true, Best: 1})
+	if !a.Ok() {
+		t.Fatalf("correct optimum flagged: %v", a.Snapshot().Violations)
+	}
+	a.Termination(Claim{Optimal: true, Best: 2})
+	if a.Ok() {
+		t.Fatal("wrong optimum must be flagged")
+	}
+	b := New(p)
+	b.Termination(Claim{Unsat: true})
+	if b.Ok() {
+		t.Fatal("unsat claim on a feasible instance must be flagged")
+	}
+	// Genuinely unsatisfiable instance: unsat claim passes, solution claim
+	// is flagged.
+	u, err := opb.ParseString("+1 a >= 1 ;\n+1 ~a >= 1 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(u)
+	c.Termination(Claim{Unsat: true})
+	if !c.Ok() {
+		t.Fatalf("correct unsat claim flagged: %v", c.Snapshot().Violations)
+	}
+	c.Termination(Claim{Satisfiable: true})
+	if c.Ok() {
+		t.Fatal("satisfiable claim on an unsat instance must be flagged")
+	}
+}
+
+func TestTerminationRespectsCostOffset(t *testing.T) {
+	// Negative objective coefficient: opb normalizes it into a complement
+	// variable plus CostOffset. The audited optimum must be in the original
+	// (external) space.
+	p, err := opb.ParseString("min: -5 a +1 b ;\n+1 a +1 b >= 1 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(p)
+	a.Termination(Claim{Optimal: true, Best: -5})
+	if !a.Ok() {
+		t.Fatalf("external-space optimum -5 flagged: %v", a.Snapshot().Violations)
+	}
+	a.Termination(Claim{Optimal: true, Best: 0})
+	if a.Ok() {
+		t.Fatal("internal-space optimum must be flagged as wrong")
+	}
+}
+
+func TestExhaustiveGateSkips(t *testing.T) {
+	p := pb.NewProblem(8)
+	for v := 0; v < 8; v++ {
+		p.SetCost(pb.Var(v), 1)
+	}
+	a := NewWith(p, Config{MaxExhaustiveVars: 4})
+	a.LearnedClause([]pb.Lit{pb.PosLit(0)}, 0, false)
+	a.BoundConflict(nil, 0, 1)
+	a.Termination(Claim{Optimal: true, Best: 99})
+	rep := a.Snapshot()
+	if !rep.Ok() {
+		t.Fatalf("gated auditor must not flag: %v", rep.Violations)
+	}
+	if rep.Counts.Skipped != 3 {
+		t.Fatalf("skipped=%d want 3", rep.Counts.Skipped)
+	}
+	// Incumbent checks are never gated.
+	a.Incumbent(99, make([]bool, 8))
+	if a.Ok() {
+		t.Fatal("mis-costed incumbent must be flagged even above the gate")
+	}
+}
+
+func TestViolationCap(t *testing.T) {
+	p := sample(t)
+	a := NewWith(p, Config{MaxViolations: 2})
+	for i := 0; i < 5; i++ {
+		a.LearnedClause([]pb.Lit{pb.PosLit(0)}, 0, false)
+	}
+	rep := a.Snapshot()
+	if len(rep.Violations) != 2 {
+		t.Fatalf("violations=%d want cap 2", len(rep.Violations))
+	}
+	if rep.Counts.LearnedClauses != 5 {
+		t.Fatalf("events past the cap must still be counted: %+v", rep.Counts)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	p := sample(t)
+	a := New(p)
+	rep := a.Snapshot()
+	if !strings.Contains(rep.String(), "no violations") {
+		t.Fatalf("clean report: %q", rep.String())
+	}
+	a.LearnedClause([]pb.Lit{pb.PosLit(0)}, 0, false)
+	rep = a.Snapshot()
+	if !strings.Contains(rep.String(), "VIOLATIONS") ||
+		!strings.Contains(rep.String(), "learned-clause") {
+		t.Fatalf("violating report: %q", rep.String())
+	}
+}
+
+func TestConcurrentAuditing(t *testing.T) {
+	p := sample(t)
+	a := New(p)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				a.LearnedClause([]pb.Lit{pb.PosLit(0), pb.PosLit(1)}, 0, false)
+				a.Incumbent(1, []bool{false, true})
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	rep := a.Snapshot()
+	if !rep.Ok() || rep.Counts.LearnedClauses != 800 || rep.Counts.Incumbents != 800 {
+		t.Fatalf("%+v", rep)
+	}
+}

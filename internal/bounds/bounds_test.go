@@ -455,3 +455,111 @@ func TestRowLPBoundFractional(t *testing.T) {
 		t.Fatalf("bound=%v want 8", b)
 	}
 }
+
+// The relative epsilon in ceilBound matters at large magnitudes: one ULP at
+// |v| ≈ 1e12 is ≈ 1.2e-4, above the historical fixed 1e-6 slack, so the old
+// Ceil(v−1e-6) rounded accumulated simplex noise like 1e12+3e-4 UP to
+// 1e12+1 — an unsound over-round that prunes a node whose true bound is 1e12.
+func TestCeilBoundRelativeEpsAtLargeMagnitude(t *testing.T) {
+	const big = 1e12
+	for _, noise := range []float64{1.5e-6, 3e-4, 2e-3} {
+		noisy := big + noise // simulated float noise on a true bound of 1e12
+		got := ceilBound(noisy)
+		if got > int64(big) {
+			t.Fatalf("ceilBound(1e12+%v)=%d over-rounds above the true bound %d",
+				noise, got, int64(big))
+		}
+		// The slack only weakens the bound (sound direction) and stays
+		// proportional: 1e-9 relative ⇒ at most ~1e3+1 below at this scale.
+		if got < int64(big)-2000 {
+			t.Fatalf("ceilBound(1e12+%v)=%d weakened far beyond the 1e-9 relative slack", noise, got)
+		}
+	}
+	// Small-magnitude behaviour is unchanged by the relative component.
+	if got := ceilBound(0.9999999); got != 1 {
+		t.Fatalf("ceilBound(0.9999999)=%d want 1", got)
+	}
+	// Corrupted values degrade to the trivial bound, never to garbage.
+	if got := ceilBound(math.NaN()); got != 0 {
+		t.Fatalf("ceilBound(NaN)=%d want 0", got)
+	}
+}
+
+// completionCap/capToCompletion: a known feasible completion's cost is a
+// ceiling no sound lower bound may pierce.
+func TestCompletionCapClampsOverRound(t *testing.T) {
+	// Reduced problem: x0 + x1 ≥ 1 with costs {3,5}. The completion x0=1,
+	// x1=0 is feasible at cost 3, so no sound lower bound may exceed 3.
+	red := &Reduced{Rows: []Row{{
+		EngIdx: 0,
+		Terms:  []pb.Term{{Coef: 1, Lit: pb.PosLit(0)}, {Coef: 1, Lit: pb.PosLit(1)}},
+		Degree: 1,
+	}}}
+	cost := []int64{3, 5}
+	c, ok := completionCap(red, cost, map[pb.Var]bool{0: true})
+	if !ok || c != 3 {
+		t.Fatalf("completionCap=%d,%v want 3,true", c, ok)
+	}
+	// An infeasible candidate (all-false violates the row) yields no cap.
+	if _, ok := completionCap(red, cost, map[pb.Var]bool{}); ok {
+		t.Fatal("infeasible candidate must not produce a cap")
+	}
+
+	xp := toXSpace(red, cost)
+	alpha := make([]float64, len(xp.vars))
+	for j, v := range xp.vars {
+		if v == 0 {
+			alpha[j] = -1 // minimizer sets x0=1
+		} else {
+			alpha[j] = 1
+		}
+	}
+	if got := capToCompletion(4, xp, red, cost, alpha); got != 3 {
+		t.Fatalf("capToCompletion(4)=%d want clamp to the feasible completion cost 3", got)
+	}
+	if got := capToCompletion(2, xp, red, cost, alpha); got != 2 {
+		t.Fatalf("capToCompletion(2)=%d want unchanged (below the cap)", got)
+	}
+	if got := capToCompletion(5, xp, red, cost, nil); got != 5 {
+		t.Fatalf("capToCompletion with nil alpha must be a no-op, got %d", got)
+	}
+	if got := capToCompletion(InfBound, xp, red, cost, alpha); got != InfBound {
+		t.Fatalf("InfBound must pass through untouched, got %d", got)
+	}
+}
+
+// End-to-end regression at objective magnitudes near 1e12: every estimator's
+// bound must stay ≤ the true reduced optimum (the regime where the old
+// fixed-epsilon rounding could over-round float noise into an unsound prune).
+func TestBoundsSoundAtHugeObjective(t *testing.T) {
+	costs := []int64{999_999_999_937, 1_000_000_000_039, 1_000_000_000_181, 999_999_999_989}
+	p := pb.NewProblem(4)
+	for v, c := range costs {
+		p.SetCost(pb.Var(v), c)
+	}
+	add := func(terms []pb.Term, d int64) {
+		if err := p.AddConstraint(terms, pb.GE, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add([]pb.Term{{Coef: 1, Lit: pb.PosLit(0)}, {Coef: 1, Lit: pb.PosLit(1)}}, 1)
+	add([]pb.Term{{Coef: 1, Lit: pb.PosLit(1)}, {Coef: 1, Lit: pb.PosLit(2)}}, 1)
+	add([]pb.Term{{Coef: 2, Lit: pb.PosLit(2)}, {Coef: 3, Lit: pb.PosLit(3)}}, 3)
+
+	e := engine.New(p)
+	red := Extract(e)
+	opt, feasible := bruteReduced(red, p.Cost)
+	if !feasible {
+		t.Fatal("instance should be feasible")
+	}
+	for _, est := range estimators() {
+		res := est.Estimate(e, red, p.Cost, opt, Budget{})
+		if res.Failed {
+			t.Fatalf("%s: failed on huge-objective instance", est.Name())
+		}
+		if res.Bound > opt {
+			t.Fatalf("%s: bound %d exceeds true optimum %d (unsound over-round at 1e12 scale)",
+				est.Name(), res.Bound, opt)
+		}
+	}
+}

@@ -181,12 +181,16 @@ func (l LGR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64
 	// Recompute the bound at the best multipliers (identical value; the call
 	// also yields S and α for the explanation). fault point "lgr.value":
 	// tests corrupt the value to exercise the numerical-failure detection.
-	val, s, _ := xp.lagrangianValue(bestMu, 1e-9)
+	val, s, alphaBest := xp.lagrangianValue(bestMu, 1e-9)
 	val = fault.Corrupt("lgr.value", val)
 	if math.IsNaN(val) || math.IsInf(val, 0) {
 		return Result{Failed: true}
 	}
 	res := Result{Bound: ceilBound(val), Incomplete: incomplete}
+	// Clamp to a known feasible completion's cost (see completionCap): a
+	// rounded bound above the Lagrangian minimizer's cost, when that minimizer
+	// satisfies the reduced rows, is a provable over-round.
+	res.Bound = capToCompletion(res.Bound, xp, red, cost, alphaBest)
 	res.Responsible = make([]int, len(s))
 	for k, i := range s {
 		res.Responsible[k] = xp.rows[i].engIdx

@@ -166,12 +166,16 @@ func (l LPR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64
 		// "lpr.value": tests corrupt the recomputed value to exercise the
 		// NaN detection below.
 		y := sol.X[:m]
-		val, s, _ := xp.lagrangianValue(y, 1e-9)
+		val, s, alpha := xp.lagrangianValue(y, 1e-9)
 		val = fault.Corrupt("lpr.value", val)
 		if math.IsNaN(val) || math.IsInf(val, 0) {
 			return Result{Failed: true}
 		}
 		res := Result{Bound: ceilBound(val), Incomplete: sol.Status == lp.IterLimit}
+		// Clamp the rounded bound to the Lagrangian minimizer's cost when that
+		// minimizer is a feasible completion: a rounded bound above a known
+		// feasible completion is a provable float over-round (see completionCap).
+		res.Bound = capToCompletion(res.Bound, xp, red, cost, alpha)
 		res.Responsible = make([]int, len(s))
 		for k, i := range s {
 			res.Responsible[k] = xp.rows[i].engIdx

@@ -200,11 +200,21 @@ func litCost(cost []int64, l pb.Lit) int64 {
 	return cost[l.Var()]
 }
 
+// ceilRelEps scales the rounding tolerance of ceilBound with the bound's
+// magnitude. Floating error in the simplex / subgradient recomputation is
+// *relative*: at |v| ≈ 1e12 one ULP is ≈ 1.2e-4, far above the historical
+// fixed 1e-6 slack, so `Ceil(v − 1e-6)` could round an accumulated-noise
+// value like 1e12 + 3e-4 UP to 1e12+1 — an unsound over-round that prunes a
+// node whose true bound is 1e12. A relative component can only weaken the
+// bound (sound direction) while absorbing magnitude-proportional noise.
+const ceilRelEps = 1e-9
+
 // ceilBound converts a floating lower bound into a sound integer bound:
-// any value within numeric noise below an integer rounds to that integer.
-// Corrupted values (NaN — e.g. from an injected or genuine numerical
-// failure upstream) degrade to the trivial bound 0, never to garbage:
-// int64(NaN) is platform-defined in Go and must not reach the pruning test.
+// any value within numeric noise below an integer rounds to that integer,
+// where "noise" scales with |v| (see ceilRelEps). Corrupted values (NaN —
+// e.g. from an injected or genuine numerical failure upstream) degrade to
+// the trivial bound 0, never to garbage: int64(NaN) is platform-defined in
+// Go and must not reach the pruning test.
 func ceilBound(v float64) int64 {
 	if math.IsNaN(v) || v <= 0 {
 		return 0
@@ -212,7 +222,59 @@ func ceilBound(v float64) int64 {
 	if v >= float64(InfBound) {
 		return InfBound
 	}
-	return int64(math.Ceil(v - 1e-6))
+	b := int64(math.Ceil(v - (1e-6 + v*ceilRelEps)))
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// completionCap evaluates a candidate completion of the reduced problem in
+// exact integer arithmetic: if the candidate (xTrue per unassigned variable;
+// variables outside the map take 0, their cheapest polarity) satisfies every
+// reduced row, it returns the completion's cost and true.
+//
+// LPR and LGR feed the Lagrangian minimizer x_j = 1 ⇔ α_j < 0 through this:
+// when that x happens to be feasible, weak duality guarantees the true bound
+// is ≤ its cost, so a *rounded* bound exceeding it is a provable over-round
+// (float noise) and is clamped — a known feasible completion's cost is a
+// ceiling no sound lower bound may pierce.
+func completionCap(red *Reduced, cost []int64, xTrue map[pb.Var]bool) (int64, bool) {
+	for _, row := range red.Rows {
+		var lhs int64
+		for _, t := range row.Terms {
+			if t.Lit.Eval(xTrue[t.Lit.Var()]) {
+				lhs += t.Coef
+			}
+		}
+		if lhs < row.Degree {
+			return 0, false
+		}
+	}
+	var c int64
+	for v, tv := range xTrue {
+		if tv {
+			c += cost[v]
+		}
+	}
+	return c, true
+}
+
+// capToCompletion clamps a rounded bound to the Lagrangian minimizer's cost
+// when that minimizer is a feasible completion (see completionCap). alpha is
+// indexed like xp.vars.
+func capToCompletion(bound int64, xp *xProblem, red *Reduced, cost []int64, alpha []float64) int64 {
+	if bound <= 0 || bound >= InfBound || alpha == nil {
+		return bound
+	}
+	xTrue := make(map[pb.Var]bool, len(xp.vars))
+	for j, v := range xp.vars {
+		xTrue[v] = alpha[j] < 0
+	}
+	if c, ok := completionCap(red, cost, xTrue); ok && bound > c {
+		return c
+	}
+	return bound
 }
 
 // None is the "plain" configuration: no lower bound estimation (the paper's

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/bounds"
 	"repro/internal/engine"
 	"repro/internal/fault"
@@ -172,6 +173,16 @@ type Options struct {
 	// bounds. nil (the default) is the fully isolated — and deterministic —
 	// mode.
 	Share Sharer
+
+	// Audit, when non-nil, replays every soundness-critical artifact of the
+	// search — learned clauses, §4 bound conflicts, sharing imports, adopted
+	// incumbents and the terminal claim — against the original problem
+	// (see internal/audit). Violations are recorded in the auditor's Report,
+	// never panicked on. Expensive (exhaustive replay per event on small
+	// instances): meant for the differential fuzzer, `bsolo -audit`, and
+	// debugging, not production solves. One auditor may be shared by every
+	// member of a portfolio (it locks internally). nil = zero overhead.
+	Audit *audit.Auditor
 
 	// Seed seeds the engine's explicit RNG; meaningful only with a positive
 	// RandomBranchFreq. Runs are reproducible for a fixed (Seed,
@@ -344,6 +355,15 @@ type solver struct {
 	// -1 until created). cardCutIdx likewise for the eq. 13 cuts.
 	knapCut    int
 	cardCutIdx []int
+
+	// aud is the optional invariant auditor (Options.Audit; nil = off).
+	// minImportUB tracks the weakest cost assumption any sharing import may
+	// have carried (the board UB at the time of each drain): clauses learned
+	// after an import are implied by problem ∧ cost < min(upper, minImportUB),
+	// which is the bound the auditor replays them under. Maintained only when
+	// auditing.
+	aud         *audit.Auditor
+	minImportUB int64
 }
 
 type cardSet struct {
@@ -362,10 +382,24 @@ func Solve(p *pb.Problem, opt Options) Result {
 	// fault point "core.solve", keyed by the lower-bound method: lets tests
 	// crash one portfolio member while the others race on.
 	fault.Fire("core.solve", opt.LowerBound.String())
+	// Refuse instances whose achievable objective can reach the engine's
+	// sentinel values (upperInf, bounds.InfBound): on such inputs the "no
+	// incumbent yet" state is indistinguishable from a real upper bound and
+	// the search prunes every feasible solution into a wrong UNSAT (found by
+	// the differential fuzzer; see pb.MaxObjective and testdata/fuzz-corpus).
+	// pb.Validate — called by opb.Parse — rejects these at the input layer;
+	// this guard turns a bypassing caller's silent unsoundness into a loud
+	// error.
+	if tc := p.TotalCost(); tc > pb.MaxObjective {
+		return Result{Status: StatusError,
+			Err: fmt.Errorf("core: worst-case objective %d exceeds solver headroom %d: %w",
+				tc, pb.MaxObjective, pb.ErrOverflow)}
+	}
 	if opt.BoundEvery <= 0 {
 		opt.BoundEvery = 1
 	}
-	s := &solver{prob: p, opt: opt, upper: upperInf, knapCut: -1}
+	s := &solver{prob: p, opt: opt, upper: upperInf, knapCut: -1,
+		aud: opt.Audit, minImportUB: upperInf}
 	if opt.TimeLimit > 0 {
 		s.deadline = time.Now().Add(opt.TimeLimit)
 		s.hasDeadline = true
@@ -428,7 +462,62 @@ func Solve(p *pb.Problem, opt Options) Result {
 	res.Stats.LearnedClauses = s.eng.Stats.Learned
 	res.Stats.ImportedClauses = s.eng.Stats.Imported
 	res.Stats.RandomDecisions = s.eng.Stats.RandomDecisions
+	s.auditTermination(res)
 	return res
+}
+
+// --- invariant-auditor hooks (all no-ops when Options.Audit is nil) ---
+
+// auditLearnt replays a just-learned clause: implied by
+// problem ∧ cost < min(upper, weakest import assumption).
+func (s *solver) auditLearnt(lits []pb.Lit) {
+	if s.aud == nil {
+		return
+	}
+	ub := s.upper
+	if s.minImportUB < ub {
+		ub = s.minImportUB
+	}
+	s.aud.LearnedClause(lits, ub, ub < upperInf)
+}
+
+// auditBound replays a §4 bound conflict's claim — every feasible completion
+// of the current trail costs ≥ path + lower — before the trail is unwound by
+// the backjump.
+func (s *solver) auditBound(path, lower int64) {
+	if s.aud == nil {
+		return
+	}
+	trail := make([]pb.Lit, s.eng.TrailSize())
+	for i := range trail {
+		trail[i] = s.eng.TrailLit(i)
+	}
+	s.aud.BoundConflict(trail, path, lower)
+}
+
+// auditIncumbent re-verifies the currently adopted solution (local or
+// foreign) against the original constraints.
+func (s *solver) auditIncumbent() {
+	if s.aud == nil || s.bestVals == nil {
+		return
+	}
+	s.aud.Incumbent(s.upper+s.prob.CostOffset, s.bestVals)
+}
+
+// auditTermination replays the terminal claim (inconclusive outcomes carry
+// no claim).
+func (s *solver) auditTermination(res Result) {
+	if s.aud == nil {
+		return
+	}
+	switch res.Status {
+	case StatusOptimal:
+		s.aud.Termination(audit.Claim{Optimal: true, Best: res.Best})
+	case StatusSatisfiable:
+		s.aud.Termination(audit.Claim{Satisfiable: true})
+	case StatusUnsat:
+		s.aud.Termination(audit.Claim{Unsat: true})
+	}
 }
 
 // SafeSolve is Solve behind a panic barrier: a crash anywhere in the search
@@ -711,6 +800,7 @@ func (s *solver) search() Result {
 				if s.upperForeign {
 					s.stats.Sharing.ForeignUBPrunes++
 				}
+				s.auditBound(path, 0)
 				if !s.boundConflict(nil, nil) {
 					return s.finish(true)
 				}
@@ -736,6 +826,7 @@ func (s *solver) search() Result {
 				if s.upperForeign {
 					s.stats.Sharing.ForeignUBPrunes++
 				}
+				s.auditBound(path, res.Bound)
 				if !s.boundConflict(res.Responsible, res.ExcludedVars) {
 					return s.finish(true)
 				}
@@ -751,12 +842,14 @@ func (s *solver) search() Result {
 			if !hasObjective {
 				s.upper = 0
 				s.bestVals = s.eng.Values()
+				s.auditIncumbent()
 				return s.finish(true)
 			}
 			if path < s.upper {
 				s.upper = path
 				s.bestVals = s.eng.Values()
 				s.upperForeign = false
+				s.auditIncumbent()
 				// Publish before any clause learned under the new bound can
 				// reach the exchange — the ordering the sharing soundness
 				// argument rests on (DESIGN.md §9).
@@ -773,6 +866,7 @@ func (s *solver) search() Result {
 			}
 			// Branch-and-bound: the incumbent now equals the path, so raise
 			// a bound conflict with the path explanation ω_pp (lower = 0).
+			s.auditBound(path, 0)
 			if !s.boundConflict(nil, nil) {
 				return s.finish(true)
 			}
@@ -812,6 +906,7 @@ func (s *solver) resolveConstraintConflict(confl int) bool {
 			return false
 		}
 		s.publishLearnt(res.Learnt)
+		s.auditLearnt(res.Learnt)
 		// Install the cutting plane after the backjump (it is usually a
 		// strict strengthening of the clause) and schedule it for an
 		// immediate propagation check.
@@ -918,6 +1013,7 @@ func (s *solver) boundConflict(responsible []int, excluded map[pb.Var]bool) bool
 		return false
 	}
 	s.publishLearnt(res.Learnt)
+	s.auditLearnt(res.Learnt)
 	// Chronological backtracking would have returned to curLevel−1; levels
 	// skipped beyond that are the §4 non-chronological saving.
 	if saved := int64(curLevel-1) - int64(res.BackLevel); saved > 0 {

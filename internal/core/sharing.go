@@ -120,6 +120,7 @@ func (s *solver) adoptShared() {
 	s.bestVals = vals
 	s.upperForeign = true
 	s.stats.Sharing.ForeignIncumbents++
+	s.auditIncumbent()
 	if s.opt.OnIncumbent != nil {
 		s.opt.OnIncumbent(cost + s.prob.CostOffset)
 	}
@@ -143,6 +144,7 @@ func (s *solver) adoptFinal() {
 		s.bestVals = vals
 		s.upperForeign = true
 		s.stats.Sharing.ForeignIncumbents++
+		s.auditIncumbent()
 	}
 }
 
@@ -156,20 +158,42 @@ func (s *solver) importShared() bool {
 	if sh == nil || s.eng.DecisionLevel() != 0 {
 		return true
 	}
+	// Audit support: the board's upper bound at drain time under-approximates
+	// every cost assumption behind the drained clauses (publishers put their
+	// incumbents on the board before their clauses enter the ring, and the
+	// board UB only decreases), so imported clauses are replayed — and the
+	// solver's own later learned clauses checked — under it.
+	var boardUB int64
+	var boardHasUB bool
+	if s.aud != nil {
+		boardUB, boardHasUB = sh.BestUB()
+	}
+	auditImport := func(lits []pb.Lit) {
+		if s.aud == nil {
+			return
+		}
+		s.aud.ImportedClause(lits, boardUB, boardHasUB)
+		if boardHasUB && boardUB < s.minImportUB {
+			s.minImportUB = boardUB
+		}
+	}
 	ok := true
 	sh.DrainClauses(func(lits []pb.Lit) {
 		switch s.eng.ImportClause(lits) {
 		case engine.ImportAdded:
 			s.stats.Sharing.ClausesImported++
+			auditImport(lits)
 		case engine.ImportUnit:
 			s.stats.Sharing.ClausesImported++
 			s.stats.Sharing.ImportedUnits++
+			auditImport(lits)
 		case engine.ImportSatisfied:
 			s.stats.Sharing.ImportsDropped++
 		case engine.ImportInvalid:
 			s.stats.Sharing.ImportsRejected++
 		case engine.ImportConflict:
 			s.stats.Sharing.ImportConflicts++
+			auditImport(lits)
 			ok = false
 		}
 	})

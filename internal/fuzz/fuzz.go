@@ -1,0 +1,213 @@
+// Package fuzz is the differential-fuzzing harness of the reproduction: it
+// runs small instances through every solver configuration — the four
+// lower-bound methods, the linear-search strategy, the incremental-reduction
+// and warm-LP ablations, and the cooperative portfolio with sharing on and
+// off — each under the internal/audit invariant auditor, compares every
+// conclusive answer against the exhaustive pb.BruteForce oracle, and shrinks
+// any mismatch to a minimal OPB reproducer.
+//
+// Three layers consume it:
+//
+//   - go test fuzz targets (FuzzDifferential) mutate raw OPB text;
+//   - cmd/pbfuzz generates gen.AdversarialOPB instances in bulk and saves
+//     shrunk reproducers under testdata/fuzz-corpus/;
+//   - TestFuzzCorpus replays every committed reproducer on each run, so a
+//     once-found bug stays fixed.
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/opb"
+	"repro/internal/pb"
+	"repro/internal/portfolio"
+	"repro/internal/verify"
+)
+
+// MaxVars gates the differential run: beyond this, pb.BruteForce and the
+// auditor's exhaustive replay are too slow to be useful oracles. (opb's
+// complement normalization inflates the variable count, so generators should
+// stay well below this.)
+const MaxVars = 16
+
+// MaxCons gates pathological constraint blowups from fuzzer-mutated text.
+const MaxCons = 64
+
+// DefaultBudget is the per-configuration conflict budget. Instances within
+// MaxVars essentially always finish long before it; the cap only stops a
+// runaway configuration (which would itself be a finding worth shrinking,
+// surfaced as a StatusLimit skip rather than a hang).
+const DefaultBudget = 50_000
+
+// Mismatch is one configuration's disagreement with the oracle (or with its
+// own auditor).
+type Mismatch struct {
+	// Config names the offending configuration ("lpr", "portfolio-shared", …).
+	Config string
+	// Detail describes the disagreement.
+	Detail string
+}
+
+func (m Mismatch) String() string { return m.Config + ": " + m.Detail }
+
+// configs is the single-solver half of the differential matrix: all four
+// lower-bound methods, both strategies, and the ablation toggles whose
+// "never changes results" claims are exactly what a fuzzer should test.
+func configs(budget int64) []struct {
+	name string
+	opt  core.Options
+} {
+	return []struct {
+		name string
+		opt  core.Options
+	}{
+		{"plain", core.Options{LowerBound: core.LBNone, MaxConflicts: budget}},
+		{"mis", core.Options{LowerBound: core.LBMIS, MaxConflicts: budget}},
+		{"lgr", core.Options{LowerBound: core.LBLGR, MaxConflicts: budget}},
+		{"lpr", core.Options{LowerBound: core.LBLPR, MaxConflicts: budget}},
+		{"lpr-linear", core.Options{LowerBound: core.LBLPR, Strategy: core.StrategyLinearSearch, MaxConflicts: budget}},
+		{"plain-linear-pb", core.Options{LowerBound: core.LBNone, Strategy: core.StrategyLinearSearch, PBLearning: true, MaxConflicts: budget}},
+		{"lpr-noincremental", core.Options{LowerBound: core.LBLPR, NoIncrementalReduce: true, MaxConflicts: budget}},
+		{"lpr-coldlp", core.Options{LowerBound: core.LBLPR, NoWarmLP: true, MaxConflicts: budget}},
+		{"lgr-chrono", core.Options{LowerBound: core.LBLGR, ChronologicalBounds: true, MaxConflicts: budget}},
+		{"mis-cuts", core.Options{LowerBound: core.LBMIS, CardinalityInference: true, PBLearning: true, MaxConflicts: budget}},
+	}
+}
+
+// Check runs the full differential matrix on p with the given per-config
+// conflict budget (0 = DefaultBudget) and returns every mismatch found
+// (nil/empty = clean). Instances outside the oracle gates return nil.
+func Check(p *pb.Problem, budget int64) []Mismatch {
+	if p.NumVars > MaxVars || len(p.Constraints) > MaxCons {
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		// A parsed problem failing validation is an opb bug, surfaced as a
+		// mismatch of its own rather than fed to solvers.
+		return []Mismatch{{Config: "validate", Detail: err.Error()}}
+	}
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	want := pb.BruteForce(p)
+	ix := verify.NewIndex(p)
+
+	var out []Mismatch
+	judge := func(name string, res core.Result, aud *audit.Auditor) {
+		if rep := aud.Snapshot(); !rep.Ok() {
+			for _, v := range rep.Violations {
+				out = append(out, Mismatch{Config: name, Detail: "audit: " + v.String()})
+			}
+		}
+		switch res.Status {
+		case core.StatusError:
+			out = append(out, Mismatch{Config: name, Detail: "crashed: " + firstLine(res.Err)})
+		case core.StatusLimit:
+			// Budget-bound: no verdict to compare. (An incumbent, if any, is
+			// still audit-verified above.)
+		case core.StatusUnsat:
+			if want.Feasible {
+				out = append(out, Mismatch{Config: name,
+					Detail: fmt.Sprintf("claimed UNSAT, brute force found optimum %d", want.Optimum)})
+			}
+		case core.StatusSatisfiable, core.StatusOptimal:
+			if !want.Feasible {
+				out = append(out, Mismatch{Config: name, Detail: "claimed a solution on an UNSAT instance"})
+				return
+			}
+			if res.Status == core.StatusOptimal && res.Best != want.Optimum {
+				out = append(out, Mismatch{Config: name,
+					Detail: fmt.Sprintf("claimed optimum %d, brute force says %d", res.Best, want.Optimum)})
+			}
+			if res.Values == nil {
+				out = append(out, Mismatch{Config: name, Detail: "conclusive solution without values"})
+				return
+			}
+			// Model round-trip through the value-line format: what a
+			// downstream checker would actually see.
+			a, err := ix.ParseValueLine(verify.FormatValueLine(p, res.Values))
+			if err != nil {
+				out = append(out, Mismatch{Config: name, Detail: "value line round-trip: " + err.Error()})
+				return
+			}
+			rep := verify.Check(p, a.Values)
+			if !rep.Feasible {
+				out = append(out, Mismatch{Config: name,
+					Detail: fmt.Sprintf("model violates constraint %d", rep.ViolatedIdx)})
+			} else if res.Status == core.StatusOptimal && rep.Objective != res.Best {
+				out = append(out, Mismatch{Config: name,
+					Detail: fmt.Sprintf("model costs %d, solver claimed %d", rep.Objective, res.Best)})
+			}
+		}
+	}
+
+	for _, c := range configs(budget) {
+		aud := audit.New(p)
+		opt := c.opt
+		opt.Audit = aud
+		judge(c.name, core.SafeSolve(p, opt), aud)
+	}
+
+	// Portfolio: cooperative (sharing) and isolated, each with the audit
+	// attached to every member. MaxConcurrent 2 keeps real interleaving (and
+	// therefore real clause/incumbent exchange) while bounding fuzz cost.
+	for _, shared := range []bool{true, false} {
+		name := "portfolio-isolated"
+		if shared {
+			name = "portfolio-shared"
+		}
+		aud := audit.New(p)
+		members := make([]portfolio.Config, 0, 4)
+		for i, lb := range []core.Method{core.LBNone, core.LBMIS, core.LBLGR, core.LBLPR} {
+			members = append(members, portfolio.Config{
+				Name: lb.String(),
+				Options: core.Options{LowerBound: lb, MaxConflicts: budget,
+					Seed: int64(i + 1), RandomBranchFreq: 0.02},
+			})
+		}
+		pres := portfolio.SolveOpts(p, members, portfolio.Options{
+			NoSharing:     !shared,
+			MaxConcurrent: 2,
+			Audit:         aud,
+		})
+		judge(name, pres.Result, aud)
+	}
+	return out
+}
+
+// CheckText parses OPB text and runs the differential matrix on it. Parse
+// errors are not findings (the adversarial generator deliberately produces
+// overflowing inputs the parser must reject) — ok=false reports "nothing to
+// check".
+func CheckText(text string, budget int64) (mismatches []Mismatch, ok bool) {
+	p, err := opb.ParseString(text)
+	if err != nil {
+		return nil, false
+	}
+	return Check(p, budget), true
+}
+
+// Describe renders a mismatch list plus the instance for reproducer headers
+// and failure messages.
+func Describe(p *pb.Problem, ms []Mismatch) string {
+	var sb strings.Builder
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "* mismatch %s\n", m)
+	}
+	sb.WriteString(opb.WriteString(p))
+	return sb.String()
+}
+
+func firstLine(err error) string {
+	if err == nil {
+		return "unknown"
+	}
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

@@ -1,0 +1,161 @@
+package fuzz
+
+import "repro/internal/pb"
+
+// Shrink greedily minimizes a failing instance: it repeatedly tries the
+// structural reductions below and keeps any candidate for which failing still
+// returns true, until no reduction preserves the failure. The moves are
+//
+//   - drop a whole constraint,
+//   - drop one term from a constraint,
+//   - zero one objective cost,
+//   - halve a constraint degree toward 1,
+//   - halve one coefficient toward 1,
+//
+// each of which strictly decreases the measure #constraints + #terms +
+// #nonzero-costs + Σ degrees + ΣΣ coefficients, so the loop terminates.
+// Candidates are rebuilt through pb.AddConstraint, so every intermediate
+// instance is a normalized, valid problem — the same class the solvers see.
+//
+// failing is typically func(q) bool { return len(Check(q, budget)) > 0 };
+// Shrink never calls it on the input p itself, so the caller decides what
+// "failing" means (oracle mismatch, audit violation, crash...).
+func Shrink(p *pb.Problem, failing func(*pb.Problem) bool) *pb.Problem {
+	cur := p
+	for {
+		next := shrinkStep(cur, failing)
+		if next == nil {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// shrinkStep returns the first single-move reduction of cur that still fails,
+// or nil when none does.
+func shrinkStep(cur *pb.Problem, failing func(*pb.Problem) bool) *pb.Problem {
+	try := func(q *pb.Problem) bool { return q != nil && failing(q) }
+
+	// Drop a whole constraint.
+	for i := range cur.Constraints {
+		q := rebuild(cur, func(j int, c *pb.Constraint) (*pb.Constraint, bool) {
+			if j == i {
+				return nil, false
+			}
+			return c, true
+		}, cur.Cost)
+		if try(q) {
+			return q
+		}
+	}
+	// Drop one term from a constraint.
+	for i, c := range cur.Constraints {
+		for k := range c.Terms {
+			q := rebuild(cur, dropTerm(i, k), cur.Cost)
+			if try(q) {
+				return q
+			}
+		}
+	}
+	// Zero one objective cost.
+	for v, cost := range cur.Cost {
+		if cost == 0 {
+			continue
+		}
+		nc := append([]int64(nil), cur.Cost...)
+		nc[v] = 0
+		q := rebuild(cur, keepAll, nc)
+		if try(q) {
+			return q
+		}
+	}
+	// Halve a degree toward 1.
+	for i, c := range cur.Constraints {
+		if c.Degree <= 1 {
+			continue
+		}
+		nd := c.Degree / 2
+		if nd < 1 {
+			nd = 1
+		}
+		q := rebuild(cur, func(j int, cc *pb.Constraint) (*pb.Constraint, bool) {
+			if j == i {
+				return &pb.Constraint{Terms: cc.Terms, Degree: nd}, true
+			}
+			return cc, true
+		}, cur.Cost)
+		if try(q) {
+			return q
+		}
+	}
+	// Halve one coefficient toward 1.
+	for i, c := range cur.Constraints {
+		for k, t := range c.Terms {
+			if t.Coef <= 1 {
+				continue
+			}
+			ncf := t.Coef / 2
+			if ncf < 1 {
+				ncf = 1
+			}
+			q := rebuild(cur, func(j int, cc *pb.Constraint) (*pb.Constraint, bool) {
+				if j != i {
+					return cc, true
+				}
+				terms := append([]pb.Term(nil), cc.Terms...)
+				terms[k].Coef = ncf
+				return &pb.Constraint{Terms: terms, Degree: cc.Degree}, true
+			}, cur.Cost)
+			if try(q) {
+				return q
+			}
+		}
+	}
+	return nil
+}
+
+func keepAll(_ int, c *pb.Constraint) (*pb.Constraint, bool) { return c, true }
+
+func dropTerm(i, k int) func(int, *pb.Constraint) (*pb.Constraint, bool) {
+	return func(j int, c *pb.Constraint) (*pb.Constraint, bool) {
+		if j != i {
+			return c, true
+		}
+		terms := make([]pb.Term, 0, len(c.Terms)-1)
+		for kk, t := range c.Terms {
+			if kk != k {
+				terms = append(terms, t)
+			}
+		}
+		return &pb.Constraint{Terms: terms, Degree: c.Degree}, true
+	}
+}
+
+// rebuild constructs a fresh normalized problem from base, mapping each
+// original constraint through edit (return keep=false to drop it) and taking
+// cost as the new objective vector. Candidates whose edited rows fail
+// re-normalization are rejected (nil).
+func rebuild(base *pb.Problem, edit func(int, *pb.Constraint) (*pb.Constraint, bool), cost []int64) *pb.Problem {
+	q := pb.NewProblem(base.NumVars)
+	q.CostOffset = base.CostOffset
+	if base.Names != nil {
+		q.Names = append([]string(nil), base.Names...)
+	}
+	for v, c := range cost {
+		q.SetCost(pb.Var(v), c)
+	}
+	for i, c := range base.Constraints {
+		nc, keep := edit(i, c)
+		if !keep {
+			continue
+		}
+		terms := append([]pb.Term(nil), nc.Terms...)
+		if err := q.AddConstraint(terms, pb.GE, nc.Degree); err != nil {
+			return nil
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return nil
+	}
+	return q
+}

@@ -1,0 +1,149 @@
+// Adversarial instance family for the differential fuzzer (internal/fuzz,
+// cmd/pbfuzz): small OPB instances deliberately shaped around the solver
+// stack's historical weak spots —
+//
+//   - negative objective coefficients (exercising internal/opb's complement
+//     normalization and CostOffset bookkeeping),
+//   - negative and near-int64 constraint coefficients (exercising the
+//     checked normalization of internal/pb and the parser's pb.ErrOverflow
+//     surfacing),
+//   - duplicate literals for the same variable within one row (coefficient
+//     merging, including x together with ~x),
+//   - trivially UNSAT rows (degree above the achievable maximum) and
+//     tautological rows (degree ≤ 0 after normalization),
+//   - "=" rows (expanded into a ≥/≤ pair) and "<=" rows (negation path).
+//
+// Unlike the benchmark families (ACC, Grout, Sym, MinCover, Synthesis) the
+// adversarial generator emits OPB *text*, not a pb.Problem: half the point
+// is to drive the parser and its overflow rejections; instances that fail to
+// parse are themselves a meaningful outcome (the fuzzer checks the error is
+// a structured rejection, never a panic or silent wrap).
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// AdversarialConfig parameterizes the hostile generator. The zero value
+// (plus a seed) yields brute-forceable instances: Vars ≤ 8 keeps the
+// variable count — even after complement normalization doubles it — inside
+// pb.BruteForce's 24-variable limit and the auditor's exhaustive gate.
+type AdversarialConfig struct {
+	// Vars is the number of distinct variables (default 6).
+	Vars int
+	// Rows is the number of constraint rows (default 5).
+	Rows int
+	// HugeProb is the probability that a coefficient is near ±MaxInt64
+	// (default 0.03): such instances must be *rejected* by the parser with
+	// pb.ErrOverflow, never wrapped into a wrong optimum.
+	HugeProb float64
+	// NegObjProb is the probability that an objective coefficient is
+	// negative (default 0.3), routing through the complement normalization.
+	NegObjProb float64
+	Seed       int64
+}
+
+func (c *AdversarialConfig) defaults() {
+	if c.Vars <= 0 {
+		c.Vars = 6
+	}
+	if c.Rows <= 0 {
+		c.Rows = 5
+	}
+	if c.HugeProb <= 0 {
+		c.HugeProb = 0.03
+	}
+	if c.NegObjProb <= 0 {
+		c.NegObjProb = 0.3
+	}
+}
+
+// AdversarialOPB renders one adversarial instance as OPB text.
+func AdversarialOPB(cfg AdversarialConfig) string {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "* adversarial seed=%d vars=%d rows=%d\n", cfg.Seed, cfg.Vars, cfg.Rows)
+
+	coef := func(small int) int64 {
+		if rng.Float64() < cfg.HugeProb {
+			// Near the int64 edge: alone it parses, summed it must overflow
+			// into a structured rejection.
+			v := math.MaxInt64 - int64(rng.Intn(1024))
+			if rng.Intn(2) == 0 {
+				return -v
+			}
+			return v
+		}
+		v := int64(1 + rng.Intn(small))
+		if rng.Intn(3) == 0 {
+			return -v
+		}
+		return v
+	}
+
+	// Objective: most variables costed, with negative coefficients at
+	// NegObjProb (the opb complement-normalization path).
+	if rng.Intn(6) != 0 { // occasionally objective-free (pure feasibility)
+		sb.WriteString("min:")
+		for v := 1; v <= cfg.Vars; v++ {
+			if rng.Intn(4) == 0 {
+				continue
+			}
+			c := int64(1 + rng.Intn(9))
+			if rng.Float64() < cfg.NegObjProb {
+				c = -c
+			}
+			if rng.Float64() < cfg.HugeProb {
+				c = math.MaxInt64 - int64(rng.Intn(1024))
+			}
+			fmt.Fprintf(&sb, " %+d x%d", c, v)
+			if rng.Intn(8) == 0 {
+				// Duplicate objective mention of the same variable: the
+				// parser must merge (and overflow-check the merge).
+				fmt.Fprintf(&sb, " %+d x%d", c, v)
+			}
+		}
+		sb.WriteString(" ;\n")
+	}
+
+	for r := 0; r < cfg.Rows; r++ {
+		nt := 1 + rng.Intn(4)
+		var sum int64
+		for k := 0; k < nt; k++ {
+			c := coef(6)
+			v := 1 + rng.Intn(cfg.Vars) // with replacement: duplicates likely
+			neg := ""
+			if rng.Intn(4) == 0 {
+				neg = "~" // mixed polarities, including x alongside ~x
+			}
+			fmt.Fprintf(&sb, "%+d %s%s ", c, neg, fmt.Sprintf("x%d", v))
+			if c > 0 && sum < math.MaxInt64-c {
+				sum += c
+			}
+		}
+		op := ">="
+		switch rng.Intn(6) {
+		case 0:
+			op = "<="
+		case 1:
+			op = "="
+		}
+		rhs := int64(rng.Intn(7)) - 2
+		switch rng.Intn(10) {
+		case 0:
+			// Trivially UNSAT row: degree above the achievable maximum.
+			rhs = sum + 1 + int64(rng.Intn(5))
+			op = ">="
+		case 1:
+			// Tautological row: degree ≤ 0 after normalization.
+			rhs = -1 - int64(rng.Intn(4))
+			op = ">="
+		}
+		fmt.Fprintf(&sb, "%s %d ;\n", op, rhs)
+	}
+	return sb.String()
+}

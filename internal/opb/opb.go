@@ -9,8 +9,9 @@
 //	+3 x1 -2 x3 = 1 ;
 //	-1 x2 +1 x4 <= 0 ;
 //
-// Variables are named x<k> with k ≥ 1, or arbitrary identifiers; negated
-// literals are written ~x<k>. Coefficients may omit the leading '+'.
+// Variables are named x<k> with k ≥ 1, or arbitrary identifiers (a letter
+// or '_' followed by letters, digits or '_'); negated literals are written
+// ~x<k>. Coefficients may omit the leading '+'.
 package opb
 
 import (
@@ -117,21 +118,38 @@ func Parse(r io.Reader) (*pb.Problem, error) {
 			for _, t := range terms {
 				coef := t.Coef
 				v := t.Lit.Var()
+				var err error
 				if t.Lit.IsNeg() {
 					// c·¬x = c − c·x: offset c, coefficient −c on x.
-					p.CostOffset += coef
-					coef = -coef
+					if p.CostOffset, err = pb.CheckedAdd(p.CostOffset, coef); err != nil {
+						return fmt.Errorf("opb: line %d: objective offset: %w", lineNo, err)
+					}
+					if coef, err = pb.CheckedNeg(coef); err != nil {
+						return fmt.Errorf("opb: line %d: objective coefficient: %w", lineNo, err)
+					}
 				}
 				if coef >= 0 {
-					p.Cost[v] += coef
+					if p.Cost[v], err = pb.CheckedAdd(p.Cost[v], coef); err != nil {
+						return fmt.Errorf("opb: line %d: objective coefficient on %s: %w",
+							lineNo, name(p, v), err)
+					}
 				} else {
 					// coef·x = coef + (−coef)·¬x: move the constant into the
 					// offset and pay −coef when x = 0.
-					p.CostOffset += coef
+					if p.CostOffset, err = pb.CheckedAdd(p.CostOffset, coef); err != nil {
+						return fmt.Errorf("opb: line %d: objective offset: %w", lineNo, err)
+					}
 					if negCost == nil {
 						negCost = map[pb.Var]int64{}
 					}
-					negCost[v] += -coef
+					nc, err := pb.CheckedNeg(coef)
+					if err != nil {
+						return fmt.Errorf("opb: line %d: objective coefficient: %w", lineNo, err)
+					}
+					if negCost[v], err = pb.CheckedAdd(negCost[v], nc); err != nil {
+						return fmt.Errorf("opb: line %d: objective coefficient on %s: %w",
+							lineNo, name(p, v), err)
+					}
 				}
 			}
 			return nil
@@ -180,14 +198,21 @@ func Parse(r io.Reader) (*pb.Problem, error) {
 	// x=0. Net cost on v is Cost[v] − negCost[v]; whichever polarity is
 	// cheaper absorbs the offset.
 	for v, nc := range negCost {
-		net := p.Cost[v] - nc
+		net, err := pb.CheckedSub(p.Cost[v], nc)
+		if err != nil {
+			return nil, fmt.Errorf("opb: net objective coefficient on %s: %w", name(p, v), err)
+		}
 		if net >= 0 {
 			// Cost[v]·x + nc·(1−x) = nc + net·x.
 			p.Cost[v] = net
-			p.CostOffset += nc
+			if p.CostOffset, err = pb.CheckedAdd(p.CostOffset, nc); err != nil {
+				return nil, fmt.Errorf("opb: objective offset: %w", err)
+			}
 		} else {
 			// Cheaper to pay on x=1 side: offset Cost[v], remaining −net on x=0.
-			p.CostOffset += p.Cost[v]
+			if p.CostOffset, err = pb.CheckedAdd(p.CostOffset, p.Cost[v]); err != nil {
+				return nil, fmt.Errorf("opb: objective offset: %w", err)
+			}
 			p.Cost[v] = 0
 			// Penalize x_v = 0 by −net: add constraint-free cost via a fresh
 			// complement variable y ≡ ¬x with cost −net.
@@ -215,6 +240,27 @@ func name(p *pb.Problem, v pb.Var) string {
 		return p.Names[v]
 	}
 	return fmt.Sprintf("x%d", int(v)+1)
+}
+
+// validName reports whether s is an acceptable variable identifier: a
+// letter or underscore followed by letters, digits or underscores. This is
+// the same class the writers emit (x<k>, user names, _n/_p synthetics), so
+// everything the package writes re-parses, and nothing that parses can
+// collide with the "-" false-literal marker of the value-line format.
+func validName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
 }
 
 func parseTerms(toks []string, getVar func(string) pb.Var, lineNo int, products *productTable) ([]pb.Term, error) {
@@ -246,6 +292,14 @@ func parseTerms(toks []string, getVar func(string) pb.Var, lineNo int, products 
 			}
 			if litTok == "" {
 				return nil, fmt.Errorf("opb: line %d: empty literal", lineNo)
+			}
+			if !validName(litTok) {
+				// Identifier syntax only: a stray operator token ("-", "=")
+				// must be a parse error, not a variable. (Differential-fuzzer
+				// finding: a variable literally named "-" survives solving
+				// but corrupts the value-line round trip, where "-" is the
+				// false-literal prefix.)
+				return nil, fmt.Errorf("opb: line %d: invalid variable name %q", lineNo, litTok)
 			}
 			lits = append(lits, pb.MkLit(getVar(litTok), neg))
 		}

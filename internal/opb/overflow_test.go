@@ -1,0 +1,50 @@
+package opb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/pb"
+)
+
+// Fuzzer-sized coefficients must surface pb.ErrOverflow from Parse instead
+// of wrapping int64 (a wrapped sum can turn an UNSAT row into a trivially
+// satisfied one, or corrupt the optimum).
+func TestParseOverflow(t *testing.T) {
+	const huge = "9223372036854775807"
+	cases := []struct {
+		name, in string
+	}{
+		{"constraint dup literal", "+" + huge + " x1 +" + huge + " x1 >= 1 ;"},
+		{"constraint coef sum", "+" + huge + " x1 +" + huge + " x2 >= " + huge + " ;"},
+		{"le negation min", "-9223372036854775808 x1 <= 0 ;"},
+		{"objective sum", "min: +" + huge + " x1 +" + huge + " x2 ;\n+1 x1 >= 1 ;"},
+		{"objective dup", "min: +" + huge + " x1 +" + huge + " x1 ;\n+1 x1 >= 1 ;"},
+		{"objective neg dup", "min: -" + huge + " x1 -" + huge + " x1 ;\n+1 x1 >= 1 ;"},
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c.in); !errors.Is(err, pb.ErrOverflow) {
+			t.Errorf("%s: err=%v, want pb.ErrOverflow", c.name, err)
+		}
+	}
+	// An objective whose worst case reaches the engine's sentinel range is
+	// rejected too — even though the int64 arithmetic itself never wraps.
+	// (Differential-fuzzer finding: such instances used to be mis-solved as
+	// UNSAT; see pb.MaxObjective and testdata/fuzz-corpus/seed-*.opb.)
+	overMax := fmt.Sprintf("min: +%d x1 ;\n+1 x1 >= 1 ;", pb.MaxObjective+1)
+	if _, err := ParseString(overMax); !errors.Is(err, pb.ErrOverflow) {
+		t.Errorf("objective above MaxObjective: err=%v, want pb.ErrOverflow", err)
+	}
+	// Large-but-safe coefficients still parse: a cost at exactly the
+	// headroom limit, and a huge *constraint* coefficient (clipped to its
+	// degree during normalization, so no headroom concern).
+	atMax := fmt.Sprintf("min: +%d x1 ;\n+4611686018427387902 x1 >= 1 ;", pb.MaxObjective)
+	p, err := ParseString(atMax)
+	if err != nil {
+		t.Fatalf("large-but-safe: %v", err)
+	}
+	if p.NumVars != 1 {
+		t.Fatalf("NumVars=%d", p.NumVars)
+	}
+}

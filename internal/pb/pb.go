@@ -164,11 +164,13 @@ func (c *Constraint) CardinalityNeed() int64 {
 	return (c.Degree + maxCoef - 1) / maxCoef
 }
 
-// CoefSum returns the sum of all coefficients.
+// CoefSum returns the sum of all coefficients. The sum saturates at MaxInt64
+// instead of wrapping (normalized constraints reject overflowing sums at
+// construction, so saturation is purely defensive).
 func (c *Constraint) CoefSum() int64 {
 	var s int64
 	for _, t := range c.Terms {
-		s += t.Coef
+		s = satAdd(s, t.Coef)
 	}
 	return s
 }
@@ -287,10 +289,13 @@ func (p *Problem) SetCost(v Var, cost int64) {
 
 // TotalCost returns the sum of all variable costs (the worst possible
 // normalized objective value, an upper bound on any solution cost + 1 slack).
+// The sum saturates at MaxInt64 instead of wrapping; Validate rejects
+// problems whose total cost overflows, so a saturated value can only be seen
+// on problems that bypassed the input layer.
 func (p *Problem) TotalCost() int64 {
 	var s int64
 	for _, c := range p.Cost {
-		s += c
+		s = satAdd(s, c)
 	}
 	return s
 }
@@ -321,7 +326,10 @@ func (p *Problem) AddConstraint(terms []Term, cmp Cmp, rhs int64) error {
 	}
 	switch cmp {
 	case GE:
-		c := Normalize(terms, rhs)
+		c, err := NormalizeChecked(terms, rhs)
+		if err != nil {
+			return err
+		}
 		if c != nil {
 			p.Constraints = append(p.Constraints, c)
 		}
@@ -329,9 +337,20 @@ func (p *Problem) AddConstraint(terms []Term, cmp Cmp, rhs int64) error {
 		// Σ a·l ≤ b  ⇔  Σ −a·l ≥ −b.
 		neg := make([]Term, len(terms))
 		for i, t := range terms {
-			neg[i] = Term{Coef: -t.Coef, Lit: t.Lit}
+			nc, ok := negOK(t.Coef)
+			if !ok {
+				return fmt.Errorf("pb: coefficient %d on %s: %w", t.Coef, t.Lit, ErrOverflow)
+			}
+			neg[i] = Term{Coef: nc, Lit: t.Lit}
 		}
-		c := Normalize(neg, -rhs)
+		nrhs, ok := negOK(rhs)
+		if !ok {
+			return fmt.Errorf("pb: right-hand side %d: %w", rhs, ErrOverflow)
+		}
+		c, err := NormalizeChecked(neg, nrhs)
+		if err != nil {
+			return err
+		}
 		if c != nil {
 			p.Constraints = append(p.Constraints, c)
 		}
@@ -383,11 +402,15 @@ func (p *Problem) AddExactlyOne(lits ...Lit) error {
 }
 
 // ObjectiveValue returns CostOffset + Σ Cost[v]·x_v for the full assignment.
+// The accumulation saturates at the int64 limits instead of wrapping (see
+// overflow.go); Validate guarantees a validated problem's objective cannot
+// overflow, so saturation only fires on problems that bypassed the input
+// layer.
 func (p *Problem) ObjectiveValue(values []bool) int64 {
 	s := p.CostOffset
 	for v, c := range p.Cost {
 		if c != 0 && values[v] {
-			s += c
+			s = satAdd(s, c)
 		}
 	}
 	return s
@@ -424,9 +447,29 @@ func (p *Problem) Validate() error {
 	if len(p.Cost) != p.NumVars {
 		return fmt.Errorf("pb: len(Cost)=%d != NumVars=%d", len(p.Cost), p.NumVars)
 	}
+	if p.CostOffset > MaxObjective || p.CostOffset < -MaxObjective {
+		return fmt.Errorf("pb: CostOffset %d exceeds the solver headroom ±%d: %w",
+			p.CostOffset, MaxObjective, ErrOverflow)
+	}
+	var totalCost int64 = p.CostOffset
+	var sumCost int64
 	for v, c := range p.Cost {
 		if c < 0 {
 			return fmt.Errorf("pb: negative cost %d on x%d", c, v)
+		}
+		var ok bool
+		if totalCost, ok = addOK(totalCost, c); !ok {
+			return fmt.Errorf("pb: objective CostOffset + ΣCost at x%d: %w", v, ErrOverflow)
+		}
+		if sumCost, ok = addOK(sumCost, c); !ok || sumCost > MaxObjective {
+			// Found by the differential fuzzer (testdata/fuzz-corpus/
+			// seed-*.opb): a worst-case objective at or above the solver's
+			// "no incumbent yet" sentinel makes every feasible solution look
+			// worse than an incumbent that does not exist, and the search
+			// soundly-looking claims UNSAT. Such instances must be rejected
+			// at the input layer, never mis-solved.
+			return fmt.Errorf("pb: ΣCost at x%d exceeds the solver headroom %d: %w",
+				v, MaxObjective, ErrOverflow)
 		}
 	}
 	for i, c := range p.Constraints {
@@ -450,6 +493,16 @@ func (p *Problem) Validate() error {
 			}
 			seen[v] = true
 		}
+		// Degree ≤ CoefSum or the constraint is an intentional UNSAT marker;
+		// either way the sum itself must not wrap (CoefSum saturates, so a
+		// wrapped store would already have corrupted Slack/propagation).
+		var sum int64
+		for _, t := range c.Terms {
+			var ok bool
+			if sum, ok = addOK(sum, t.Coef); !ok {
+				return fmt.Errorf("pb: constraint %d coefficient sum: %w", i, ErrOverflow)
+			}
+		}
 	}
 	return nil
 }
@@ -461,22 +514,49 @@ func (p *Problem) Validate() error {
 // constraint is trivially true (degree ≤ 0). A constraint that is trivially
 // false (degree > coefficient sum, including empty with degree > 0) is
 // returned as-is so the caller can detect infeasibility.
+//
+// Normalize assumes coefficient arithmetic cannot overflow (moderate,
+// program-constructed inputs); external inputs must go through
+// NormalizeChecked / AddConstraint, which reject overflow with ErrOverflow.
+// If an overflow does occur here, Normalize panics rather than returning a
+// silently wrapped — and potentially unsound — constraint.
 func Normalize(terms []Term, rhs int64) *Constraint {
+	c, err := NormalizeChecked(terms, rhs)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NormalizeChecked is Normalize with overflow-checked arithmetic: every
+// accumulation that could exceed int64 (duplicate-variable merging, the
+// negative-coefficient flips on the right-hand side, the residual coefficient
+// sum) reports ErrOverflow instead of wrapping. This is the entry point for
+// externally supplied coefficients (the OPB parser, the fuzzer's adversarial
+// instances).
+func NormalizeChecked(terms []Term, rhs int64) (*Constraint, error) {
 	// Merge per-variable contributions. For variable v with positive-literal
 	// coefficient ap and negative-literal coefficient an:
 	//   ap·x + an·(1−x) = (ap−an)·x + an
 	// so the merged coefficient on x is ap−an and rhs decreases by an.
 	byVar := map[Var]int64{} // net coefficient on the positive literal
+	var ok bool
 	for _, t := range terms {
 		if t.Coef == 0 {
 			continue
 		}
 		c := t.Coef
 		if t.Lit.IsNeg() {
-			byVar[t.Lit.Var()] -= c
-			rhs -= c
+			if byVar[t.Lit.Var()], ok = subOK(byVar[t.Lit.Var()], c); !ok {
+				return nil, fmt.Errorf("pb: merged coefficient on %s: %w", t.Lit, ErrOverflow)
+			}
+			if rhs, ok = subOK(rhs, c); !ok {
+				return nil, fmt.Errorf("pb: degree adjustment for %s: %w", t.Lit, ErrOverflow)
+			}
 		} else {
-			byVar[t.Lit.Var()] += c
+			if byVar[t.Lit.Var()], ok = addOK(byVar[t.Lit.Var()], c); !ok {
+				return nil, fmt.Errorf("pb: merged coefficient on %s: %w", t.Lit, ErrOverflow)
+			}
 		}
 	}
 	out := make([]Term, 0, len(byVar))
@@ -486,18 +566,30 @@ func Normalize(terms []Term, rhs int64) *Constraint {
 			out = append(out, Term{Coef: a, Lit: PosLit(v)})
 		case a < 0:
 			// a·x = a − a·(1−x) = a + (−a)·¬x ⇒ move constant a to rhs.
-			out = append(out, Term{Coef: -a, Lit: NegLit(v)})
-			rhs -= a
+			na, ok := negOK(a)
+			if !ok {
+				return nil, fmt.Errorf("pb: flipped coefficient on x%d: %w", v, ErrOverflow)
+			}
+			out = append(out, Term{Coef: na, Lit: NegLit(v)})
+			if rhs, ok = subOK(rhs, a); !ok {
+				return nil, fmt.Errorf("pb: degree adjustment for x%d: %w", v, ErrOverflow)
+			}
 		}
 	}
 	if rhs <= 0 {
-		return nil // trivially satisfied
+		return nil, nil // trivially satisfied
 	}
 	// Clip coefficients at the degree: a literal with coef ≥ degree
-	// satisfies the constraint alone either way.
+	// satisfies the constraint alone either way. After clipping every
+	// coefficient is ≤ rhs, but the *sum* over many terms can still wrap —
+	// and a wrapped CoefSum corrupts slack-based propagation — so reject it.
+	var sum int64
 	for i := range out {
 		if out[i].Coef > rhs {
 			out[i].Coef = rhs
+		}
+		if sum, ok = addOK(sum, out[i].Coef); !ok {
+			return nil, fmt.Errorf("pb: coefficient sum of normalized constraint: %w", ErrOverflow)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -506,7 +598,7 @@ func Normalize(terms []Term, rhs int64) *Constraint {
 		}
 		return out[i].Lit < out[j].Lit
 	})
-	return &Constraint{Terms: out, Degree: rhs}
+	return &Constraint{Terms: out, Degree: rhs}, nil
 }
 
 // Reduce returns the residual of c under a partial assignment. assigned[v]

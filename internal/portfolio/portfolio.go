@@ -31,6 +31,7 @@ import (
 	"runtime/debug"
 	"sync"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/pb"
@@ -90,6 +91,11 @@ type Options struct {
 	// Stop, when non-nil, cancels every member as soon as the channel is
 	// closed (the CLI's SIGINT/SIGTERM handler).
 	Stop <-chan struct{}
+	// Audit, when non-nil, attaches the invariant auditor to every member:
+	// each solver replays its learned clauses, bound conflicts, imports and
+	// incumbents against the original problem into this (internally locked)
+	// auditor. Expensive; meant for the differential fuzzer and debugging.
+	Audit *audit.Auditor
 }
 
 // MemberResult is one member's outcome, reported in config order.
@@ -227,7 +233,7 @@ func SolveOpts(p *pb.Problem, configs []Config, opts Options) Result {
 				if handles != nil {
 					m = handles[i]
 				}
-				results <- outcome{i, cfg.name(), runMember(p, cfg, cancel, m)}
+				results <- outcome{i, cfg.name(), runMember(p, cfg, cancel, m, opts.Audit)}
 			}
 		}()
 	}
@@ -288,7 +294,7 @@ func SolveOpts(p *pb.Problem, configs []Config, opts Options) Result {
 // runMember executes one configuration behind a panic barrier, so a member
 // crash (including one injected at the "portfolio.worker" fault point,
 // keyed by member name) becomes a StatusError outcome.
-func runMember(p *pb.Problem, cfg Config, cancel <-chan struct{}, m *share.Member) (res core.Result) {
+func runMember(p *pb.Problem, cfg Config, cancel <-chan struct{}, m *share.Member, aud *audit.Auditor) (res core.Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = core.Result{
@@ -302,6 +308,9 @@ func runMember(p *pb.Problem, cfg Config, cancel <-chan struct{}, m *share.Membe
 	opt.Cancel = cancel
 	if m != nil {
 		opt.Share = m
+	}
+	if aud != nil {
+		opt.Audit = aud
 	}
 	return core.Solve(p, opt)
 }

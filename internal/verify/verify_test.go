@@ -1,4 +1,4 @@
-package verify
+package verify_test
 
 import (
 	"math/rand"
@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/opb"
 	"repro/internal/pb"
+	"repro/internal/verify"
 )
 
 func sample(t *testing.T) *pb.Problem {
@@ -21,7 +22,7 @@ func sample(t *testing.T) *pb.Problem {
 
 func TestParseValueLine(t *testing.T) {
 	p := sample(t)
-	a, err := ParseValueLine(p, "v -a b c")
+	a, err := verify.ParseValueLine(p, "v -a b c")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,14 +33,14 @@ func TestParseValueLine(t *testing.T) {
 		t.Fatalf("missing=%d", a.Missing)
 	}
 	// Partial line: omitted variables default to false and are counted.
-	a, err = ParseValueLine(p, "b")
+	a, err = verify.ParseValueLine(p, "b")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.Missing != 2 || !a.Values[1] {
 		t.Fatalf("%+v", a)
 	}
-	if _, err := ParseValueLine(p, "frob"); err == nil {
+	if _, err := verify.ParseValueLine(p, "frob"); err == nil {
 		t.Fatal("expected unknown-variable error")
 	}
 }
@@ -47,25 +48,25 @@ func TestParseValueLine(t *testing.T) {
 func TestScanValueLine(t *testing.T) {
 	p := sample(t)
 	in := strings.NewReader("c noise\no 1\nv b -a -c\ns OPTIMUM FOUND\n")
-	a, err := ScanValueLine(p, in)
+	a, err := verify.ScanValueLine(p, in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !a.Values[1] || a.Values[0] {
 		t.Fatalf("%+v", a)
 	}
-	if _, err := ScanValueLine(p, strings.NewReader("no value line")); err == nil {
+	if _, err := verify.ScanValueLine(p, strings.NewReader("no value line")); err == nil {
 		t.Fatal("expected error")
 	}
 }
 
 func TestCheckReportsViolation(t *testing.T) {
 	p := sample(t)
-	rep := Check(p, []bool{true, false, true}) // a ∧ c violates a+c ≤ 1
+	rep := verify.Check(p, []bool{true, false, true}) // a ∧ c violates a+c ≤ 1
 	if rep.Feasible || rep.ViolatedIdx < 0 || rep.Violated == nil {
 		t.Fatalf("%+v", rep)
 	}
-	rep = Check(p, []bool{false, true, false})
+	rep = verify.Check(p, []bool{false, true, false})
 	if !rep.Feasible || rep.Objective != 1 {
 		t.Fatalf("%+v", rep)
 	}
@@ -74,14 +75,116 @@ func TestCheckReportsViolation(t *testing.T) {
 func TestFormatRoundTrip(t *testing.T) {
 	p := sample(t)
 	vals := []bool{true, false, false}
-	line := FormatValueLine(p, vals)
-	a, err := ParseValueLine(p, line)
+	line := verify.FormatValueLine(p, vals)
+	a, err := verify.ParseValueLine(p, line)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range vals {
 		if a.Values[i] != vals[i] {
 			t.Fatalf("round trip changed values: %v vs %v", a.Values, vals)
+		}
+	}
+}
+
+func TestParseValueLineContradiction(t *testing.T) {
+	p := sample(t)
+	if _, err := verify.ParseValueLine(p, "v a -a"); err == nil {
+		t.Fatal("contradictory tokens must be an error")
+	}
+	if _, err := verify.ParseValueLine(p, "v -b a b"); err == nil {
+		t.Fatal("contradictory tokens must be an error (reordered)")
+	}
+	// Duplicate same-polarity tokens are harmless.
+	a, err := verify.ParseValueLine(p, "v a a -b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Values[0] || a.Values[1] {
+		t.Fatalf("%+v", a)
+	}
+}
+
+func TestScanValueLineWrapped(t *testing.T) {
+	p := sample(t)
+	// PB-competition output may wrap the value line across several "v" lines.
+	in := strings.NewReader("c noise\nv -a\nv b\nv -c\ns OPTIMUM FOUND\n")
+	a, err := verify.ScanValueLine(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Values[0] || !a.Values[1] || a.Values[2] || a.Missing != 0 {
+		t.Fatalf("%+v", a)
+	}
+	// A bare "v" line is valid for zero-variable instances.
+	empty := &pb.Problem{}
+	if _, err := verify.ScanValueLine(empty, strings.NewReader("s SATISFIABLE\nv\n")); err != nil {
+		t.Fatalf("bare v line: %v", err)
+	}
+	// Contradictions across wrapped lines are caught after concatenation.
+	if _, err := verify.ScanValueLine(p, strings.NewReader("v a\nv -a\n")); err == nil {
+		t.Fatal("cross-line contradiction must be an error")
+	}
+}
+
+// Negative objective coefficients are normalized by internal/opb into a
+// synthetic "_n<name>" complement variable carrying the cost. A value line
+// from an external tool only mentions the original variables; the Missing
+// defaults must respect that normalization (zero-cost = base true /
+// complement false, partners derived as y = ¬x), not blanket-false.
+func TestMissingDefaultsRespectNegativeCostNormalization(t *testing.T) {
+	p, err := opb.ParseString("min: -5 a +1 b ;\n+1 a +1 b >= 1 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both a and its complement missing: the zero-cost pair is a=1, _na=0.
+	a, err := verify.ParseValueLine(p, "v -b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verify.Check(p, a.Values)
+	if !rep.Feasible {
+		t.Fatalf("zero-cost defaults must satisfy the linking clauses: %v", rep.Violated)
+	}
+	if rep.Objective != -5 {
+		t.Fatalf("objective=%d want -5 (a defaults to its zero-cost polarity true)", rep.Objective)
+	}
+	// Base given, complement missing: derived as ¬a, keeping feasibility and
+	// the exact original-space objective.
+	a, err = verify.ParseValueLine(p, "v -a b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Derived == 0 {
+		t.Fatalf("complement should be derived: %+v", a)
+	}
+	rep = verify.Check(p, a.Values)
+	if !rep.Feasible || rep.Objective != 1 {
+		t.Fatalf("feasible=%v objective=%d want true/1", rep.Feasible, rep.Objective)
+	}
+}
+
+// The cached Index parses identically to the package-level function and can
+// be reused across many lines.
+func TestIndexReuse(t *testing.T) {
+	p := sample(t)
+	ix := verify.NewIndex(p)
+	for _, line := range []string{"v a b -c", "v -a -b -c", "b"} {
+		got, err := ix.ParseValueLine(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := verify.ParseValueLine(p, line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Values {
+			if got.Values[i] != want.Values[i] {
+				t.Fatalf("line %q: index parse diverged", line)
+			}
+		}
+		if got.Missing != want.Missing || got.Derived != want.Derived {
+			t.Fatalf("line %q: %+v vs %+v", line, got, want)
 		}
 	}
 }
@@ -108,12 +211,12 @@ func TestSolverModelsVerify(t *testing.T) {
 		if res.Status != core.StatusOptimal {
 			continue
 		}
-		line := FormatValueLine(p, res.Values)
-		a, err := ParseValueLine(p, line)
+		line := verify.FormatValueLine(p, res.Values)
+		a, err := verify.ParseValueLine(p, line)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep := Check(p, a.Values)
+		rep := verify.Check(p, a.Values)
 		if !rep.Feasible {
 			t.Fatalf("iter %d: solver model fails verification: %v", iter, rep.Violated)
 		}
