@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-bounds bench-portfolio table examples clean ci vet
+.PHONY: all build test race fuzz bench bench-bounds bench-portfolio bench-snapshot table examples clean ci vet
 
 all: build test
 
@@ -12,13 +12,15 @@ vet:
 # What CI runs: vet + build + full test suite, then the race detector on
 # the concurrency-sensitive packages (engine interrupt hook, solver
 # cancellation, portfolio racing + clause sharing, fault injection, the
-# incremental Reducer's watcher protocol, the warm-start LP state), then a
-# single-iteration smoke pass over the bound-pipeline and portfolio-sharing
-# benchmarks.
+# incremental Reducer's watcher protocol, the warm-start LP state, the
+# live metrics registry), then a single-iteration smoke pass over the
+# bound-pipeline and portfolio-sharing benchmarks and a small bench
+# snapshot.
 ci: vet build test
-	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/share ./internal/fault ./internal/bounds ./internal/lp ./internal/fuzz
+	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/share ./internal/fault ./internal/bounds ./internal/lp ./internal/fuzz ./internal/obs
 	$(MAKE) bench-bounds BENCHTIME=1x
 	$(MAKE) bench-portfolio BENCHTIME=1x
+	$(MAKE) bench-snapshot BENCH_FAMILY=synth BENCH_N=2 BENCH_TIME=3s
 	$(MAKE) fuzz FUZZTIME=10s PBFUZZ_N=500
 
 build:
@@ -61,6 +63,20 @@ bench-bounds:
 # stable comparative numbers.
 bench-portfolio:
 	$(GO) test -bench='BenchmarkPortfolioSharedVsIsolated|BenchmarkPortfolioRace|BenchmarkBoardHotPath' -benchmem -benchtime=$(BENCHTIME) -run='^$$' ./internal/portfolio
+
+# Benchmark-trajectory snapshot: run the bench matrix and write a versioned
+# BENCH_<family>_<date>.json document (schema repro.bench/v1). Compare two
+# snapshots with `go run ./cmd/pbbench ... -compare old.json` — regressions
+# (lost solves, worse incumbents, slowdowns beyond -compare-tol) exit 3.
+# Override the knobs for bigger runs: make bench-snapshot BENCH_FAMILY=all
+# BENCH_N=10 BENCH_TIME=10s BENCH_OUT=BENCH_all_$(shell date +%F).json
+BENCH_FAMILY ?= synth
+BENCH_N ?= 2
+BENCH_TIME ?= 3s
+BENCH_SOLVERS ?= plain,mis,lgr,lpr
+BENCH_OUT ?= auto
+bench-snapshot:
+	$(GO) run ./cmd/pbbench -family $(BENCH_FAMILY) -n $(BENCH_N) -time $(BENCH_TIME) -solvers $(BENCH_SOLVERS) -snapshot $(BENCH_OUT)
 
 # Regenerate the paper's Table 1 at reproduction scale (minutes).
 table:

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/opb"
 	"repro/internal/portfolio"
 	"repro/internal/preprocess"
@@ -58,6 +60,11 @@ func main() {
 		auditRun     = flag.Bool("audit", false, "replay learned clauses, bound conflicts, imports and incumbents against the original problem (exhaustive on small instances; see internal/audit)")
 		showStats    = flag.Bool("stats", false, "print solver statistics")
 		showModel    = flag.Bool("model", true, "print the v (values) line")
+		tracePath    = flag.String("trace", "", "record structured search events and write them as JSONL to this file at exit")
+		tracePretty  = flag.Bool("trace-pretty", false, "print the recorded search events human-readably on stderr at exit (implies tracing)")
+		traceCap     = flag.Int("trace-cap", obs.DefaultTraceCapacity, "trace ring capacity in events (oldest events are overwritten beyond it)")
+		debugAddr    = flag.String("debug-addr", "", "serve the live introspection endpoint (GET /metrics JSON + /debug/pprof) on this address; \":port\" binds loopback only")
+		metricsPath  = flag.String("metrics", "", "write the final unified metrics snapshot JSON to this file at exit")
 	)
 	flag.Parse()
 
@@ -156,6 +163,31 @@ func main() {
 		}
 	}
 
+	// Observability: the trace ring records structured search events (JSONL
+	// and/or pretty-printed at exit); the registry serves tear-free unified
+	// metrics snapshots live on -debug-addr and writes the terminal snapshot
+	// with -metrics. All nil (zero-cost) when the flags are unset.
+	var tracer *obs.Tracer
+	if *tracePath != "" || *tracePretty {
+		tracer = obs.NewTracer(*traceCap)
+	}
+	var registry *obs.Registry
+	if *debugAddr != "" || *metricsPath != "" {
+		registry = obs.NewRegistry()
+		if flag.NArg() > 0 {
+			registry.SetMeta("instance", flag.Arg(0))
+		}
+		registry.SetMeta("lb", strings.ToLower(*lbFlag))
+	}
+	if *debugAddr != "" {
+		bound, shutdown, err := obs.Serve(*debugAddr, registry)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		fmt.Printf("c debug endpoint: http://%s/metrics (pprof at /debug/pprof/)\n", bound)
+	}
+
 	start := time.Now()
 	var res core.Result
 	var pres *portfolio.Result
@@ -173,6 +205,8 @@ func main() {
 			MaxConcurrent: *maxMembers,
 			Stop:          cancel,
 			Audit:         auditor,
+			Trace:         tracer,
+			Registry:      registry,
 		})
 		pres = &p
 		res = p.Result
@@ -182,6 +216,12 @@ func main() {
 			fmt.Printf("c portfolio member %s crashed: %v\n", name, firstLine(err))
 		}
 	} else {
+		opt.Trace = tracer.Named(strings.ToLower(*lbFlag))
+		if registry != nil {
+			live := &obs.Live{}
+			registry.RegisterSolver(strings.ToLower(*lbFlag), live)
+			opt.Live = live
+		}
 		res = core.SafeSolve(prob, opt)
 	}
 	elapsed := time.Since(start)
@@ -244,9 +284,60 @@ func main() {
 			printSharing("", &st.Sharing, st.ImportedClauses)
 		}
 	}
+	if err := writeObsOutputs(tracer, registry, *tracePath, *tracePretty, *metricsPath); err != nil {
+		fatal(err)
+	}
 	if !auditOK {
 		os.Exit(2) // audit violations are a soundness bug, not a solver answer
 	}
+}
+
+// writeObsOutputs flushes the end-of-run observability artifacts: the JSONL
+// event trace, the human-readable trace dump (stderr), and the terminal
+// unified metrics snapshot. Any write failure is a hard error — a benchmark
+// pipeline must not mistake a truncated artifact for a clean run.
+func writeObsOutputs(tracer *obs.Tracer, registry *obs.Registry, tracePath string, tracePretty bool, metricsPath string) error {
+	if tracer != nil {
+		if dropped := tracer.Dropped(); dropped > 0 {
+			fmt.Printf("c trace: ring overwrote %d oldest events (raise -trace-cap to keep them)\n", dropped)
+		}
+		if tracePath != "" {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				return err
+			}
+			err = tracer.WriteJSONL(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("writing trace %s: %w", tracePath, err)
+			}
+			fmt.Printf("c trace: %d events written to %s\n", tracer.Len(), tracePath)
+		}
+		if tracePretty {
+			if err := tracer.WritePretty(os.Stderr); err != nil {
+				return fmt.Errorf("writing trace to stderr: %w", err)
+			}
+		}
+	}
+	if registry != nil && metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(registry.Snapshot())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing metrics %s: %w", metricsPath, err)
+		}
+		fmt.Printf("c metrics: snapshot written to %s\n", metricsPath)
+	}
+	return nil
 }
 
 // printPortfolioStats prints the board's global counters and each member's

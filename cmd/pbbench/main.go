@@ -17,60 +17,87 @@
 //	pbbench -family synth -solvers portfolio,portfolio-iso -csv out.csv
 //
 // measures what cooperation buys on identical instances.
+//
+// Benchmark trajectory: -snapshot writes the run as a versioned
+// BENCH_<family>_<date>.json document (-snapshot auto picks the canonical
+// name), and -compare old.json re-runs the same cells and flags regressions
+// — lost solves, worsened incumbents, slowdowns beyond -compare-tol — with a
+// non-zero exit code, so CI can gate on it.
+//
+// Exit codes: 0 clean, 1 on any setup or output-write failure, 3 when
+// -compare found regressions. A truncated artifact is never reported as a
+// clean run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("pbbench", flag.ExitOnError)
 	var (
-		family    = flag.String("family", "", "family to run: grout|synth|mcnc|acc (empty with -all = all)")
-		all       = flag.Bool("all", false, "run all four families")
-		solvers   = flag.String("solvers", "", "comma-separated solver subset (default: all seven columns)")
-		timeLimit = flag.Duration("time", 10*time.Second, "per-run wall-clock limit")
-		conflicts = flag.Int64("conflicts", 0, "per-run conflict limit (0 = none)")
-		milpNodes = flag.Int64("milp-nodes", 0, "MILP node limit (0 = default)")
-		perFamily = flag.Int("n", 10, "instances per family")
+		family    = fs.String("family", "", "family to run: grout|synth|mcnc|acc (empty with -all = all)")
+		all       = fs.Bool("all", false, "run all four families")
+		solvers   = fs.String("solvers", "", "comma-separated solver subset (default: all seven columns)")
+		timeLimit = fs.Duration("time", 10*time.Second, "per-run wall-clock limit")
+		conflicts = fs.Int64("conflicts", 0, "per-run conflict limit (0 = none)")
+		milpNodes = fs.Int64("milp-nodes", 0, "MILP node limit (0 = default)")
+		perFamily = fs.Int("n", 10, "instances per family")
 
-		groutNets  = flag.Int("grout-nets", 0, "override grout net count")
-		synthNodes = flag.Int("synth-nodes", 0, "override synth node count")
-		mcncInputs = flag.Int("mcnc-inputs", 0, "override mcnc input count")
-		accTeams   = flag.Int("acc-teams", 0, "override acc team count")
-		csvOut     = flag.String("csv", "", "also write machine-readable results to this file")
-		ablations  = flag.Bool("ablations", false, "run the A1-A6 ablations instead of Table 1")
+		groutNets  = fs.Int("grout-nets", 0, "override grout net count")
+		synthNodes = fs.Int("synth-nodes", 0, "override synth node count")
+		mcncInputs = fs.Int("mcnc-inputs", 0, "override mcnc input count")
+		accTeams   = fs.Int("acc-teams", 0, "override acc team count")
+		csvOut     = fs.String("csv", "", "also write machine-readable results to this file")
+		ablations  = fs.Bool("ablations", false, "run the A1-A6 ablations instead of Table 1")
 
-		incremental  = flag.Bool("incremental", true, "incremental reduced-problem maintenance in the bsolo columns")
-		warmLP       = flag.Bool("warm-lp", true, "LP warm starting in the lpr column")
-		boundProfile = flag.Bool("bound-profile", false, "print per-solver bound-pipeline timing after the table")
+		incremental  = fs.Bool("incremental", true, "incremental reduced-problem maintenance in the bsolo columns")
+		warmLP       = fs.Bool("warm-lp", true, "LP warm starting in the lpr column")
+		boundProfile = fs.Bool("bound-profile", false, "print per-solver bound-pipeline timing after the table")
+
+		snapshotOut = fs.String("snapshot", "", "write the run as a versioned bench snapshot JSON (\"auto\" = BENCH_<family>_<date>.json)")
+		compareOld  = fs.String("compare", "", "compare this run against an earlier bench snapshot and flag regressions (exit 3)")
+		compareTol  = fs.Float64("compare-tol", 1.5, "with -compare: wall-clock slowdown factor tolerated before a cell regresses")
 	)
-	flag.Parse()
+	_ = fs.Parse(args)
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "pbbench:", err)
+		return 1
+	}
 
 	if *ablations {
 		sc := harness.Scale{GroutNets: 18, SynthNodes: 24, McncInputs: 7, AccTeams: 8, PerFamily: 3}
 		insts, err := harness.AblationInstances(sc)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pbbench:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		fmt.Printf("running ablations A1-A6 over %d instances (limit %v per run)\n\n", len(insts), *timeLimit)
+		fmt.Fprintf(stdout, "running ablations A1-A6 over %d instances (limit %v per run)\n\n", len(insts), *timeLimit)
 		var rows []harness.AblationResult
 		for _, id := range harness.Ablations() {
 			rows = append(rows, harness.RunAblation(id, insts, *timeLimit, *conflicts)...)
 		}
-		fmt.Print(harness.FormatAblations(rows))
-		return
+		if _, err := io.WriteString(stdout, harness.FormatAblations(rows)); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	var fams []harness.Family
 	switch {
-	case *all || *family == "":
+	case *all || *family == "" || *family == "all":
 		fams = harness.Families()
 	default:
 		for _, f := range strings.Split(*family, ",") {
@@ -103,10 +130,9 @@ func main() {
 
 	insts, err := harness.Instances(fams, sc)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pbbench:", err)
-		os.Exit(1)
+		return fail(err)
 	}
-	fmt.Printf("running %d instances x %d solvers (limit %v per run)\n",
+	fmt.Fprintf(stdout, "running %d instances x %d solvers (limit %v per run)\n",
 		len(insts), len(cols), *timeLimit)
 
 	lim := harness.Limits{Time: *timeLimit, MaxConflicts: *conflicts, MilpNodes: *milpNodes,
@@ -128,21 +154,62 @@ func main() {
 				extra = fmt.Sprintf("  winner=%s conflicts=%d decisions=%d shImp=%d shPrunes=%d",
 					r.Winner, r.Conflicts, r.Decisions, r.ShClausesImp, r.ShForeignPrunes)
 			}
-			fmt.Fprintf(os.Stderr, "  %-18s %-7s %-10s %v%s\n", inst.Name, id, status, r.Duration.Round(time.Millisecond), extra)
+			fmt.Fprintf(stderr, "  %-18s %-7s %-10s %v%s\n", inst.Name, id, status, r.Duration.Round(time.Millisecond), extra)
 		}
 	}
-	fmt.Println()
-	fmt.Print(harness.FormatTable(results, cols))
+	if _, err := fmt.Fprintf(stdout, "\n%s", harness.FormatTable(results, cols)); err != nil {
+		return fail(err)
+	}
 	if *boundProfile {
 		if prof := harness.FormatBoundProfile(results); prof != "" {
-			fmt.Println()
-			fmt.Print(prof)
+			if _, err := fmt.Fprintf(stdout, "\n%s", prof); err != nil {
+				return fail(err)
+			}
 		}
 	}
 	if *csvOut != "" {
 		if err := os.WriteFile(*csvOut, []byte(harness.FormatCSV(results)), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "pbbench: writing csv:", err)
-			os.Exit(1)
+			return fail(fmt.Errorf("writing csv: %w", err))
 		}
 	}
+
+	var snap *obs.BenchSnapshot
+	if *snapshotOut != "" || *compareOld != "" {
+		snap = harness.BenchSnapshot(results, fams, *timeLimit, map[string]string{
+			"n":       fmt.Sprint(sc.PerFamily),
+			"solvers": joinSolvers(cols),
+		})
+	}
+	if *snapshotOut != "" {
+		path := *snapshotOut
+		if path == "auto" {
+			path = snap.DefaultName()
+		}
+		if err := snap.WriteFile(path); err != nil {
+			return fail(fmt.Errorf("writing snapshot: %w", err))
+		}
+		fmt.Fprintf(stdout, "\nsnapshot written to %s (%d rows)\n", path, len(snap.Rows))
+	}
+	if *compareOld != "" {
+		old, err := obs.LoadBenchSnapshot(*compareOld)
+		if err != nil {
+			return fail(fmt.Errorf("loading baseline: %w", err))
+		}
+		diff := obs.CompareBench(old, snap, *compareTol)
+		if _, err := fmt.Fprintf(stdout, "\ncompare vs %s:\n%s\n", *compareOld, diff.String()); err != nil {
+			return fail(err)
+		}
+		if diff.HasRegressions() {
+			return 3
+		}
+	}
+	return 0
+}
+
+func joinSolvers(cols []harness.SolverID) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = string(c)
+	}
+	return strings.Join(parts, ",")
 }

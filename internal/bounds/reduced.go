@@ -39,41 +39,42 @@ type Budget struct {
 	// Cancel, when non-nil, aborts the estimation as soon as the channel is
 	// closed (the search is being cancelled; any bound is fine).
 	Cancel <-chan struct{}
-	// Interrupt, when non-nil, is polled at the same amortized stride as the
-	// deadline; returning true ends the estimation early with its
-	// best-so-far (sound) bound, marked Incomplete. The cooperative
-	// portfolio wires this to "a foreign incumbent arrived below the bound
-	// target": the target this estimation was asked to beat just dropped,
-	// so finishing the full computation is wasted work — return, let the
-	// search adopt the tighter upper bound, and re-check the prune.
+	// Interrupt, when non-nil, is consulted on *every* Expired call (it is
+	// required to be cheap — the portfolio wires an atomic board load);
+	// returning true ends the estimation early with its best-so-far (sound)
+	// bound, marked Incomplete. The cooperative portfolio wires this to "a
+	// foreign incumbent arrived below the bound target": the target this
+	// estimation was asked to beat just dropped, so finishing the full
+	// computation is wasted work — return, let the search adopt the tighter
+	// upper bound, and re-check the prune.
 	Interrupt func() bool
 
-	// polls amortizes the cost of Expired: the system clock and the Cancel
-	// channel are consulted only every budgetPollStride-th call (and on the
-	// first), keeping budget polling off the profiles of tight estimator
-	// loops. expired latches the verdict.
+	// polls amortizes the cost of the wall-clock check only: the system
+	// clock is consulted every budgetPollStride-th call (and on the first),
+	// keeping time.Now off the profiles of tight estimator loops. expired
+	// latches the verdict.
 	polls   uint32
 	expired bool
 }
 
-// budgetPollStride is how many Expired calls share one real clock/channel
-// consultation. Estimator loops may therefore overshoot their deadline by up
-// to stride−1 iterations — microseconds, far below the budget's granularity.
+// budgetPollStride is how many Expired calls share one real clock
+// consultation. Estimator loops may therefore overshoot their *deadline* by
+// up to stride−1 iterations — microseconds, far below the budget's
+// granularity. Interrupt and Cancel are exempt from the stride: both are a
+// single atomic load / non-blocking channel receive, and their signals are
+// latency-sensitive (a foreign incumbent should stop an in-flight
+// estimation on the very next poll, not up to stride−1 calls later — a lag
+// the sharing benchmarks could actually observe; see TestBudgetInterrupt
+// DetectionLag).
 const budgetPollStride = 8
 
-// Expired reports whether the budget is exhausted. The check is amortized:
-// only every budgetPollStride-th call (per Budget copy) touches time.Now and
-// the Cancel channel; once expired, the result is sticky.
+// Expired reports whether the budget is exhausted. Interrupt and Cancel are
+// checked immediately on every call (worst-case detection lag: zero calls);
+// only the time.Now deadline check is amortized behind budgetPollStride.
+// Once expired, the result is sticky.
 func (b *Budget) Expired() bool {
 	if b.expired {
 		return true
-	}
-	if b.Deadline.IsZero() && b.Cancel == nil && b.Interrupt == nil {
-		return false
-	}
-	b.polls++
-	if b.polls&(budgetPollStride-1) != 1 {
-		return false
 	}
 	if b.Interrupt != nil && b.Interrupt() {
 		b.expired = true
@@ -87,7 +88,14 @@ func (b *Budget) Expired() bool {
 		default:
 		}
 	}
-	if !b.Deadline.IsZero() && time.Now().After(b.Deadline) {
+	if b.Deadline.IsZero() {
+		return false
+	}
+	b.polls++
+	if b.polls&(budgetPollStride-1) != 1 {
+		return false
+	}
+	if time.Now().After(b.Deadline) {
 		b.expired = true
 		return true
 	}

@@ -81,6 +81,22 @@ type Stats struct {
 	Per map[string]*ProcStats
 }
 
+// Clone returns a deep copy: the Per map and its ProcStats entries are
+// duplicated, so the copy can be handed to another goroutine (the live
+// metrics registry) or frozen into a Result while the original keeps
+// mutating.
+func (s Stats) Clone() Stats {
+	out := s
+	if s.Per != nil {
+		out.Per = make(map[string]*ProcStats, len(s.Per))
+		for name, p := range s.Per {
+			cp := *p
+			out.Per[name] = &cp
+		}
+	}
+	return out
+}
+
 // Proc returns (allocating on demand) the ProcStats for name.
 func (s *Stats) Proc(name string) *ProcStats {
 	if s.Per == nil {

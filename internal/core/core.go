@@ -30,6 +30,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/pb"
 )
 
@@ -183,6 +184,22 @@ type Options struct {
 	// debugging, not production solves. One auditor may be shared by every
 	// member of a portfolio (it locks internally). nil = zero overhead.
 	Audit *audit.Auditor
+
+	// Trace, when non-nil, receives structured search lifecycle events
+	// (restarts, ReduceDB, bound estimations with method/value/outcome,
+	// prunes, bound conflicts, incumbent updates, sharing traffic,
+	// fallback-ladder demotions) into a bounded ring; see internal/obs.
+	// nil (the default) is zero cost: every emission site is one nil check.
+	// Portfolio members receive Named handles of one shared tracer.
+	Trace *obs.Tracer
+
+	// Live, when non-nil, receives complete, internally consistent metrics
+	// snapshots (the unified obs schema) at solver checkpoints — every
+	// 16th node at a ≥50ms cadence, plus one terminal publish carrying the
+	// verdict. Concurrent scrapers (the -debug-addr endpoint) read through
+	// one atomic pointer, so they can never observe a torn counter block
+	// while the search mutates its stats. nil (the default) is zero cost.
+	Live *obs.Live
 
 	// Seed seeds the engine's explicit RNG; meaningful only with a positive
 	// RandomBranchFreq. Runs are reproducible for a fixed (Seed,
@@ -364,7 +381,18 @@ type solver struct {
 	// auditing.
 	aud         *audit.Auditor
 	minImportUB int64
+
+	// trace is the structured event sink (Options.Trace; nil = disabled —
+	// every emit is one nil check inside obs.Tracer). lastLive throttles
+	// live metrics publishes to the liveInterval cadence.
+	trace    *obs.Tracer
+	lastLive time.Time
 }
+
+// liveInterval is the minimum spacing between mid-run live metrics
+// publishes (each publish deep-copies the stats block; 50ms keeps that off
+// hot profiles while staying far below human scrape granularity).
+const liveInterval = 50 * time.Millisecond
 
 type cardSet struct {
 	inK []bool // per variable
@@ -399,7 +427,8 @@ func Solve(p *pb.Problem, opt Options) Result {
 		opt.BoundEvery = 1
 	}
 	s := &solver{prob: p, opt: opt, upper: upperInf, knapCut: -1,
-		aud: opt.Audit, minImportUB: upperInf}
+		aud: opt.Audit, minImportUB: upperInf, trace: opt.Trace}
+	s.trace.Emit(obs.EvSolveStart, opt.LowerBound.String(), int64(p.NumVars), int64(len(p.Constraints)), "")
 	if opt.TimeLimit > 0 {
 		s.deadline = time.Now().Add(opt.TimeLimit)
 		s.hasDeadline = true
@@ -449,21 +478,44 @@ func Solve(p *pb.Problem, opt Options) Result {
 	if s.reducer != nil {
 		s.reducer.Detach()
 	}
-	if s.lprState != nil {
-		s.bstats.WarmSolves = s.lprState.WarmSolves()
-		s.bstats.ColdSolves = s.lprState.ColdSolves()
-		s.bstats.WarmFallbacks = s.lprState.WarmFallbacks()
+	// Single-point stats assembly: every terminal path (optimal, unsat,
+	// TimeLimit, SIGINT/Cancel) and every live publish goes through the one
+	// snapshot function, so consumers never see counters mixed across
+	// assembly points.
+	res.Stats = s.snapshotStats()
+	s.publishFinal(&res)
+	var traceBest int64
+	if res.HasSolution {
+		traceBest = res.Best
 	}
-	s.stats.Bounds = s.bstats
-	res.Stats = s.stats
-	res.Stats.Decisions = s.eng.Stats.Decisions
-	res.Stats.Conflicts = s.eng.Stats.Conflicts
-	res.Stats.Propagations = s.eng.Stats.Propagations
-	res.Stats.LearnedClauses = s.eng.Stats.Learned
-	res.Stats.ImportedClauses = s.eng.Stats.Imported
-	res.Stats.RandomDecisions = s.eng.Stats.RandomDecisions
+	s.trace.Emit(obs.EvSolveEnd, s.opt.LowerBound.String(), traceBest, 0, res.Status.String())
 	s.auditTermination(res)
 	return res
+}
+
+// snapshotStats assembles one complete, internally consistent Stats value:
+// the solver-side counters, a deep copy of the bound-pipeline block (so the
+// caller's copy is frozen while the search keeps recording), the LP
+// warm-start counters, and the engine counters — all read at a single point
+// from the solver's own goroutine. Both the terminal Result and every live
+// metrics publish use this; nothing else reads s.eng.Stats piecemeal.
+func (s *solver) snapshotStats() Stats {
+	st := s.stats
+	bs := s.bstats.Clone()
+	if s.lprState != nil {
+		bs.WarmSolves = s.lprState.WarmSolves()
+		bs.ColdSolves = s.lprState.ColdSolves()
+		bs.WarmFallbacks = s.lprState.WarmFallbacks()
+	}
+	st.Bounds = bs
+	es := s.eng.Stats
+	st.Decisions = es.Decisions
+	st.Conflicts = es.Conflicts
+	st.Propagations = es.Propagations
+	st.LearnedClauses = es.Learned
+	st.ImportedClauses = es.Imported
+	st.RandomDecisions = es.RandomDecisions
+	return st
 }
 
 // --- invariant-auditor hooks (all no-ops when Options.Audit is nil) ---
@@ -580,16 +632,19 @@ func (s *solver) budgetExpired() bool {
 	if s.opt.MaxDecisions > 0 && s.eng.Stats.Decisions >= s.opt.MaxDecisions {
 		return true
 	}
-	if !s.hasDeadline && s.opt.Cancel == nil {
+	if !s.hasDeadline && s.opt.Cancel == nil && s.opt.Live == nil {
 		return false
 	}
 	// Wall-clock / cancellation granularity: consult the clock every 16
 	// nodes, and additionally whenever propagation has advanced far since
 	// the last check — so propagation-heavy nodes cannot ride a cheap node
 	// counter past the deadline. (The engine Interrupt hook covers a single
-	// huge fixpoint; this covers many medium ones.)
+	// huge fixpoint; this covers many medium ones.) Live metrics publishes
+	// piggyback on the same checkpoint so unlimited runs remain inspectable
+	// without adding a second clock site.
 	if s.nodeCounter%16 == 0 || s.eng.Stats.Propagations-s.lastPropSeen >= 2048 {
 		s.lastPropSeen = s.eng.Stats.Propagations
+		s.publishLive()
 		return s.timeUp()
 	}
 	return false
@@ -644,13 +699,34 @@ func (s *solver) reduce() *bounds.Reduced {
 	return red
 }
 
-// estimate runs the lower-bound ladder at one node: the primary procedure
-// behind a panic barrier, then — if the primary failed (panic, numerical
-// corruption, solver error) or produced no usable bound within its budget —
-// the MIS fallback, so the node still prunes with eq. 8/eq. 9 bound
+// estimate runs the lower-bound ladder at one node (see estimateInner) and
+// traces the outcome: one EvBound event per estimation with the estimator
+// that produced the returned bound, its value, the prune target, and the
+// outcome class.
+func (s *solver) estimate(red *bounds.Reduced, target int64) bounds.Result {
+	res := s.estimateInner(red, target)
+	if s.trace != nil {
+		outcome := "ok"
+		switch {
+		case res.Failed:
+			outcome = "failed"
+		case res.Bound >= bounds.InfBound:
+			outcome = "infeasible"
+		case res.Incomplete:
+			outcome = "incomplete"
+		}
+		s.trace.Emit(obs.EvBound, s.lastEst, res.Bound, target, outcome)
+	}
+	return res
+}
+
+// estimateInner runs the lower-bound ladder at one node: the primary
+// procedure behind a panic barrier, then — if the primary failed (panic,
+// numerical corruption, solver error) or produced no usable bound within its
+// budget — the MIS fallback, so the node still prunes with eq. 8/eq. 9 bound
 // conflicts where possible. After FallbackAfter consecutive hard failures
 // the circuit breaker demotes the primary to MIS for the rest of the run.
-func (s *solver) estimate(red *bounds.Reduced, target int64) bounds.Result {
+func (s *solver) estimateInner(red *bounds.Reduced, target int64) bounds.Result {
 	bud := s.boundBudget()
 	s.lastEst = s.est.Name()
 	ubi0 := s.stats.Sharing.UBInterrupts
@@ -672,6 +748,7 @@ func (s *solver) estimate(red *bounds.Reduced, target int64) bounds.Result {
 			if fres, ffailed := s.tryEstimate(s.fallback, red, target, bud); !ffailed && fres.Bound > 0 {
 				s.stats.BoundFallbacks++
 				s.lastEst = s.fallback.Name()
+				s.trace.Emit(obs.EvFallback, s.fallback.Name(), fres.Bound, target, "timeout-rescue")
 				return fres
 			}
 		}
@@ -687,6 +764,7 @@ func (s *solver) estimate(red *bounds.Reduced, target int64) bounds.Result {
 		if fres, ffailed := s.tryEstimate(s.fallback, red, target, bud); !ffailed {
 			s.stats.BoundFallbacks++
 			s.lastEst = s.fallback.Name()
+			s.trace.Emit(obs.EvFallback, s.fallback.Name(), fres.Bound, target, "failure-rescue")
 			res = fres
 		}
 	}
@@ -697,13 +775,23 @@ func (s *solver) estimate(red *bounds.Reduced, target int64) bounds.Result {
 	if threshold > 0 && s.consecFails >= threshold && s.fallback != nil {
 		// Demote: the primary procedure is persistently failing; stop
 		// paying for it (and for its panics) at every node. The warm-start
-		// state dies with the demoted estimator.
+		// state dies with the demoted estimator — but its warm/cold solve
+		// counters must be folded into the stats block first, or a demoted
+		// LPR run reports lp warm/cold = 0/0 even though hundreds of LP
+		// solves happened before the circuit breaker tripped (the
+		// accounting bug this PR's metrics snapshots surfaced).
+		s.trace.Emit(obs.EvDemotion, s.est.Name(), int64(s.stats.BoundFailures), 0, s.fallback.Name())
 		s.est = s.fallback
 		s.fallback = nil
 		s.consecFails = 0
 		s.stats.BoundDemotions++
-		s.lprState.Invalidate()
-		s.lprState = nil
+		if s.lprState != nil {
+			s.lprState.Invalidate()
+			s.bstats.WarmSolves = s.lprState.WarmSolves()
+			s.bstats.ColdSolves = s.lprState.ColdSolves()
+			s.bstats.WarmFallbacks = s.lprState.WarmFallbacks()
+			s.lprState = nil
+		}
 	}
 	return res
 }
@@ -800,6 +888,7 @@ func (s *solver) search() Result {
 				if s.upperForeign {
 					s.stats.Sharing.ForeignUBPrunes++
 				}
+				s.trace.Emit(obs.EvPrune, "path", path, s.upper, "")
 				s.auditBound(path, 0)
 				if !s.boundConflict(nil, nil) {
 					return s.finish(true)
@@ -826,6 +915,7 @@ func (s *solver) search() Result {
 				if s.upperForeign {
 					s.stats.Sharing.ForeignUBPrunes++
 				}
+				s.trace.Emit(obs.EvPrune, s.lastEst, path, res.Bound, "")
 				s.auditBound(path, res.Bound)
 				if !s.boundConflict(res.Responsible, res.ExcludedVars) {
 					return s.finish(true)
@@ -849,6 +939,7 @@ func (s *solver) search() Result {
 				s.upper = path
 				s.bestVals = s.eng.Values()
 				s.upperForeign = false
+				s.trace.Emit(obs.EvIncumbent, "", s.upper+s.prob.CostOffset, 0, "local")
 				s.auditIncumbent()
 				// Publish before any clause learned under the new bound can
 				// reach the exchange — the ordering the sharing soundness
@@ -1014,6 +1105,7 @@ func (s *solver) boundConflict(responsible []int, excluded map[pb.Var]bool) bool
 	}
 	s.publishLearnt(res.Learnt)
 	s.auditLearnt(res.Learnt)
+	s.trace.Emit(obs.EvBoundConflict, s.lastEst, int64(curLevel), int64(res.BackLevel), "")
 	// Chronological backtracking would have returned to curLevel−1; levels
 	// skipped beyond that are the §4 non-chronological saving.
 	if saved := int64(curLevel-1) - int64(res.BackLevel); saved > 0 {
@@ -1108,6 +1200,7 @@ func (s *solver) addIncumbentCuts() {
 		// assumes, so drop it (nil-safe).
 		s.eng.BacktrackTo(0)
 		s.stats.Restarts++
+		s.trace.Emit(obs.EvRestart, "", s.stats.Restarts, s.eng.Stats.Conflicts, "linear-search")
 		s.lprState.Invalidate()
 		return
 	}
@@ -1256,6 +1349,7 @@ func (s *solver) maybeRestart() {
 		if s.eng.DecisionLevel() > 0 {
 			s.eng.BacktrackTo(0)
 			s.stats.Restarts++
+			s.trace.Emit(obs.EvRestart, "", s.stats.Restarts, s.eng.Stats.Conflicts, "luby")
 			// A restart teleports the search to an unrelated region; the
 			// previous node's LP basis is no longer a useful hint. (Ordinary
 			// backjumps keep it: the next node shares most of its columns.)
@@ -1266,6 +1360,7 @@ func (s *solver) maybeRestart() {
 		if s.eng.Stats.Learned-s.lastReduceAt > 4000 {
 			s.eng.ReduceDB()
 			s.lastReduceAt = s.eng.Stats.Learned
+			s.trace.Emit(obs.EvReduceDB, "", s.eng.Stats.Learned, 0, "")
 			s.lprState.Invalidate()
 		}
 	}

@@ -20,6 +20,7 @@ package core
 import (
 	"repro/internal/bounds"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/pb"
 )
 
@@ -100,6 +101,9 @@ func (s *solver) publishIncumbent() {
 	s.stats.Sharing.IncumbentsPublished++
 	if s.opt.Share.PublishIncumbent(s.upper, s.bestVals) {
 		s.stats.Sharing.IncumbentsWon++
+		s.trace.Emit(obs.EvSharePublish, "incumbent", s.upper+s.prob.CostOffset, 0, "won")
+	} else {
+		s.trace.Emit(obs.EvSharePublish, "incumbent", s.upper+s.prob.CostOffset, 0, "lost")
 	}
 }
 
@@ -120,6 +124,7 @@ func (s *solver) adoptShared() {
 	s.bestVals = vals
 	s.upperForeign = true
 	s.stats.Sharing.ForeignIncumbents++
+	s.trace.Emit(obs.EvIncumbent, "", cost+s.prob.CostOffset, 0, "foreign")
 	s.auditIncumbent()
 	if s.opt.OnIncumbent != nil {
 		s.opt.OnIncumbent(cost + s.prob.CostOffset)
@@ -144,6 +149,7 @@ func (s *solver) adoptFinal() {
 		s.bestVals = vals
 		s.upperForeign = true
 		s.stats.Sharing.ForeignIncumbents++
+		s.trace.Emit(obs.EvIncumbent, "", cost+s.prob.CostOffset, 0, "foreign-final")
 		s.auditIncumbent()
 	}
 }
@@ -178,6 +184,8 @@ func (s *solver) importShared() bool {
 		}
 	}
 	ok := true
+	installed0 := s.stats.Sharing.ClausesImported
+	conflicts0 := s.stats.Sharing.ImportConflicts
 	sh.DrainClauses(func(lits []pb.Lit) {
 		switch s.eng.ImportClause(lits) {
 		case engine.ImportAdded:
@@ -197,6 +205,11 @@ func (s *solver) importShared() bool {
 			ok = false
 		}
 	})
+	installed := s.stats.Sharing.ClausesImported - installed0
+	conflicts := s.stats.Sharing.ImportConflicts - conflicts0
+	if installed != 0 || conflicts != 0 {
+		s.trace.Emit(obs.EvShareImport, "clause", installed, conflicts, "")
+	}
 	return ok
 }
 
@@ -217,10 +230,13 @@ func (s *solver) publishLearnt(lits []pb.Lit) {
 		s.stats.Sharing.ClausesRejected++
 		return
 	}
-	if sh.PublishClause(lits, s.clauseLBD(lits)) {
+	lbd := s.clauseLBD(lits)
+	if sh.PublishClause(lits, lbd) {
 		s.stats.Sharing.ClausesPublished++
+		s.trace.Emit(obs.EvSharePublish, "clause", int64(len(lits)), int64(lbd), "accepted")
 	} else {
 		s.stats.Sharing.ClausesRejected++
+		s.trace.Emit(obs.EvSharePublish, "clause", int64(len(lits)), int64(lbd), "rejected")
 	}
 }
 

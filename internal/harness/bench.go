@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// BenchRow converts one table cell into the versioned bench-snapshot schema
+// (obs.BenchSnapshot / BENCH_<family>_<date>.json). The conversion lives
+// here so obs stays a stdlib-only leaf.
+func (r *RunResult) BenchRow() obs.BenchRow {
+	row := obs.BenchRow{
+		Instance:   r.Instance,
+		Family:     string(r.Family),
+		Solver:     string(r.Solver),
+		Solved:     r.Solved,
+		WallMs:     ms(r.Duration),
+		Err:        r.Err,
+		Conflicts:  r.Conflicts,
+		Decisions:  r.Decisions,
+		BoundCalls: r.BoundCalls(),
+		BoundMs:    ms(r.BoundTime()),
+		LPWarm:     r.Bounds.WarmSolves,
+		LPCold:     r.Bounds.ColdSolves,
+		Members:    r.Members,
+		ShPub:      r.ShClausesPub,
+		ShImp:      r.ShClausesImp,
+		ShPrunes:   r.ShForeignPrunes,
+	}
+	if r.HasUB {
+		b := r.Best
+		row.Best = &b
+	}
+	return row
+}
+
+// BenchSnapshot folds a matrix run into one versioned snapshot document:
+// the families and wall-clock limit that produced it, plus one BenchRow per
+// (instance, solver) cell in run order. meta carries free-form run labels
+// (scale, host, flags); limit is the per-cell wall-clock budget.
+func BenchSnapshot(results []RunResult, families []Family, limit time.Duration, meta map[string]string) *obs.BenchSnapshot {
+	fams := make([]string, len(families))
+	for i, f := range families {
+		fams[i] = string(f)
+	}
+	snap := obs.NewBenchSnapshot(fams, ms(limit))
+	snap.Meta = meta
+	snap.Rows = make([]obs.BenchRow, len(results))
+	for i := range results {
+		snap.Rows[i] = results[i].BenchRow()
+	}
+	return snap
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}

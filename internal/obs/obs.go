@@ -1,0 +1,22 @@
+// Package obs is the observability layer of the reproduction: a structured,
+// ring-buffered search-event tracer, a unified metrics snapshot schema that
+// merges the solver's scattered counter blocks (core.Stats, bounds.Stats,
+// SharingStats, the board's global counters) into one versioned JSON
+// document, and a live introspection registry that serves that document —
+// plus net/http/pprof — over an opt-in loopback HTTP endpoint while a solve
+// is still running.
+//
+// Design constraints (DESIGN.md §11):
+//
+//   - Zero cost when disabled. Every producer-side handle (*Tracer, *Live)
+//     is nil-safe: a disabled run carries nil pointers and the hot path pays
+//     exactly one nil check — no allocation, no atomic, no lock.
+//   - Lock-cheap when enabled. The tracer appends fixed-size Event values
+//     into a preallocated ring under a short mutex; no per-event allocation.
+//     Live metrics are published as immutable snapshot values behind an
+//     atomic pointer, so concurrent scrapers can never observe a torn or
+//     half-updated counter block.
+//   - One-way imports. obs depends only on the standard library; the solver
+//     packages (core, portfolio, harness) import obs and convert their
+//     native stats into the schema structs defined here.
+package obs

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sampleSolverMetrics(name string) SolverMetrics {
+	best := int64(42)
+	return SolverMetrics{
+		Name:           name,
+		Status:         "optimal",
+		Best:           &best,
+		Decisions:      100,
+		Conflicts:      40,
+		BoundConflicts: 12,
+		BoundCalls:     50,
+		BoundPrunes:    11,
+		Solutions:      3,
+		Restarts:       2,
+		Propagations:   9000,
+		LearnedClauses: 38,
+		BoundTimeouts:  1,
+		Bounds: BoundsMetrics{
+			Incremental: true,
+			Reduces:     50,
+			ReduceMs:    1.25,
+			WarmSolves:  30,
+			ColdSolves:  20,
+			Per: map[string]ProcMetrics{
+				"lpr": {Calls: 45, TimeMs: 12.5, BoundSum: 900, MaxBound: 40, Prunes: 10},
+				"mis": {Calls: 5, TimeMs: 0.5, BoundSum: 20, MaxBound: 8, Prunes: 1},
+			},
+		},
+		Sharing: &SharingMetrics{
+			IncumbentsPublished: 3,
+			IncumbentsWon:       2,
+			ClausesPublished:    17,
+			ClausesImported:     9,
+		},
+	}
+}
+
+// TestSnapshotSchemaRoundTrip is the snapshot-schema round-trip test: a
+// fully populated Snapshot must survive JSON encode/decode bit-identically
+// (the schema uses only exactly-representable field types: int64 counters,
+// float64 milliseconds, strings).
+func TestSnapshotSchemaRoundTrip(t *testing.T) {
+	board := BoardMetrics{
+		Members:          4,
+		ClausesPublished: 17,
+		ClausesDuplicate: 2,
+		Incumbents:       5,
+		HasIncumbent:     true,
+		BestCost:         42,
+		BestOwner:        "lpr",
+	}
+	snap := Snapshot{
+		Schema:      SchemaVersion,
+		TakenUnixMs: 1754_000_000_000,
+		UptimeMs:    1234.5,
+		Meta:        map[string]string{"instance": "synth-30-1", "mode": "portfolio"},
+		Solvers:     []SolverMetrics{sampleSolverMetrics("lpr"), sampleSolverMetrics("mis")},
+		Board:       &board,
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("snapshot did not round-trip:\n got %+v\nwant %+v", back, snap)
+	}
+	if back.Schema != SchemaVersion {
+		t.Fatalf("schema=%q want %q", back.Schema, SchemaVersion)
+	}
+}
+
+func TestLiveNilSafeAndTearFree(t *testing.T) {
+	var l *Live
+	l.Publish(sampleSolverMetrics("x")) // must not panic
+	if _, ok := l.Load(); ok {
+		t.Fatal("nil Live loaded a value")
+	}
+
+	live := &Live{}
+	if _, ok := live.Load(); ok {
+		t.Fatal("empty Live loaded a value")
+	}
+	// Concurrent publishers and readers: every load must observe a
+	// consistent pair (Decisions == Conflicts by construction) — the
+	// atomic-pointer publish makes torn reads impossible.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			live.Publish(SolverMetrics{Decisions: i, Conflicts: i})
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		if m, ok := live.Load(); ok && m.Decisions != m.Conflicts {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("torn read: decisions=%d conflicts=%d", m.Decisions, m.Conflicts)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRegistrySnapshotAndEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetMeta("instance", "unit-test")
+	liveA, liveB := &Live{}, &Live{}
+	reg.RegisterSolver("lpr", liveA)
+	reg.RegisterSolver("mis", liveB)
+	reg.RegisterBoard(func() BoardMetrics { return BoardMetrics{Members: 2, Incumbents: 1} })
+	liveA.Publish(sampleSolverMetrics("ignored")) // registry stamps the registered name
+
+	snap := reg.Snapshot()
+	if snap.Schema != SchemaVersion {
+		t.Fatalf("schema=%q", snap.Schema)
+	}
+	if len(snap.Solvers) != 2 || snap.Solvers[0].Name != "lpr" || snap.Solvers[1].Name != "mis" {
+		t.Fatalf("solver roster wrong: %+v", snap.Solvers)
+	}
+	if snap.Solvers[0].Decisions != 100 {
+		t.Fatalf("published metrics lost: %+v", snap.Solvers[0])
+	}
+	if snap.Solvers[1].Decisions != 0 {
+		t.Fatal("unpublished member should be zero-valued")
+	}
+	if snap.Board == nil || snap.Board.Members != 2 {
+		t.Fatalf("board block wrong: %+v", snap.Board)
+	}
+
+	// HTTP endpoint: /metrics serves the same document; pprof index mounts.
+	addr, shutdown, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("endpoint served invalid JSON: %v\n%s", err, body)
+	}
+	if got.Schema != SchemaVersion || len(got.Solvers) != 2 {
+		t.Fatalf("endpoint snapshot wrong: %+v", got)
+	}
+	if got.Meta["instance"] != "unit-test" {
+		t.Fatalf("meta lost: %+v", got.Meta)
+	}
+	pp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppBody, _ := io.ReadAll(pp.Body)
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK || !strings.Contains(string(ppBody), "goroutine") {
+		t.Fatalf("pprof index not served: status=%d", pp.StatusCode)
+	}
+}
+
+func TestServeDefaultsToLoopback(t *testing.T) {
+	addr, shutdown, err := Serve(":0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	if !strings.HasPrefix(addr, "127.0.0.1:") {
+		t.Fatalf("host-less addr must bind loopback, got %s", addr)
+	}
+}

@@ -1,0 +1,35 @@
+package portfolio
+
+import (
+	"repro/internal/obs"
+	"repro/internal/share"
+)
+
+// BoardMetrics converts the board's global counters into the unified
+// snapshot schema. The conversion lives here (not in share) to keep obs a
+// stdlib-only leaf and share free of observability concerns.
+func BoardMetrics(st share.Stats) obs.BoardMetrics {
+	return obs.BoardMetrics{
+		Members:          st.Members,
+		ClausesPublished: st.ClausesPublished,
+		ClausesTooLong:   st.ClausesTooLong,
+		ClausesHighLBD:   st.ClausesHighLBD,
+		ClausesDuplicate: st.ClausesDuplicate,
+		ClausesLapped:    st.ClausesLapped,
+		Incumbents:       st.Incumbents,
+		HasIncumbent:     st.HasIncumbent,
+		BestCost:         st.BestCost,
+		BestOwner:        st.BestOwner,
+	}
+}
+
+// Metrics converts the portfolio outcome into the per-member metrics blocks
+// of the unified schema (terminal counters, one entry per member in config
+// order), for end-of-run snapshot writers that ran without a live registry.
+func (r *Result) Metrics() []obs.SolverMetrics {
+	out := make([]obs.SolverMetrics, len(r.Members))
+	for i, m := range r.Members {
+		out[i] = m.Result.Metrics(m.Name)
+	}
+	return out
+}

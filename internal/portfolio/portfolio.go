@@ -34,6 +34,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/pb"
 	"repro/internal/share"
 )
@@ -96,6 +97,15 @@ type Options struct {
 	// incumbents against the original problem into this (internally locked)
 	// auditor. Expensive; meant for the differential fuzzer and debugging.
 	Audit *audit.Auditor
+	// Trace, when non-nil, records structured search events from every
+	// member into the shared ring, each stamped with the member's name
+	// (obs.Tracer.Named). Nil keeps the members' hot paths trace-free.
+	Trace *obs.Tracer
+	// Registry, when non-nil, receives one live metrics source per member
+	// (registered under the member name, in config order) plus the board's
+	// snapshot function, so a concurrent scraper (`bsolo -debug-addr`) sees
+	// the full roster and tear-free per-member counters mid-race.
+	Registry *obs.Registry
 }
 
 // MemberResult is one member's outcome, reported in config order.
@@ -191,6 +201,23 @@ func SolveOpts(p *pb.Problem, configs []Config, opts Options) Result {
 		}
 	}
 
+	// Observability wiring: one live metrics source per member (registered
+	// up front so scrapers see the full roster before any member publishes),
+	// the board's snapshot function, and a name-stamped tracer handle each.
+	var lives []*obs.Live
+	if opts.Registry != nil {
+		lives = make([]*obs.Live, len(configs))
+		for i, cfg := range configs {
+			lives[i] = &obs.Live{}
+			opts.Registry.RegisterSolver(cfg.name(), lives[i])
+		}
+		if board != nil {
+			opts.Registry.RegisterBoard(func() obs.BoardMetrics {
+				return BoardMetrics(board.Snapshot())
+			})
+		}
+	}
+
 	cancel := make(chan struct{})
 	var cancelOnce sync.Once
 	closeCancel := func() { cancelOnce.Do(func() { close(cancel) }) }
@@ -233,7 +260,12 @@ func SolveOpts(p *pb.Problem, configs []Config, opts Options) Result {
 				if handles != nil {
 					m = handles[i]
 				}
-				results <- outcome{i, cfg.name(), runMember(p, cfg, cancel, m, opts.Audit)}
+				var live *obs.Live
+				if lives != nil {
+					live = lives[i]
+				}
+				results <- outcome{i, cfg.name(), runMember(p, cfg, cancel, m, opts.Audit,
+					opts.Trace.Named(cfg.name()), live)}
 			}
 		}()
 	}
@@ -294,7 +326,7 @@ func SolveOpts(p *pb.Problem, configs []Config, opts Options) Result {
 // runMember executes one configuration behind a panic barrier, so a member
 // crash (including one injected at the "portfolio.worker" fault point,
 // keyed by member name) becomes a StatusError outcome.
-func runMember(p *pb.Problem, cfg Config, cancel <-chan struct{}, m *share.Member, aud *audit.Auditor) (res core.Result) {
+func runMember(p *pb.Problem, cfg Config, cancel <-chan struct{}, m *share.Member, aud *audit.Auditor, trace *obs.Tracer, live *obs.Live) (res core.Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = core.Result{
@@ -312,6 +344,8 @@ func runMember(p *pb.Problem, cfg Config, cancel <-chan struct{}, m *share.Membe
 	if aud != nil {
 		opt.Audit = aud
 	}
+	opt.Trace = trace
+	opt.Live = live
 	return core.Solve(p, opt)
 }
 
