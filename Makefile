@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-bounds bench-portfolio bench-snapshot table examples clean ci vet
+.PHONY: all build test race fuzz bench bench-bounds bench-portfolio bench-snapshot bench-baseline bench-compare load-smoke table examples clean ci vet
 
 all: build test
 
@@ -13,15 +13,25 @@ vet:
 # the concurrency-sensitive packages (engine interrupt hook, solver
 # cancellation, portfolio racing + clause sharing, fault injection, the
 # incremental Reducer's watcher protocol, the warm-start LP state, the
-# live metrics registry), then a single-iteration smoke pass over the
-# bound-pipeline and portfolio-sharing benchmarks and a small bench
-# snapshot.
+# live metrics registry, the bsolvd serving envelope), the daemon's
+# chaos/load smoke, the bench-regression gate against the committed
+# baseline, then a single-iteration smoke pass over the bound-pipeline
+# and portfolio-sharing benchmarks and a small bench snapshot.
 ci: vet build test
-	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/share ./internal/fault ./internal/bounds ./internal/lp ./internal/fuzz ./internal/obs
+	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/share ./internal/fault ./internal/bounds ./internal/lp ./internal/fuzz ./internal/obs ./internal/serve
+	$(MAKE) load-smoke
+	$(MAKE) bench-compare
 	$(MAKE) bench-bounds BENCHTIME=1x
 	$(MAKE) bench-portfolio BENCHTIME=1x
 	$(MAKE) bench-snapshot BENCH_FAMILY=synth BENCH_N=2 BENCH_TIME=3s
 	$(MAKE) fuzz FUZZTIME=10s PBFUZZ_N=500
+
+# bsolvd load/chaos smoke under the race detector: 50 concurrent solves with
+# injected panics and a mid-run SIGTERM (zero lost jobs, clean drain), plus
+# the full chaos acceptance test (saturated-queue shedding, watchdog rescue,
+# audited-correct answers only).
+load-smoke:
+	$(GO) test -race -count=1 -run 'TestServeLoadSmoke|TestChaosAcceptance' ./internal/serve
 
 build:
 	$(GO) build ./...
@@ -77,6 +87,21 @@ BENCH_SOLVERS ?= plain,mis,lgr,lpr
 BENCH_OUT ?= auto
 bench-snapshot:
 	$(GO) run ./cmd/pbbench -family $(BENCH_FAMILY) -n $(BENCH_N) -time $(BENCH_TIME) -solvers $(BENCH_SOLVERS) -snapshot $(BENCH_OUT)
+
+# The committed perf baseline (BENCH_synth_baseline.json) and the CI gate
+# against it. The baseline uses the deterministic-verdict solver columns only
+# (plain rarely finishes within the smoke budget, so its incumbent is noise);
+# the generous tolerance plus CompareBench's 50ms floor absorbs CI jitter
+# while still catching lost solves and real slowdowns. Regenerate with
+# `make bench-baseline` ONLY alongside a change that intentionally moves perf,
+# and say so in the commit.
+BASELINE := BENCH_synth_baseline.json
+BASELINE_TOL ?= 4
+bench-baseline:
+	$(GO) run ./cmd/pbbench -family synth -n 2 -time 3s -solvers mis,lgr,lpr -snapshot $(BASELINE)
+
+bench-compare:
+	$(GO) run ./cmd/pbbench -family synth -n 2 -time 3s -solvers mis,lgr,lpr -compare $(BASELINE) -compare-tol $(BASELINE_TOL)
 
 # Regenerate the paper's Table 1 at reproduction scale (minutes).
 table:

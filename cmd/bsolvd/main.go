@@ -1,0 +1,203 @@
+// Command bsolvd is the PBO solver daemon: it serves the branch-and-bound
+// solver over HTTP/JSON inside the internal/serve robustness envelope —
+// admission control with load shedding, per-tenant quotas, deadline
+// propagation, per-job panic isolation, watchdog demotion of stuck solves,
+// a verified solve-session cache, and graceful SIGTERM drain.
+//
+// Serve mode (default):
+//
+//	bsolvd -addr :8080 -workers 4 -queue 64
+//
+// then:
+//
+//	curl -s -XPOST --data-binary @instance.opb localhost:8080/solve
+//	curl -s localhost:8080/jobs/j000001/result?wait_ms=5000
+//
+// Self-load mode (-loadtest N) runs the in-process load harness instead of
+// listening: N concurrent small solves against a private Server, reporting
+// the latency distribution and outcome histogram, optionally as a
+// repro.bench/v1 snapshot (-bench-out).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "API listen address (host-less addresses bind loopback)")
+		queueCap    = flag.Int("queue", 64, "admission queue capacity (full queue sheds 429)")
+		workers     = flag.Int("workers", 0, "solver worker pool size (0 = GOMAXPROCS)")
+		tenantMax   = flag.Int("tenant-max", 16, "per-tenant active-job quota (<0 = unlimited)")
+		deadline    = flag.Duration("deadline", 10*time.Second, "default per-job wall-clock budget")
+		maxDeadline = flag.Duration("max-deadline", 60*time.Second, "cap on client-requested budgets")
+		stall       = flag.Duration("stall", 2*time.Second, "watchdog no-progress threshold")
+		stallGrace  = flag.Duration("stall-grace", 0, "post-cancel grace before demoting a stuck solve (0 = stall/2)")
+		drainBudget = flag.Duration("drain", 15*time.Second, "SIGTERM graceful-drain budget")
+		cacheCap    = flag.Int("cache", 256, "solve-session cache entries (<0 disables)")
+		auditJobs   = flag.Bool("audit", false, "attach the invariant auditor to every job (slow; debugging)")
+		traceCap    = flag.Int("trace-cap", 0, "structured trace ring capacity (0 = off)")
+		metricsOut  = flag.String("metrics", "", "write the final unified metrics snapshot JSON here at drain")
+		faults      = flag.String("faults", "", "fault-injection plan (see internal/fault; testing only)")
+
+		loadJobs = flag.Int("loadtest", 0, "self-load mode: run N in-process jobs instead of serving")
+		loadConc = flag.Int("load-conc", 16, "self-load client concurrency")
+		benchOut = flag.String("bench-out", "", "self-load: write the repro.bench/v1 snapshot here")
+	)
+	flag.Parse()
+
+	if *faults != "" {
+		if err := armFaultPlan(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, "bsolvd:", err)
+			os.Exit(2)
+		}
+		defer fault.Reset()
+	}
+
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *traceCap > 0 {
+		tracer = obs.NewTracer(*traceCap)
+	}
+	cfg := serve.Config{
+		QueueCap:        *queueCap,
+		Workers:         *workers,
+		TenantMax:       *tenantMax,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		StallTimeout:    *stall,
+		StallGrace:      *stallGrace,
+		CacheCap:        *cacheCap,
+		Audit:           *auditJobs,
+		Registry:        reg,
+		Trace:           tracer,
+	}
+
+	if *loadJobs > 0 {
+		os.Exit(runLoadtest(cfg, *loadJobs, *loadConc, *benchOut))
+	}
+
+	srv := serve.New(cfg)
+	bound, stop, err := obs.ServeHandler(*addr, srv.Handler())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsolvd:", err)
+		os.Exit(1)
+	}
+	eff := srv.Config()
+	fmt.Printf("bsolvd: serving on http://%s (workers=%d queue=%d)\n", bound, eff.Workers, eff.QueueCap)
+
+	// SIGTERM/SIGINT → graceful drain: stop admitting, finish in-flight
+	// within the budget, force-resolve stragglers, flush metrics.
+	rep := <-srv.DrainOnSignal(*drainBudget)
+	// The listener drains after the jobs so late status polls still land.
+	lctx, lcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	_ = stop(lctx)
+	lcancel()
+
+	if *metricsOut != "" && rep.MetricsFlushed {
+		if err := writeSnapshot(*metricsOut, rep.FinalSnapshot); err != nil {
+			fmt.Fprintln(os.Stderr, "bsolvd: metrics flush:", err)
+		}
+	}
+	fmt.Printf("bsolvd: drained: resolved=%d forced=%d clean=%v\n", rep.Resolved, rep.Forced, rep.Clean)
+	if !rep.Clean {
+		os.Exit(1)
+	}
+}
+
+func runLoadtest(cfg serve.Config, jobs, conc int, benchOut string) int {
+	srv := serve.New(cfg)
+	rep := serve.RunLoad(srv, serve.LoadConfig{Jobs: jobs, Concurrency: conc})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	drain := srv.Drain(ctx)
+	cancel()
+	fmt.Println(rep.String())
+	fmt.Printf("drain: resolved=%d forced=%d clean=%v\n", drain.Resolved, drain.Forced, drain.Clean)
+	if benchOut != "" {
+		if err := rep.BenchSnapshot("lpr").WriteFile(benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bsolvd: bench snapshot:", err)
+			return 1
+		}
+		fmt.Println("bench snapshot:", benchOut)
+	}
+	if rep.Unresolved > 0 || !drain.Clean {
+		return 1
+	}
+	return 0
+}
+
+// armFaultPlan parses the -faults flag: comma-separated clauses of the form
+//
+//	point=kind[/every=N][/prob=P][/delay=DUR][/match=KEY]
+//
+// e.g. "serve.job=panic/every=7,mis.estimate=delay/delay=5s/match=t1".
+func armFaultPlan(plan string) error {
+	for _, clause := range strings.Split(plan, ",") {
+		name, rest, ok := strings.Cut(strings.TrimSpace(clause), "=")
+		if !ok || name == "" {
+			return fmt.Errorf("bad fault clause %q (want point=kind/...)", clause)
+		}
+		parts := strings.Split(rest, "/")
+		var spec fault.Spec
+		switch parts[0] {
+		case "panic":
+			spec.Kind = fault.KindPanic
+		case "delay":
+			spec.Kind = fault.KindDelay
+		case "corrupt":
+			spec.Kind = fault.KindCorrupt
+		default:
+			return fmt.Errorf("bad fault kind %q in %q (want panic|delay|corrupt)", parts[0], clause)
+		}
+		for _, opt := range parts[1:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return fmt.Errorf("bad fault option %q in %q", opt, clause)
+			}
+			var err error
+			switch k {
+			case "every":
+				spec.Every, err = strconv.Atoi(v)
+			case "prob":
+				spec.Prob, err = strconv.ParseFloat(v, 64)
+			case "delay":
+				spec.Delay, err = time.ParseDuration(v)
+			case "match":
+				spec.Match = v
+			case "value":
+				spec.Value, err = strconv.ParseFloat(v, 64)
+			case "seed":
+				spec.Seed, err = strconv.ParseInt(v, 10, 64)
+			default:
+				err = fmt.Errorf("unknown option %q", k)
+			}
+			if err != nil {
+				return fmt.Errorf("bad fault option %q in %q: %v", opt, clause, err)
+			}
+		}
+		if spec.Every == 0 && spec.Prob == 0 {
+			spec.Every = 1
+		}
+		fault.Arm(name, spec)
+	}
+	return nil
+}
+
+func writeSnapshot(path string, snap obs.Snapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -168,6 +168,18 @@ type Options struct {
 	// (see bounds.LPRState), only node cost.
 	NoWarmLP bool
 
+	// LPRState, when non-nil, supplies a persistent LP warm-start state that
+	// outlives this solve: the serving layer's solve-session cache hands the
+	// previous submission's state back in, so an incremental re-solve of the
+	// same (or a near-identical) problem starts from the cached basis instead
+	// of the slack crash. Purely an accelerator — lp.SolveWarm maps the basis
+	// under search-stable keys and falls back to a cold solve whenever the
+	// mapping is poor or numerically suspect, so a stale or corrupted cached
+	// basis costs one cold solve, never a wrong bound. Ignored unless
+	// LowerBound is LBLPR and NoWarmLP is false. Not safe for concurrent use:
+	// the caller must hand one state to at most one running solve at a time.
+	LPRState *bounds.LPRState
+
 	// Share, when non-nil, connects this solve to a cooperative-portfolio
 	// board (see Sharer): incumbents are published and adopted, learned
 	// clauses exchanged, and bound estimations interrupted by foreign upper
@@ -339,8 +351,14 @@ type solver struct {
 	// with Options.NoIncrementalReduce or LBNone: Extract per node instead).
 	reducer *bounds.Reducer
 	// lprState carries the LP warm-start basis between LPR calls (nil
-	// unless LowerBound is LBLPR and warm starts are enabled).
+	// unless LowerBound is LBLPR and warm starts are enabled). The lpr*0
+	// baselines subtract counter history carried in by an injected
+	// persistent state (Options.LPRState), so Stats reports this solve's
+	// own warm/cold/fallback counts.
 	lprState *bounds.LPRState
+	lprWarm0 int64
+	lprCold0 int64
+	lprFB0   int64
 	// bstats aggregates the bound pipeline's observability (surfaced as
 	// Stats.Bounds). lastEst names the estimator whose result the last
 	// estimate() call returned, for per-estimator prune attribution.
@@ -441,7 +459,16 @@ func Solve(p *pb.Problem, opt Options) Result {
 		s.fallback = bounds.MIS{}
 	case LBLPR:
 		if !opt.NoWarmLP {
-			s.lprState = &bounds.LPRState{}
+			if opt.LPRState != nil {
+				s.lprState = opt.LPRState
+			} else {
+				s.lprState = &bounds.LPRState{}
+			}
+		}
+		if s.lprState != nil {
+			s.lprWarm0 = s.lprState.WarmSolves()
+			s.lprCold0 = s.lprState.ColdSolves()
+			s.lprFB0 = s.lprState.WarmFallbacks()
 		}
 		s.est = bounds.LPR{AlphaFilter: opt.LPRAlphaFilter, ZeroSlackExplanations: opt.LPRZeroSlack,
 			State: s.lprState}
@@ -503,9 +530,9 @@ func (s *solver) snapshotStats() Stats {
 	st := s.stats
 	bs := s.bstats.Clone()
 	if s.lprState != nil {
-		bs.WarmSolves = s.lprState.WarmSolves()
-		bs.ColdSolves = s.lprState.ColdSolves()
-		bs.WarmFallbacks = s.lprState.WarmFallbacks()
+		bs.WarmSolves = s.lprState.WarmSolves() - s.lprWarm0
+		bs.ColdSolves = s.lprState.ColdSolves() - s.lprCold0
+		bs.WarmFallbacks = s.lprState.WarmFallbacks() - s.lprFB0
 	}
 	st.Bounds = bs
 	es := s.eng.Stats
@@ -787,9 +814,9 @@ func (s *solver) estimateInner(red *bounds.Reduced, target int64) bounds.Result 
 		s.stats.BoundDemotions++
 		if s.lprState != nil {
 			s.lprState.Invalidate()
-			s.bstats.WarmSolves = s.lprState.WarmSolves()
-			s.bstats.ColdSolves = s.lprState.ColdSolves()
-			s.bstats.WarmFallbacks = s.lprState.WarmFallbacks()
+			s.bstats.WarmSolves = s.lprState.WarmSolves() - s.lprWarm0
+			s.bstats.ColdSolves = s.lprState.ColdSolves() - s.lprCold0
+			s.bstats.WarmFallbacks = s.lprState.WarmFallbacks() - s.lprFB0
 			s.lprState = nil
 		}
 	}

@@ -106,6 +106,16 @@ type Options struct {
 	// snapshot function, so a concurrent scraper (`bsolo -debug-addr`) sees
 	// the full roster and tear-free per-member counters mid-race.
 	Registry *obs.Registry
+	// WarmIncumbent, when non-nil, seeds the board with a known-feasible
+	// solution before any member starts — the serving layer's solve-session
+	// cache hands back the previous submission's incumbent so every member
+	// begins with its upper bound (and the eq. 10 cut it implies) instead of
+	// rediscovering it. The assignment is verified against p and its cost
+	// recomputed from the values before publication; an infeasible or
+	// wrong-length seed (a corrupted cache entry) is silently dropped and the
+	// race starts cold — seeding can degrade to nothing but never poison the
+	// board. Ignored with NoSharing (there is no board to seed).
+	WarmIncumbent []bool
 }
 
 // MemberResult is one member's outcome, reported in config order.
@@ -199,6 +209,7 @@ func SolveOpts(p *pb.Problem, configs []Config, opts Options) Result {
 		for i, cfg := range configs {
 			handles[i] = board.Join(cfg.name())
 		}
+		SeedIncumbent(board, p, opts.WarmIncumbent)
 	}
 
 	// Observability wiring: one live metrics source per member (registered
@@ -323,6 +334,24 @@ func SolveOpts(p *pb.Problem, configs []Config, opts Options) Result {
 	return finalize(Result{Result: core.Result{Status: core.StatusLimit}})
 }
 
+// SeedIncumbent publishes a cached incumbent to the board under a "warm"
+// member identity. Defensive by construction: the assignment must have the
+// right length and satisfy every constraint, and the published cost is
+// recomputed from the values (internal space, excluding CostOffset) — a
+// corrupted cache entry fails verification and the board stays empty.
+func SeedIncumbent(board *share.Board, p *pb.Problem, values []bool) bool {
+	if board == nil || values == nil || len(values) != p.NumVars || !p.Feasible(values) {
+		return false
+	}
+	var cost int64
+	for v, c := range p.Cost {
+		if c != 0 && values[v] {
+			cost += c
+		}
+	}
+	return board.Join("warm").PublishIncumbent(cost, values)
+}
+
 // runMember executes one configuration behind a panic barrier, so a member
 // crash (including one injected at the "portfolio.worker" fault point,
 // keyed by member name) becomes a StatusError outcome.
@@ -345,7 +374,12 @@ func runMember(p *pb.Problem, cfg Config, cancel <-chan struct{}, m *share.Membe
 		opt.Audit = aud
 	}
 	opt.Trace = trace
-	opt.Live = live
+	if live != nil {
+		// The registry-managed source wins; otherwise a Live handle set on
+		// the member's own Options (the serving layer's per-job watchdog
+		// heartbeat) is left in place instead of being clobbered with nil.
+		opt.Live = live
+	}
 	return core.Solve(p, opt)
 }
 

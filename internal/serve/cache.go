@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/pb"
+)
+
+// ProblemKey fingerprints a problem's mathematical content — variable count,
+// costs, offset, and every normalized constraint — so syntactic noise in the
+// submitted OPB text (whitespace, comments, variable names) maps to the same
+// session. Used as the solve-session cache key.
+func ProblemKey(p *pb.Problem) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v int64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	w(int64(p.NumVars))
+	w(p.CostOffset)
+	for _, c := range p.Cost {
+		w(c)
+	}
+	for _, c := range p.Constraints {
+		w(c.Degree)
+		w(int64(len(c.Terms)))
+		for _, t := range c.Terms {
+			w(t.Coef)
+			w(int64(t.Lit))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// sessionEntry is one cached solve session: the best known feasible
+// assignment and the persistent LP warm-start state of the last solve.
+// Ownership discipline: at most one running job holds an entry (inUse);
+// concurrent submissions of the same problem run cold rather than sharing
+// mutable warm state.
+type sessionEntry struct {
+	key      string
+	inUse    bool
+	values   []bool
+	cost     int64 // internal cost (excluding CostOffset), informational
+	lpr      *bounds.LPRState
+	hits     int64
+	lastUsed time.Time
+}
+
+// session is a caller's lease on an entry. Exactly one of release/discard
+// must be called when the job finishes (discard when the solve was abandoned
+// to a runaway goroutine that may still touch the warm state).
+type session struct {
+	c     *sessionCache
+	entry *sessionEntry
+	// warm is the seedable incumbent (nil when the entry held none).
+	warm []bool
+	lpr  *bounds.LPRState
+}
+
+type sessionCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*sessionEntry
+}
+
+func newSessionCache(capacity int) *sessionCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &sessionCache{cap: capacity, entries: make(map[string]*sessionEntry)}
+}
+
+// acquire leases the session for key, creating it on first sight. hit
+// reports whether previous-session state (incumbent or warm basis) was
+// available. Returns nil when the cache is disabled or the entry is leased
+// to a concurrently running job (the caller solves cold).
+func (c *sessionCache) acquire(key string) (s *session, hit bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		if len(c.entries) >= c.cap {
+			c.evictLocked()
+		}
+		e = &sessionEntry{key: key}
+		c.entries[key] = e
+	}
+	if e.inUse {
+		return nil, false
+	}
+	e.inUse = true
+	e.hits++
+	e.lastUsed = time.Now()
+	s = &session{c: c, entry: e, warm: e.values, lpr: e.lpr}
+	return s, e.values != nil || e.lpr != nil
+}
+
+// evictLocked drops the least-recently-used idle entry.
+func (c *sessionCache) evictLocked() {
+	var victim *sessionEntry
+	for _, e := range c.entries {
+		if e.inUse {
+			continue
+		}
+		if victim == nil || e.lastUsed.Before(victim.lastUsed) {
+			victim = e
+		}
+	}
+	if victim != nil {
+		delete(c.entries, victim.key)
+	}
+}
+
+// release returns the lease, storing the finished solve's state: values
+// (when a feasible solution is known) and the LP warm-start state used by
+// the solve. Passing values=nil keeps the previous incumbent.
+func (s *session) release(values []bool, cost int64, lpr *bounds.LPRState) {
+	if s == nil {
+		return
+	}
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	e := s.entry
+	e.inUse = false
+	e.lastUsed = time.Now()
+	if values != nil {
+		e.values = append([]bool(nil), values...)
+		e.cost = cost
+	}
+	if lpr != nil {
+		e.lpr = lpr
+	}
+}
+
+// discard drops the entry entirely: the job that held the lease was
+// abandoned (watchdog demotion or forced drain) and its runaway goroutine
+// may still be mutating the warm state, so nothing in it can ever be reused.
+func (s *session) discard() {
+	if s == nil {
+		return
+	}
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	delete(s.c.entries, s.entry.key)
+}
+
+// invalidate clears the entry's stored state but keeps the (leased) entry:
+// the corruption-safe path when a cached incumbent fails re-verification.
+func (s *session) invalidate() {
+	if s == nil {
+		return
+	}
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	s.entry.values = nil
+	s.entry.cost = 0
+	s.entry.lpr = nil
+	s.warm = nil
+	s.lpr = nil
+}
+
+// len reports the number of cached sessions (stats endpoint).
+func (c *sessionCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/opb"
+)
+
+// SubmitRequest is the JSON submission envelope for POST /solve. The same
+// endpoint also accepts a raw OPB body (any non-JSON content type) with the
+// envelope fields supplied as query parameters / the X-Tenant header.
+type SubmitRequest struct {
+	// OPB is the instance text in OPB syntax.
+	OPB string `json:"opb"`
+	// Solver selects the engine: plain|mis|lgr|lpr|portfolio (default lpr).
+	Solver string `json:"solver,omitempty"`
+	// Tenant is the quota bucket (default "anon").
+	Tenant string `json:"tenant,omitempty"`
+	// TimeoutMs is the requested wall-clock budget (clamped server-side).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// WaitMs long-polls the submission: the response is delayed until the
+	// job finishes or WaitMs elapses, whichever is first.
+	WaitMs int64 `json:"wait_ms,omitempty"`
+}
+
+type errorBody struct {
+	Error       string `json:"error"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /solve              submit (JSON envelope or raw OPB body)
+//	GET  /jobs/{id}          status snapshot
+//	GET  /jobs/{id}/result   final result (long-poll via ?wait_ms=N)
+//	POST /jobs/{id}/cancel   request cancellation
+//	GET  /jobs/{id}/events   NDJSON stream of incumbent improvements
+//	GET  /healthz            liveness ("ok" / "draining")
+//	GET  /stats              serve-level counters
+//	GET  /metrics            unified metrics snapshot (Registry configured)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/stats", s.handleStats)
+	if s.cfg.Registry != nil {
+		debug := s.cfg.Registry.Handler()
+		mux.Handle("/metrics", debug)
+		mux.Handle("/debug/pprof/", debug)
+	}
+	return mux
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req := SubmitRequest{
+		Solver: r.URL.Query().Get("solver"),
+		Tenant: r.Header.Get("X-Tenant"),
+	}
+	if q := r.URL.Query().Get("tenant"); q != "" {
+		req.Tenant = q
+	}
+	req.TimeoutMs = queryInt(r, "timeout_ms")
+	req.WaitMs = queryInt(r, "wait_ms")
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			s.ctr.badRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON envelope: " + firstLine(err.Error())})
+			return
+		}
+	} else {
+		raw, err := io.ReadAll(body)
+		if err != nil {
+			s.ctr.badRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading body: " + firstLine(err.Error())})
+			return
+		}
+		req.OPB = string(raw)
+	}
+	prob, err := opb.ParseString(req.OPB)
+	if err != nil {
+		s.ctr.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad OPB: " + firstLine(err.Error())})
+		return
+	}
+	j, aerr := s.Submit(prob, SubmitOptions{
+		Tenant:  req.Tenant,
+		Solver:  req.Solver,
+		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+	})
+	if aerr != nil {
+		if aerr.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(aerr.RetryAfter))
+		}
+		writeJSON(w, aerr.Code, errorBody{Error: aerr.Reason, RetryAfterS: aerr.RetryAfter})
+		return
+	}
+	if req.WaitMs > 0 {
+		waitDone(j, time.Duration(req.WaitMs)*time.Millisecond, r.Context().Done())
+	}
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, action, _ := strings.Cut(rest, "/")
+	j, ok := s.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	switch action {
+	case "":
+		writeJSON(w, http.StatusOK, j.view())
+	case "cancel":
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+			return
+		}
+		s.Cancel(id)
+		writeJSON(w, http.StatusOK, j.view())
+	case "result":
+		wait := 30 * time.Second
+		if ms := queryInt(r, "wait_ms"); ms > 0 {
+			wait = time.Duration(ms) * time.Millisecond
+		}
+		waitDone(j, wait, r.Context().Done())
+		v := j.view()
+		if !v.Status.Terminal() {
+			// Long-poll budget spent before the job resolved: not an error,
+			// just not done yet.
+			writeJSON(w, http.StatusAccepted, v)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	case "events":
+		s.streamEvents(w, r, j)
+	default:
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown action " + action})
+	}
+}
+
+// streamEvents writes an NDJSON stream: one line per incumbent improvement
+// ({"at_ms":…,"best":…}) as they happen, then a final line with the full
+// terminal JobView. The stream ends when the job turns terminal or the
+// client disconnects.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	emit := func() bool {
+		j.mu.Lock()
+		pendingEvents := append([]IncumbentEvent(nil), j.incumbents[sent:]...)
+		j.mu.Unlock()
+		for _, ev := range pendingEvents {
+			if err := enc.Encode(ev); err != nil {
+				return false
+			}
+			sent++
+		}
+		if len(pendingEvents) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if !emit() {
+			return
+		}
+		select {
+		case <-j.done:
+			emit()
+			final := struct {
+				Final JobView `json:"final"`
+			}{j.view()}
+			_ = enc.Encode(final)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, "draining\n")
+		return
+	}
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// waitDone blocks until the job is terminal, the budget elapses, or the
+// client goes away.
+func waitDone(j *Job, d time.Duration, clientGone <-chan struct{}) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-j.done:
+	case <-t.C:
+	case <-clientGone:
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func queryInt(r *http.Request, key string) int64 {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// TestNoGoroutineLeakAfterCancelledSolves is the leak regression for the
+// serving path: 100 solves cancelled mid-run must leave no goroutine behind
+// once the server drains — neither solver goroutines stuck on dead jobs nor
+// per-job plumbing (boards, watchdog bookkeeping, result waiters).
+func TestNoGoroutineLeakAfterCancelledSolves(t *testing.T) {
+	defer fault.Reset()
+	// A short injected delay keeps each solve alive long enough for the
+	// cancel to land mid-run instead of post-completion.
+	fault.Arm("serve.job", fault.Spec{Kind: fault.KindDelay, Every: 1, Delay: 5 * time.Millisecond})
+
+	before := runtime.NumGoroutine()
+
+	s := New(Config{Workers: 4, QueueCap: 128, TenantMax: -1, StallTimeout: time.Minute})
+	p := tinyProblem(t)
+	var jobs []*Job
+	for i := 0; i < 100; i++ {
+		j, aerr := s.Submit(p, SubmitOptions{Timeout: 10 * time.Second})
+		if aerr != nil {
+			t.Fatalf("submit %d: %v", i, aerr)
+		}
+		jobs = append(jobs, j)
+		s.Cancel(j.ID)
+	}
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("cancelled job %s never resolved", j.ID)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if rep := s.Drain(ctx); !rep.Clean {
+		t.Fatalf("drain not clean: %+v", rep)
+	}
+
+	// Give abandoned goroutines (if the implementation leaked any) time to
+	// show up as a stable excess, and legitimate ones time to exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines: before=%d after=%d — leak after 100 cancelled solves\n%s",
+				before, now, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// TestServeLoadSmoke is the CI load-smoke gate: 50 concurrent solves with
+// injected solver panics and a real SIGTERM arriving mid-run. The invariants
+// are zero lost jobs (every admitted job terminal) and a clean drain through
+// the same signal wiring cmd/bsolvd ships.
+func TestServeLoadSmoke(t *testing.T) {
+	defer fault.Reset()
+	fault.Arm("serve.job", fault.Spec{Kind: fault.KindPanic, Every: 9})
+	// Pace each solve so the run is still in flight when SIGTERM lands.
+	fault.Arm("serve.queue", fault.Spec{Kind: fault.KindDelay, Every: 1, Delay: 20 * time.Millisecond})
+
+	reg := obs.NewRegistry()
+	s := New(Config{
+		Workers:      4,
+		QueueCap:     32,
+		TenantMax:    -1,
+		StallTimeout: 500 * time.Millisecond,
+		Registry:     reg,
+	})
+	drained := s.DrainOnSignal(15*time.Second, syscall.SIGTERM)
+
+	repCh := make(chan LoadReport, 1)
+	go func() {
+		repCh <- RunLoad(s, LoadConfig{Jobs: 50, Concurrency: 10, Timeout: 2 * time.Second})
+	}()
+
+	// SIGTERM lands mid-run: some submissions will be 503-rejected, but
+	// nothing admitted before it may be lost.
+	time.Sleep(60 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("self-SIGTERM: %v", err)
+	}
+
+	var rep LoadReport
+	select {
+	case rep = <-repCh:
+	case <-time.After(60 * time.Second):
+		t.Fatal("load run hung")
+	}
+	var dr DrainReport
+	select {
+	case dr = <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain-on-signal hung")
+	}
+
+	if rep.Unresolved != 0 {
+		t.Fatalf("lost jobs: %d admitted jobs never reached a terminal status\n%s", rep.Unresolved, rep)
+	}
+	if got := rep.Admitted + rep.Shed + rep.Rejected; got != rep.Jobs {
+		t.Fatalf("accounting leak: admitted %d + shed %d + rejected %d != %d jobs",
+			rep.Admitted, rep.Shed, rep.Rejected, rep.Jobs)
+	}
+	if !dr.Clean {
+		t.Fatalf("drain not clean: %+v", dr)
+	}
+	if dr.Resolved == 0 {
+		t.Fatal("SIGTERM landed after the run ended — the drain path went unexercised")
+	}
+	if !dr.MetricsFlushed {
+		t.Fatal("drain did not flush the final metrics snapshot")
+	}
+	// The panic injection must actually have fired on some solve.
+	if s.Stats().PanicsIsolated == 0 && rep.Admitted > 9 {
+		t.Fatal("no panic isolated despite every-9th-job injection")
+	}
+	t.Logf("smoke: %s; drain resolved=%d forced=%d", rep, dr.Resolved, dr.Forced)
+}
+
+// TestServeLoadHundreds runs the full-size load harness (hundreds of small
+// solves, no faults) and checks the latency accounting and cache behaviour.
+func TestServeLoadHundreds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short")
+	}
+	s := newTestServer(t, Config{Workers: 4, QueueCap: 64, TenantMax: -1})
+	rep := RunLoad(s, LoadConfig{Jobs: 300, Concurrency: 12, Timeout: 5 * time.Second, Pool: 8})
+	if rep.Unresolved != 0 {
+		t.Fatalf("lost jobs under load: %s", rep)
+	}
+	if rep.Statuses[JobOptimal] == 0 {
+		t.Fatalf("no job solved to optimality: %s", rep)
+	}
+	if rep.CacheHit == 0 {
+		t.Fatalf("300 jobs over 8 instances produced no session-cache hit: %s", rep)
+	}
+	if rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms || rep.MaxMs < rep.P99Ms {
+		t.Fatalf("latency percentiles inconsistent: %s", rep)
+	}
+	snap := rep.BenchSnapshot("lpr")
+	if len(snap.Rows) != 4 || snap.Meta["unresolved"] != "0" {
+		t.Fatalf("bench snapshot malformed: %+v", snap)
+	}
+	t.Logf("load: %s", rep)
+}

@@ -1,0 +1,534 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/opb"
+	"repro/internal/pb"
+)
+
+// tinyOPB has optimum 3 (pick x1 and x2 to cover the >=2 constraint).
+const tinyOPB = `min: +1 x1 +2 x2 +3 x3 ;
++1 x1 +1 x2 +1 x3 >= 2 ;
+`
+
+func tinyProblem(t *testing.T) *pb.Problem {
+	t.Helper()
+	p, err := opb.ParseString(tinyOPB)
+	if err != nil {
+		t.Fatalf("parse tiny: %v", err)
+	}
+	return p
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s
+}
+
+func awaitTerminal(t *testing.T, j *Job, budget time.Duration) JobView {
+	t.Helper()
+	select {
+	case <-j.done:
+	case <-time.After(budget):
+		t.Fatalf("job %s not terminal after %s (status %v)", j.ID, budget, j.view().Status)
+	}
+	return j.view()
+}
+
+func TestSubmitDirectOptimal(t *testing.T) {
+	s := newTestServer(t, Config{})
+	j, aerr := s.Submit(tinyProblem(t), SubmitOptions{Tenant: "t1"})
+	if aerr != nil {
+		t.Fatalf("submit: %v", aerr)
+	}
+	v := awaitTerminal(t, j, 10*time.Second)
+	if v.Status != JobOptimal {
+		t.Fatalf("status = %v, want optimal (err %q)", v.Status, v.Err)
+	}
+	if v.Best == nil || *v.Best != 3 {
+		t.Fatalf("best = %v, want 3", v.Best)
+	}
+	p := tinyProblem(t)
+	vals := ParseBitstring(v.Values)
+	if !p.Feasible(vals) {
+		t.Fatalf("returned assignment infeasible: %q", v.Values)
+	}
+	if got := p.ObjectiveValue(vals); got != 3 {
+		t.Fatalf("assignment objective = %d, want 3", got)
+	}
+}
+
+func TestSolversAllServe(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for _, solver := range []string{"plain", "mis", "lgr", "lpr", "portfolio"} {
+		j, aerr := s.Submit(tinyProblem(t), SubmitOptions{Solver: solver})
+		if aerr != nil {
+			t.Fatalf("%s: submit: %v", solver, aerr)
+		}
+		v := awaitTerminal(t, j, 15*time.Second)
+		if v.Status != JobOptimal || v.Best == nil || *v.Best != 3 {
+			t.Fatalf("%s: got %v best=%v, want optimal 3 (err %q)", solver, v.Status, v.Best, v.Err)
+		}
+	}
+}
+
+func TestSubmitHTTP(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{Registry: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Raw OPB body, long-polled to completion.
+	resp, err := http.Post(ts.URL+"/solve?wait_ms=10000", "text/plain", strings.NewReader(tinyOPB))
+	if err != nil {
+		t.Fatalf("POST /solve: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /solve status = %d, want 202", resp.StatusCode)
+	}
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if v.Status != JobOptimal || v.Best == nil || *v.Best != 3 {
+		t.Fatalf("got %v best=%v, want optimal 3", v.Status, v.Best)
+	}
+
+	// Status endpoint agrees.
+	resp2, err := http.Get(ts.URL + "/jobs/" + v.ID)
+	if err != nil {
+		t.Fatalf("GET /jobs/{id}: %v", err)
+	}
+	defer resp2.Body.Close()
+	var v2 JobView
+	if err := json.NewDecoder(resp2.Body).Decode(&v2); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	if v2.Status != JobOptimal {
+		t.Fatalf("status endpoint: %v, want optimal", v2.Status)
+	}
+
+	// JSON envelope submission.
+	body, _ := json.Marshal(SubmitRequest{OPB: tinyOPB, Solver: "mis", Tenant: "env", WaitMs: 10000})
+	resp3, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("POST JSON envelope: %v", err)
+	}
+	defer resp3.Body.Close()
+	var v3 JobView
+	if err := json.NewDecoder(resp3.Body).Decode(&v3); err != nil {
+		t.Fatalf("decode envelope: %v", err)
+	}
+	if v3.Status != JobOptimal || v3.Tenant != "env" || v3.Solver != "mis" {
+		t.Fatalf("envelope job = %+v, want optimal/env/mis", v3)
+	}
+
+	// Garbage body is a 400, not a crash.
+	resp4, err := http.Post(ts.URL+"/solve", "text/plain", strings.NewReader("min x1 garbage"))
+	if err != nil {
+		t.Fatalf("POST garbage: %v", err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage status = %d, want 400", resp4.StatusCode)
+	}
+
+	// Metrics endpoint is mounted when a Registry is configured.
+	resp5, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	resp5.Body.Close()
+	if resp5.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d, want 200", resp5.StatusCode)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	defer fault.Reset()
+	// One worker, one queue slot, slow solves: the third concurrent
+	// submission must shed with 429 + Retry-After, not block or hang.
+	fault.Arm("serve.job", fault.Spec{Kind: fault.KindDelay, Every: 1, Delay: 300 * time.Millisecond})
+	s := newTestServer(t, Config{Workers: 1, QueueCap: 1, TenantMax: -1})
+
+	var admitted []*Job
+	shed := 0
+	for i := 0; i < 6; i++ {
+		j, aerr := s.Submit(tinyProblem(t), SubmitOptions{Timeout: 5 * time.Second})
+		if aerr != nil {
+			if aerr.Code != 429 {
+				t.Fatalf("submit %d: code %d, want 429 (%s)", i, aerr.Code, aerr.Reason)
+			}
+			if aerr.RetryAfter < 1 {
+				t.Fatalf("submit %d: Retry-After %d, want >= 1", i, aerr.RetryAfter)
+			}
+			shed++
+			continue
+		}
+		admitted = append(admitted, j)
+	}
+	if shed == 0 {
+		t.Fatal("no submission was shed with a full queue")
+	}
+	if len(admitted) == 0 {
+		t.Fatal("every submission was shed")
+	}
+	for _, j := range admitted {
+		v := awaitTerminal(t, j, 15*time.Second)
+		if v.Status != JobOptimal {
+			t.Fatalf("admitted job %s: %v, want optimal", j.ID, v.Status)
+		}
+	}
+	if got := s.Stats().ShedQueue; got != int64(shed) {
+		t.Fatalf("stats.ShedQueue = %d, want %d", got, shed)
+	}
+}
+
+func TestTenantQuota(t *testing.T) {
+	defer fault.Reset()
+	fault.Arm("serve.job", fault.Spec{Kind: fault.KindDelay, Every: 1, Delay: 300 * time.Millisecond})
+	s := newTestServer(t, Config{Workers: 2, QueueCap: 16, TenantMax: 1})
+
+	j1, aerr := s.Submit(tinyProblem(t), SubmitOptions{Tenant: "hog", Timeout: 5 * time.Second})
+	if aerr != nil {
+		t.Fatalf("first: %v", aerr)
+	}
+	if _, aerr = s.Submit(tinyProblem(t), SubmitOptions{Tenant: "hog"}); aerr == nil || aerr.Code != 429 {
+		t.Fatalf("second hog submission: %v, want 429", aerr)
+	}
+	j2, aerr := s.Submit(tinyProblem(t), SubmitOptions{Tenant: "other", Timeout: 5 * time.Second})
+	if aerr != nil {
+		t.Fatalf("other tenant blocked by hog's quota: %v", aerr)
+	}
+	awaitTerminal(t, j1, 15*time.Second)
+	awaitTerminal(t, j2, 15*time.Second)
+	// Quota released after completion.
+	j3, aerr := s.Submit(tinyProblem(t), SubmitOptions{Tenant: "hog", Timeout: 5 * time.Second})
+	if aerr != nil {
+		t.Fatalf("post-completion hog submission: %v", aerr)
+	}
+	awaitTerminal(t, j3, 15*time.Second)
+	if got := s.Stats().ShedTenant; got != 1 {
+		t.Fatalf("stats.ShedTenant = %d, want 1", got)
+	}
+}
+
+func TestDeadlineTimeout(t *testing.T) {
+	defer fault.Reset()
+	// The solve sleeps past the job's deadline; keep the watchdog out of the
+	// way so the timeout attribution (not a stall rescue) is what's tested.
+	fault.Arm("serve.job", fault.Spec{Kind: fault.KindDelay, Every: 1, Delay: 300 * time.Millisecond})
+	s := newTestServer(t, Config{StallTimeout: time.Minute})
+	j, aerr := s.Submit(tinyProblem(t), SubmitOptions{Timeout: 50 * time.Millisecond})
+	if aerr != nil {
+		t.Fatalf("submit: %v", aerr)
+	}
+	v := awaitTerminal(t, j, 15*time.Second)
+	if v.Status != JobTimeout {
+		t.Fatalf("status = %v, want timeout", v.Status)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	defer fault.Reset()
+	fault.Arm("serve.job", fault.Spec{Kind: fault.KindDelay, Every: 1, Delay: 200 * time.Millisecond})
+	s := newTestServer(t, Config{Workers: 1, QueueCap: 8, StallTimeout: time.Minute})
+
+	running, aerr := s.Submit(tinyProblem(t), SubmitOptions{Timeout: 10 * time.Second})
+	if aerr != nil {
+		t.Fatalf("submit running: %v", aerr)
+	}
+	queued, aerr := s.Submit(tinyProblem(t), SubmitOptions{Timeout: 10 * time.Second})
+	if aerr != nil {
+		t.Fatalf("submit queued: %v", aerr)
+	}
+	// The queued job cancels instantly, without waiting for a worker.
+	if !s.Cancel(queued.ID) {
+		t.Fatal("cancel queued: job not found")
+	}
+	v := awaitTerminal(t, queued, 2*time.Second)
+	if v.Status != JobCancelled {
+		t.Fatalf("queued: %v, want cancelled", v.Status)
+	}
+	s.Cancel(running.ID)
+	v = awaitTerminal(t, running, 15*time.Second)
+	// The delay fires before the solver starts polling the cancel channel,
+	// so the solve may also run to optimality before noticing — both are
+	// legitimate, torn state is not.
+	if v.Status != JobCancelled && v.Status != JobOptimal {
+		t.Fatalf("running: %v, want cancelled or optimal", v.Status)
+	}
+}
+
+func TestSessionCacheWarmHit(t *testing.T) {
+	s := newTestServer(t, Config{})
+	p := tinyProblem(t)
+	j1, aerr := s.Submit(p, SubmitOptions{Solver: "lpr"})
+	if aerr != nil {
+		t.Fatalf("cold: %v", aerr)
+	}
+	v1 := awaitTerminal(t, j1, 10*time.Second)
+	if v1.Status != JobOptimal || v1.CacheHit {
+		t.Fatalf("cold solve: %v cacheHit=%v, want optimal/false", v1.Status, v1.CacheHit)
+	}
+	// Same mathematical content, different text: the session key matches.
+	p2, err := opb.ParseString("* resubmission\n" + tinyOPB)
+	if err != nil {
+		t.Fatalf("parse resub: %v", err)
+	}
+	j2, aerr := s.Submit(p2, SubmitOptions{Solver: "lpr"})
+	if aerr != nil {
+		t.Fatalf("warm: %v", aerr)
+	}
+	v2 := awaitTerminal(t, j2, 10*time.Second)
+	if v2.Status != JobOptimal || *v2.Best != 3 {
+		t.Fatalf("warm solve: %v best=%v, want optimal 3", v2.Status, v2.Best)
+	}
+	if !v2.CacheHit {
+		t.Fatal("resubmission did not hit the session cache")
+	}
+	st := s.Stats()
+	if st.CacheHits < 1 || st.CacheStores < 1 {
+		t.Fatalf("cache stats = hits %d stores %d, want >= 1 each", st.CacheHits, st.CacheStores)
+	}
+}
+
+func TestSessionCacheCorruptionFallsBackCold(t *testing.T) {
+	defer fault.Reset()
+	s := newTestServer(t, Config{})
+	p := tinyProblem(t)
+	j1, _ := s.Submit(p, SubmitOptions{})
+	awaitTerminal(t, j1, 10*time.Second)
+
+	// Every cache reuse from here on hands the solve a corrupted incumbent;
+	// the re-verification must catch it and the answer must still be exact.
+	fault.Arm("serve.cache", fault.Spec{Kind: fault.KindCorrupt, Every: 1, Value: 1})
+	j2, aerr := s.Submit(p, SubmitOptions{})
+	if aerr != nil {
+		t.Fatalf("submit: %v", aerr)
+	}
+	v := awaitTerminal(t, j2, 10*time.Second)
+	if v.Status != JobOptimal || v.Best == nil || *v.Best != 3 {
+		t.Fatalf("corrupted-cache solve: %v best=%v, want optimal 3", v.Status, v.Best)
+	}
+	if got := s.Stats().CacheFallbacks; got < 1 {
+		t.Fatalf("stats.CacheFallbacks = %d, want >= 1", got)
+	}
+}
+
+func TestPanicIsolatedPerJob(t *testing.T) {
+	defer fault.Reset()
+	fault.Arm("serve.job", fault.Spec{Kind: fault.KindPanic, Every: 2})
+	s := newTestServer(t, Config{})
+	sawError, sawOptimal := 0, 0
+	for i := 0; i < 4; i++ {
+		j, aerr := s.Submit(tinyProblem(t), SubmitOptions{})
+		if aerr != nil {
+			t.Fatalf("submit %d: %v", i, aerr)
+		}
+		v := awaitTerminal(t, j, 10*time.Second)
+		switch v.Status {
+		case JobError:
+			sawError++
+		case JobOptimal:
+			sawOptimal++
+		default:
+			t.Fatalf("job %d: unexpected status %v", i, v.Status)
+		}
+	}
+	if sawError != 2 || sawOptimal != 2 {
+		t.Fatalf("errors=%d optimal=%d, want 2/2 (panic every 2nd job)", sawError, sawOptimal)
+	}
+	if got := s.Stats().PanicsIsolated; got != 2 {
+		t.Fatalf("stats.PanicsIsolated = %d, want 2", got)
+	}
+}
+
+func TestWatchdogDemotesStuckJob(t *testing.T) {
+	defer fault.Reset()
+	// The MIS estimator hangs hard (no cancellation polling inside the
+	// injected sleep) after the first incumbent exists — exactly the
+	// straggler the watchdog exists for.
+	fault.Arm("mis.estimate", fault.Spec{Kind: fault.KindDelay, Every: 1, Delay: 5 * time.Second})
+	s := newTestServer(t, Config{StallTimeout: 150 * time.Millisecond, StallGrace: 100 * time.Millisecond})
+	j, aerr := s.Submit(tinyProblem(t), SubmitOptions{Solver: "mis", Timeout: 30 * time.Second})
+	if aerr != nil {
+		t.Fatalf("submit: %v", aerr)
+	}
+	start := time.Now()
+	v := awaitTerminal(t, j, 10*time.Second)
+	if v.Status != JobStalled {
+		t.Fatalf("status = %v (err %q), want stalled", v.Status, v.Err)
+	}
+	if !v.Rescued {
+		t.Fatal("view.Rescued = false on a stalled job")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("demotion took %s — watchdog did not fire, the sleep expired", elapsed)
+	}
+	// The demoted answer carries the best incumbent with its assignment
+	// (published to the job's private board before the stall).
+	if v.Best == nil {
+		t.Fatal("stalled job carries no incumbent")
+	}
+	p := tinyProblem(t)
+	vals := ParseBitstring(v.Values)
+	if !p.Feasible(vals) || p.ObjectiveValue(vals) != *v.Best {
+		t.Fatalf("demoted incumbent torn: best=%d values=%q", *v.Best, v.Values)
+	}
+	// The worker abandons the runaway goroutine asynchronously after the
+	// finalize: give it a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := s.Stats()
+		if st.WatchdogKicks >= 1 && st.WatchdogRescues >= 1 && st.Abandoned >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog stats = kicks %d rescues %d abandoned %d, want >= 1 each",
+				st.WatchdogKicks, st.WatchdogRescues, st.Abandoned)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDrainResolvesEverything(t *testing.T) {
+	defer fault.Reset()
+	fault.Arm("serve.job", fault.Spec{Kind: fault.KindDelay, Every: 1, Delay: 150 * time.Millisecond})
+	s := New(Config{Workers: 2, QueueCap: 32, TenantMax: -1, StallTimeout: time.Minute})
+	var jobs []*Job
+	for i := 0; i < 8; i++ {
+		j, aerr := s.Submit(tinyProblem(t), SubmitOptions{Timeout: 10 * time.Second})
+		if aerr != nil {
+			t.Fatalf("submit %d: %v", i, aerr)
+		}
+		jobs = append(jobs, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rep := s.Drain(ctx)
+	if !rep.Clean {
+		t.Fatalf("drain not clean: %+v", rep)
+	}
+	for _, j := range jobs {
+		v := j.view()
+		if !v.Status.Terminal() {
+			t.Fatalf("job %s lost in drain: %v", j.ID, v.Status)
+		}
+	}
+	// Draining servers refuse politely.
+	if _, aerr := s.Submit(tinyProblem(t), SubmitOptions{}); aerr == nil || aerr.Code != 503 {
+		t.Fatalf("post-drain submit: %v, want 503", aerr)
+	}
+}
+
+func TestEventsStream(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/solve", "text/plain", strings.NewReader(tinyOPB))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+
+	stream, err := http.Get(ts.URL + "/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+	sawFinal := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, `"final"`) {
+			sawFinal = true
+			var fin struct {
+				Final JobView `json:"final"`
+			}
+			if err := json.Unmarshal([]byte(line), &fin); err != nil {
+				t.Fatalf("final line: %v (%q)", err, line)
+			}
+			if !fin.Final.Status.Terminal() {
+				t.Fatalf("final event not terminal: %v", fin.Final.Status)
+			}
+		}
+	}
+	if !sawFinal {
+		t.Fatal("event stream ended without a final record")
+	}
+}
+
+// TestCancelFinishRaceNeverTorn pins the write-once finalize contract:
+// concurrent cancel-vs-natural-finish must yield either a full final result
+// or a clean cancelled status — never a mix — under the race detector.
+func TestCancelFinishRaceNeverTorn(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, QueueCap: 64, TenantMax: -1})
+	p := tinyProblem(t)
+	const rounds = 40
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {
+		j, aerr := s.Submit(p, SubmitOptions{Tenant: fmt.Sprintf("r%d", i%4), Timeout: 5 * time.Second})
+		if aerr != nil {
+			continue // shed under pressure is fine here
+		}
+		wg.Add(1)
+		go func(j *Job, spin int) {
+			defer wg.Done()
+			for k := 0; k < spin; k++ {
+				_ = j.view() // concurrent observers during the race
+			}
+			s.Cancel(j.ID)
+		}(j, i*10)
+		wg.Add(1)
+		go func(j *Job) {
+			defer wg.Done()
+			v := awaitTerminal(t, j, 15*time.Second)
+			switch v.Status {
+			case JobOptimal:
+				if v.Best == nil || *v.Best != 3 {
+					t.Errorf("%s: optimal with best=%v", j.ID, v.Best)
+				}
+				vals := ParseBitstring(v.Values)
+				if !p.Feasible(vals) || p.ObjectiveValue(vals) != *v.Best {
+					t.Errorf("%s: torn optimal result", j.ID)
+				}
+			case JobCancelled, JobTimeout:
+				// Fine; any attached incumbent must still be whole.
+				if v.Best != nil && v.Values != "" {
+					vals := ParseBitstring(v.Values)
+					if !p.Feasible(vals) || p.ObjectiveValue(vals) != *v.Best {
+						t.Errorf("%s: torn cancelled incumbent", j.ID)
+					}
+				}
+			default:
+				t.Errorf("%s: unexpected status %v (err %q)", j.ID, v.Status, v.Err)
+			}
+		}(j)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,34 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// DrainOnSignal arms the daemon's shutdown path: when one of the signals
+// arrives (default SIGTERM/SIGINT), the server drains with the given budget
+// and the report is delivered on the returned channel. The signal handler is
+// released after the first signal, so a second SIGTERM kills the process the
+// default way — an operator's escape hatch from a misbehaving drain.
+//
+// cmd/bsolvd and the load-smoke test share this exact wiring, so the test's
+// syscall.Kill(SIGTERM) exercises the same path production shutdown takes.
+func (s *Server) DrainOnSignal(budget time.Duration, signals ...os.Signal) <-chan DrainReport {
+	if len(signals) == 0 {
+		signals = []os.Signal{syscall.SIGTERM, syscall.SIGINT}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, signals...)
+	out := make(chan DrainReport, 1)
+	go func() {
+		<-ch
+		signal.Stop(ch)
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		defer cancel()
+		out <- s.Drain(ctx)
+	}()
+	return out
+}
