@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-bounds bench-portfolio bench-snapshot bench-baseline bench-compare load-smoke table examples clean ci vet
+.PHONY: all build test race fuzz bench bench-bounds bench-engine bench-portfolio bench-snapshot bench-baseline bench-compare escape-check load-smoke table examples clean ci vet
 
 all: build test
 
@@ -18,10 +18,12 @@ vet:
 # baseline, then a single-iteration smoke pass over the bound-pipeline
 # and portfolio-sharing benchmarks and a small bench snapshot.
 ci: vet build test
-	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/share ./internal/fault ./internal/bounds ./internal/lp ./internal/fuzz ./internal/obs ./internal/serve
+	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/share ./internal/fault ./internal/bounds ./internal/lp ./internal/fuzz ./internal/obs ./internal/preprocess ./internal/serve
+	$(MAKE) escape-check
 	$(MAKE) load-smoke
 	$(MAKE) bench-compare
 	$(MAKE) bench-bounds BENCHTIME=1x
+	$(MAKE) bench-engine BENCHTIME=1x
 	$(MAKE) bench-portfolio BENCHTIME=1x
 	$(MAKE) bench-snapshot BENCH_FAMILY=synth BENCH_N=2 BENCH_TIME=3s
 	$(MAKE) fuzz FUZZTIME=10s PBFUZZ_N=500
@@ -66,6 +68,33 @@ BENCHTIME ?= 2s
 bench-bounds:
 	$(GO) test -bench='BenchmarkExtract|BenchmarkReducerIncremental' -benchmem -benchtime=$(BENCHTIME) -run='^$$' ./internal/bounds
 	$(GO) test -bench='BenchmarkLPRNodeLoop' -benchmem -benchtime=$(BENCHTIME) -run='^$$' ./internal/lp
+
+# Engine-core node-throughput microbenchmarks: one full propagation wave
+# (decide, CSR counter propagation, batched delta flush, backtrack) through
+# the struct-of-arrays engine vs the faithful pre-refactor pointer-per-
+# constraint replica kept in bench_test.go. The layout refactor landed at
+# ~1.6x on the wave; the workload is cache-bound and noisy, so compare
+# medians across repetitions (BENCHCOUNT=6), never single runs.
+BENCHCOUNT ?= 1
+bench-engine:
+	$(GO) test -bench='BenchmarkPropagateWave' -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -run='^$$' ./internal/engine
+
+# Escape-analysis guard for the engine hot path: the per-literal helpers on
+# the propagation wave (CSR row lookup, transition marking, literal value
+# lookup, heap re-insert on backtrack) must stay inlinable, and the batched
+# delta flush must stay allocation-free. The obs alloc-regression tests pin
+# the complementary runtime guarantee (0 allocs/op across a full wave); this
+# catches the same regressions at compile time with a file:line pointer.
+escape-check:
+	@out=$$($(GO) build -gcflags='-m' ./internal/engine 2>&1); \
+	for fn in '(*Engine).csr' '(*Engine).noteTransition' '(*Engine).LitValue' '(*varHeap).pushIfAbsent'; do \
+		echo "$$out" | grep -qF "can inline $$fn" || { echo "escape-check: $$fn is no longer inlinable"; exit 1; }; \
+	done; \
+	if echo "$$out" | grep 'notify\.go' | grep -q 'escapes to heap'; then \
+		echo "escape-check: allocation escaped onto the batched-delta path:"; \
+		echo "$$out" | grep 'notify\.go' | grep 'escapes to heap'; exit 1; \
+	fi; \
+	echo "escape-check: hot-path inlining + alloc-free delta flush OK"
 
 # Cooperative-portfolio benchmarks: every member proving the optimum with and
 # without the sharing board (total conflicts/decisions across members), the

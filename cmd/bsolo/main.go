@@ -45,6 +45,7 @@ func main() {
 		boundBudget  = flag.Duration("bound-budget", 0, "wall-clock cap per lower-bound call (0 = derive from -time; -1ns = uncapped)")
 		fallbackK    = flag.Int("fallback-after", 0, "consecutive bound failures before demoting to MIS (0 = default 8; <0 = never)")
 		pre          = flag.Bool("preprocess", false, "apply probing/strengthening/subsumption first")
+		presolve     = flag.Bool("presolve", false, "fix variables by probing + roof-duality-style persistency and solve the reduced problem (results are mapped back to the original variables)")
 		coverRed     = flag.Bool("cover", false, "apply covering-problem reductions (implies -preprocess machinery)")
 		pbLearn      = flag.Bool("pb-learning", false, "derive Galena-style cutting-plane constraints at conflicts")
 		incremental  = flag.Bool("incremental", true, "maintain the reduced problem incrementally across nodes (false = rebuild per node)")
@@ -97,6 +98,25 @@ func main() {
 		fmt.Printf("c preprocess: fixed=%d implications=%d subsumed=%d essential=%d domRows=%d domCols=%d\n",
 			info.FixedLiterals, info.Implications, info.SubsumedRemoved,
 			info.Cover.EssentialColumns, info.Cover.DominatedRows, info.Cover.DominatedColumns)
+	}
+
+	// -presolve eliminates variables and renumbers the problem; origProb and
+	// fixing carry the mapping so the o/v lines and the final verification
+	// stay in the ORIGINAL variable space.
+	origProb := prob
+	var fixing *preprocess.Fixing
+	if *presolve {
+		fixing, err = preprocess.FixVariables(prob, preprocess.DefaultFixOptions)
+		if err != nil {
+			fatal(err)
+		}
+		prob = fixing.Problem
+		fmt.Printf("c presolve: fixed=%d (probing=%d persistency=%d rounds=%d) vars %d -> %d, constraints %d -> %d\n",
+			fixing.NumFixed(), fixing.ProbeFixed, fixing.PersistencyFixed, fixing.Rounds,
+			origProb.NumVars, prob.NumVars, len(origProb.Constraints), len(prob.Constraints))
+		if fixing.ProvedUnsat {
+			fmt.Println("c presolve: proved infeasible at the root")
+		}
 	}
 
 	opt := core.Options{
@@ -236,6 +256,13 @@ func main() {
 		}
 	}
 
+	// When presolve fixes every costed variable, the reduced problem has no
+	// objective left and a proved solve reports StatusSatisfiable — but in
+	// the original space that is a proved optimum (Best carries the absorbed
+	// CostOffset).
+	if res.Status == core.StatusSatisfiable && fixing != nil && origProb.HasObjective() {
+		res.Status = core.StatusOptimal
+	}
 	switch res.Status {
 	case core.StatusOptimal:
 		fmt.Printf("o %d\n", res.Best)
@@ -257,13 +284,39 @@ func main() {
 		}
 		fmt.Println("s UNKNOWN")
 	}
-	if *showModel && res.HasSolution {
-		fmt.Println(verify.FormatValueLine(prob, res.Values))
+	presolveOK := true
+	if res.HasSolution {
+		values := res.Values
+		if fixing != nil {
+			// Map the reduced-space model back to the original variables and
+			// re-verify there: a Lift or CostOffset bug must fail loudly, not
+			// emit a value line that checkers reject.
+			values = fixing.Lift(values)
+			rep := verify.Check(origProb, values)
+			switch {
+			case !rep.Feasible:
+				fmt.Printf("c presolve: SOUNDNESS BUG — lifted model violates original constraint %d\n", rep.ViolatedIdx)
+				presolveOK = false
+			case rep.Objective != res.Best:
+				fmt.Printf("c presolve: SOUNDNESS BUG — lifted model costs %d in original space, solver claimed %d\n",
+					rep.Objective, res.Best)
+				presolveOK = false
+			}
+		}
+		if *showModel {
+			fmt.Println(verify.FormatValueLine(origProb, values))
+		}
 	}
 	if *showStats {
 		st := res.Stats
 		fmt.Printf("c decisions=%d conflicts=%d boundConflicts=%d boundCalls=%d boundPrunes=%d\n",
 			st.Decisions, st.Conflicts, st.BoundConflicts, st.BoundCalls, st.BoundPrunes)
+		if secs := elapsed.Seconds(); secs > 0 {
+			fmt.Printf("c propagations=%d (%.0f/s)\n", st.Propagations, float64(st.Propagations)/secs)
+		}
+		if fixing != nil {
+			fmt.Printf("c presolveFixed=%d\n", fixing.NumFixed())
+		}
 		fmt.Printf("c solutions=%d restarts=%d knapsackCuts=%d cardCuts=%d ncbSavedLevels=%d learned=%d\n",
 			st.Solutions, st.Restarts, st.KnapsackCuts, st.CardCuts, st.NCBSavedLevels, st.LearnedClauses)
 		if st.BoundFailures > 0 || st.BoundFallbacks > 0 || st.BoundTimeouts > 0 || st.BoundDemotions > 0 {
@@ -287,8 +340,8 @@ func main() {
 	if err := writeObsOutputs(tracer, registry, *tracePath, *tracePretty, *metricsPath); err != nil {
 		fatal(err)
 	}
-	if !auditOK {
-		os.Exit(2) // audit violations are a soundness bug, not a solver answer
+	if !auditOK || !presolveOK {
+		os.Exit(2) // audit/lift violations are a soundness bug, not a solver answer
 	}
 }
 

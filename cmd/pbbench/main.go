@@ -63,6 +63,7 @@ func run(stdout, stderr io.Writer, args []string) int {
 		csvOut     = fs.String("csv", "", "also write machine-readable results to this file")
 		ablations  = fs.Bool("ablations", false, "run the A1-A6 ablations instead of Table 1")
 
+		presolve     = fs.Bool("presolve", false, "fix variables by probing + persistency presolve before every run (fixedVars/propsPerSec land in the CSV and snapshot rows)")
 		incremental  = fs.Bool("incremental", true, "incremental reduced-problem maintenance in the bsolo columns")
 		warmLP       = fs.Bool("warm-lp", true, "LP warm starting in the lpr column")
 		boundProfile = fs.Bool("bound-profile", false, "print per-solver bound-pipeline timing after the table")
@@ -136,7 +137,7 @@ func run(stdout, stderr io.Writer, args []string) int {
 		len(insts), len(cols), *timeLimit)
 
 	lim := harness.Limits{Time: *timeLimit, MaxConflicts: *conflicts, MilpNodes: *milpNodes,
-		NoIncrementalReduce: !*incremental, NoWarmLP: !*warmLP}
+		NoIncrementalReduce: !*incremental, NoWarmLP: !*warmLP, Presolve: *presolve}
 	var results []harness.RunResult
 	for _, inst := range insts {
 		for _, id := range cols {

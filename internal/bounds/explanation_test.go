@@ -73,18 +73,18 @@ func TestExplanationClauseSoundness(t *testing.T) {
 			}
 			for _, ci := range res.Responsible {
 				c := e.Cons(ci)
-				for _, tm := range c.Terms {
-					if e.LitValue(tm.Lit) != engine.False {
+				for _, l := range c.Lits {
+					if e.LitValue(l) != engine.False {
 						continue
 					}
-					v := tm.Lit.Var()
+					v := l.Var()
 					if e.Level(v) == 0 {
 						continue
 					}
 					if res.ExcludedVars != nil && res.ExcludedVars[v] {
 						continue
 					}
-					inSeed[tm.Lit] = true
+					inSeed[l] = true
 				}
 			}
 			// Every feasible assignment cheaper than upper must satisfy ω_bc.

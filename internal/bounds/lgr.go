@@ -199,12 +199,12 @@ func (l LGR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64
 		res.ExcludedVars = alphaFilter(s, bestMu, cost,
 			func(rowIdx int, visit func(v pb.Var, xCoef float64)) {
 				c := e.Cons(xp.rows[rowIdx].engIdx)
-				for _, t := range c.Terms {
-					xc := float64(t.Coef)
-					if t.Lit.IsNeg() {
+				for k, l := range c.Lits {
+					xc := float64(c.Coefs[k])
+					if l.IsNeg() {
 						xc = -xc
 					}
-					visit(t.Lit.Var(), xc)
+					visit(l.Var(), xc)
 				}
 			},
 			func(v pb.Var) (bool, bool) {

@@ -227,12 +227,12 @@ func (l LPR) filter(e *engine.Engine, xp *xProblem, s []int, y []float64, cost [
 	return alphaFilter(s, y, cost,
 		func(rowIdx int, visit func(v pb.Var, xCoef float64)) {
 			c := e.Cons(xp.rows[rowIdx].engIdx)
-			for _, t := range c.Terms {
-				xc := float64(t.Coef)
-				if t.Lit.IsNeg() {
+			for k, l := range c.Lits {
+				xc := float64(c.Coefs[k])
+				if l.IsNeg() {
 					xc = -xc
 				}
-				visit(t.Lit.Var(), xc)
+				visit(l.Var(), xc)
 			}
 		},
 		func(v pb.Var) (bool, bool) {

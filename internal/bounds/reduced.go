@@ -135,18 +135,18 @@ type Reduced struct {
 // explanation circular.
 func Extract(e *engine.Engine) *Reduced {
 	red := &Reduced{}
-	e.UnsatisfiedCons(func(idx int, c *engine.Cons, residual int64) {
+	e.UnsatisfiedCons(func(idx int, c engine.Cons, residual int64) {
 		row := Row{EngIdx: idx, Degree: residual}
 		var sum int64
-		for _, t := range c.Terms {
-			if e.LitValue(t.Lit) != engine.Unassigned {
+		for k, l := range c.Lits {
+			if e.LitValue(l) != engine.Unassigned {
 				continue
 			}
-			coef := t.Coef
+			coef := c.Coefs[k]
 			if coef > residual {
 				coef = residual
 			}
-			row.Terms = append(row.Terms, pb.Term{Coef: coef, Lit: t.Lit})
+			row.Terms = append(row.Terms, pb.Term{Coef: coef, Lit: l})
 			sum += coef
 		}
 		if sum < residual && !red.Infeasible {

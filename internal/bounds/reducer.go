@@ -1,7 +1,7 @@
 package bounds
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/engine"
 	"repro/internal/pb"
@@ -12,16 +12,18 @@ import (
 // search node, a Reducer
 //
 //   - maintains the set of unsatisfied problem constraints from the engine's
-//     trail deltas (satisfaction-transition notifications, O(1) per
-//     transition — see engine.ConsWatcher), so each Reduce call touches only
-//     the constraints that can contribute rows, never the full store with
-//     its thousands of learned clauses; and
+//     coalesced trail deltas (one engine.ConsWave callback per propagation
+//     wave, pulled via FlushConsDeltas at the top of Reduce — see
+//     engine.ConsWatcher), so each Reduce call touches only the constraints
+//     that can contribute rows, never the full store with its thousands of
+//     learned clauses; and
 //   - owns reusable Row and Term scratch buffers (a flat term arena), so the
 //     per-node reduction allocates nothing in steady state.
 //
 // Residual degrees need no bookkeeping of their own: the engine already
 // maintains trueSum per constraint incrementally, and the residual is
-// Degree − trueSum.
+// Degree − trueSum. Row terms are read straight off the engine's
+// struct-of-arrays literal/coefficient arenas through the Cons view.
 //
 // The produced Reduced is bit-identical to Extract's output on the same
 // engine state (same rows in the same order, same clipped coefficients, same
@@ -93,11 +95,17 @@ func (r *Reducer) resync() {
 // afterwards but will no longer track assignments.
 func (r *Reducer) Detach() { r.eng.SetConsWatcher(nil) }
 
-// ConsSatisfied implements engine.ConsWatcher.
-func (r *Reducer) ConsSatisfied(idx int) { r.remove(int32(idx)) }
-
-// ConsUnsatisfied implements engine.ConsWatcher.
-func (r *Reducer) ConsUnsatisfied(idx int) { r.add(int32(idx)) }
+// ConsWave implements engine.ConsWatcher: one coalesced delta per
+// propagation wave. The slices alias engine scratch and are consumed
+// synchronously.
+func (r *Reducer) ConsWave(satisfied, unsatisfied []int32) {
+	for _, idx := range satisfied {
+		r.remove(idx)
+	}
+	for _, idx := range unsatisfied {
+		r.add(idx)
+	}
+}
 
 // ConsAdded implements engine.ConsWatcher.
 func (r *Reducer) ConsAdded(idx int, satisfied bool) {
@@ -139,7 +147,12 @@ func (r *Reducer) remove(idx int32) {
 
 // ActiveCount returns the current number of tracked unsatisfied problem
 // constraints (test/diagnostic hook; must equal engine.NumUnsatisfied()).
-func (r *Reducer) ActiveCount() int { return len(r.active) }
+// It pulls any pending wave first so the answer reflects the engine's
+// current trail.
+func (r *Reducer) ActiveCount() int {
+	r.eng.FlushConsDeltas()
+	return len(r.active)
+}
 
 // Reduces returns how many reductions this Reducer has produced.
 func (r *Reducer) Reduces() int64 { return r.reduces }
@@ -148,9 +161,12 @@ func (r *Reducer) Reduces() int64 { return r.reduces }
 // the Reducer's reusable buffers and returns it. The result aliases those
 // buffers and is invalidated by the next Reduce call.
 func (r *Reducer) Reduce() *Reduced {
+	// Pull the coalesced satisfaction deltas accumulated since the last
+	// flush (the engine batches them per propagation wave).
+	r.eng.FlushConsDeltas()
 	r.reduces++
 	if !r.sorted {
-		sort.Slice(r.active, func(a, b int) bool { return r.active[a] < r.active[b] })
+		slices.Sort(r.active)
 		for p, idx := range r.active {
 			r.pos[idx] = int32(p)
 		}
@@ -168,15 +184,15 @@ func (r *Reducer) Reduce() *Reduced {
 		residual := c.Degree - c.TrueSum()
 		start := int32(len(arena))
 		var sum int64
-		for _, t := range c.Terms {
-			if e.LitValue(t.Lit) != engine.Unassigned {
+		for k, l := range c.Lits {
+			if e.LitValue(l) != engine.Unassigned {
 				continue
 			}
-			coef := t.Coef
+			coef := c.Coefs[k]
 			if coef > residual {
 				coef = residual
 			}
-			arena = append(arena, pb.Term{Coef: coef, Lit: t.Lit})
+			arena = append(arena, pb.Term{Coef: coef, Lit: l})
 			sum += coef
 		}
 		if sum < residual && !red.Infeasible {

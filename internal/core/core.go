@@ -1087,18 +1087,18 @@ func (s *solver) boundConflict(responsible []int, excluded map[pb.Var]bool) bool
 		// minus the §4.3 α-filtered variables.
 		for _, ci := range responsible {
 			c := s.eng.Cons(ci)
-			for _, t := range c.Terms {
-				if s.eng.LitValue(t.Lit) != engine.False {
+			for _, l := range c.Lits {
+				if s.eng.LitValue(l) != engine.False {
 					continue
 				}
-				v := t.Lit.Var()
+				v := l.Var()
 				if s.eng.Level(v) == 0 {
 					continue // root assignments never unassign; sound to drop
 				}
 				if excluded != nil && excluded[v] {
 					continue
 				}
-				add(t.Lit)
+				add(l)
 			}
 		}
 	}

@@ -46,10 +46,10 @@ type cpCons struct {
 	degree int64
 }
 
-func newCPCons(c *Cons) *cpCons {
-	cp := &cpCons{coef: make(map[pb.Lit]int64, len(c.Terms)), degree: c.Degree}
-	for _, t := range c.Terms {
-		cp.coef[t.Lit] = t.Coef
+func newCPCons(c Cons) *cpCons {
+	cp := &cpCons{coef: make(map[pb.Lit]int64, len(c.Lits)), degree: c.Degree}
+	for i, l := range c.Lits {
+		cp.coef[l] = c.Coefs[i]
 	}
 	return cp
 }
@@ -162,7 +162,7 @@ func (e *Engine) AnalyzeCuttingPlane(consIdx int) ([]pb.Term, int64) {
 	if curLevel == 0 {
 		return nil, 0
 	}
-	cur := newCPCons(e.cons[consIdx])
+	cur := newCPCons(e.Cons(consIdx))
 	if cur.slack(e) >= 0 {
 		return nil, 0 // not actually conflicting (defensive)
 	}
@@ -188,7 +188,7 @@ func (e *Engine) AnalyzeCuttingPlane(consIdx int) ([]pb.Term, int64) {
 		if r == NoReason {
 			return nil, 0 // decision reached with several current-level lits
 		}
-		reason := newCPCons(e.cons[r])
+		reason := newCPCons(e.Cons(int(r)))
 		ap, ok := reason.coef[pivot]
 		if !ok || ap <= 0 {
 			return nil, 0 // defensive

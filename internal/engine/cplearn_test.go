@@ -11,13 +11,9 @@ func TestCPConsWeakenDivideSaturate(t *testing.T) {
 	p := pb.NewProblem(4)
 	e := New(p)
 	// 3x0 + 2x1 + 2x2 + 1x3 >= 5 with x1 false (decide ¬x1).
-	c := &Cons{
-		Terms: []pb.Term{
-			{Coef: 3, Lit: pb.PosLit(0)},
-			{Coef: 2, Lit: pb.PosLit(1)},
-			{Coef: 2, Lit: pb.PosLit(2)},
-			{Coef: 1, Lit: pb.PosLit(3)},
-		},
+	c := Cons{
+		Lits:   []pb.Lit{pb.PosLit(0), pb.PosLit(1), pb.PosLit(2), pb.PosLit(3)},
+		Coefs:  []int64{3, 2, 2, 1},
 		Degree: 5,
 	}
 	e.Decide(pb.NegLit(1))

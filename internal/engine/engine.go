@@ -16,6 +16,24 @@
 //	slack < 0                        ⇒ the constraint is conflicting,
 //	coef(l) > slack, l unassigned    ⇒ l is implied true,
 //	trueSum ≥ degree                 ⇒ the constraint is satisfied.
+//
+// trueSum is maintained eagerly in assign; watchSum is maintained lazily —
+// the decrement for a falsified literal is applied when Propagate consumes
+// its complement from the trail queue, fused with the conflict/implication
+// check so each falsification walks its occurrence lists exactly once.
+// Between assign and consumption, watchSum (hence slack) reads transiently
+// HIGH: implications and conflicts are delayed, never invented, and every
+// counter is exact at propagation fixpoint (propHead == len(trail)).
+//
+// Storage is struct-of-arrays: constraint metadata lives in a flat header
+// slice (consHdr) and the terms of all constraints share two flat arenas —
+// one for literals, one for coefficients — addressed by per-constraint
+// offset/length. The per-literal occurrence index is a CSR (compressed
+// sparse row) built once over the initial problem constraints, plus small
+// dynamic per-literal lists for constraints added during search. Occurrence
+// entries carry the term's coefficient inline, so the two hottest loops
+// (Propagate's fused wave and BacktrackTo's counter restore) touch only the
+// occurrence stream and the header — never the arenas. See DESIGN.md §13.
 package engine
 
 import (
@@ -43,12 +61,43 @@ const (
 // slice.
 const NoReason int32 = -1
 
-// Cons is a constraint as stored by the engine.
-type Cons struct {
-	Terms   []pb.Term
-	Degree  int64
-	Learned bool
+// Constraint header flags.
+const (
+	// flagLearned marks learned constraints (clauses, cuts).
+	flagLearned uint8 = 1 << iota
+	// flagProtected learned constraints (incumbent cuts) survive ReduceDB.
+	flagProtected
+	// flagRemoved marks a garbage-collected constraint; its arena span is
+	// reclaimed by compaction and all engine loops skip it.
+	flagRemoved
+	// flagWatched marks learned clauses propagated by the two-watched-literal
+	// scheme (see watched.go); they have no occurrence entries and no
+	// satisfaction counters.
+	flagWatched
+)
 
+// Per-constraint watcher-notification state, packed one byte per constraint
+// in Engine.satState. Keeping it out of consHdr means FlushConsDeltas scans
+// a dense byte array (L1-resident even for large stores) instead of
+// re-touching one 56-byte header cache line per dirty constraint.
+const (
+	// stateCur mirrors the constraint's current satisfaction, maintained at
+	// transition time (when the header is already hot in cache).
+	stateCur uint8 = 1 << iota
+	// stateLast is the satisfaction state last reported to the watcher.
+	stateLast
+	// stateDirty marks the constraint as queued in Engine.dirty.
+	stateDirty
+)
+
+// consHdr is the per-constraint header of the struct-of-arrays store: the
+// terms of constraint i are lits[off:off+n] / coefs[off:off+n].
+type consHdr struct {
+	off   int32
+	n     int32
+	flags uint8
+
+	degree   int64
 	watchSum int64 // Σ coef over non-false literals
 	trueSum  int64 // Σ coef over true literals
 	maxCoef  int64
@@ -57,33 +106,50 @@ type Cons struct {
 	// the constraint participates in conflict analysis, decayed per
 	// conflict.
 	activity float64
-	// protected learned constraints (incumbent cuts) survive ReduceDB.
-	protected bool
-	// removed marks a garbage-collected constraint; all engine loops skip
-	// it (occurrence entries are purged lazily).
-	removed bool
-	// watched marks learned clauses propagated by the two-watched-literal
-	// scheme (see watched.go); they have no occurrence entries and no
-	// satisfaction counters.
-	watched bool
 }
 
-// Removed reports whether the constraint was garbage-collected.
-func (c *Cons) Removed() bool { return c.removed }
+func (h *consHdr) learned() bool   { return h.flags&flagLearned != 0 }
+func (h *consHdr) removed() bool   { return h.flags&flagRemoved != 0 }
+func (h *consHdr) watched() bool   { return h.flags&flagWatched != 0 }
+func (h *consHdr) satisfied() bool { return h.trueSum >= h.degree }
 
-// Slack returns watchSum − degree under the current assignment.
-func (c *Cons) Slack() int64 { return c.watchSum - c.Degree }
+// Cons is a read-only view of one stored constraint. Lits and Coefs alias
+// the engine's term arenas: the view is transient — valid until the next
+// call that grows or compacts the store (AddCons, LearnAndBackjump,
+// ImportClause, ReduceDB). Copy what you keep.
+type Cons struct {
+	Lits    []pb.Lit
+	Coefs   []int64
+	Degree  int64
+	Learned bool
+
+	watchSum int64
+	trueSum  int64
+	removed  bool
+}
+
+// Len returns the number of terms.
+func (c Cons) Len() int { return len(c.Lits) }
+
+// Removed reports whether the constraint was garbage-collected.
+func (c Cons) Removed() bool { return c.removed }
+
+// Slack returns watchSum − degree under the assignment at view time.
+func (c Cons) Slack() int64 { return c.watchSum - c.Degree }
 
 // Satisfied reports whether the constraint is already satisfied by true
 // literals alone.
-func (c *Cons) Satisfied() bool { return c.trueSum >= c.Degree }
+func (c Cons) Satisfied() bool { return c.trueSum >= c.Degree }
 
 // TrueSum returns the coefficient sum of currently-true literals.
-func (c *Cons) TrueSum() int64 { return c.trueSum }
+func (c Cons) TrueSum() int64 { return c.trueSum }
 
+// occRef is one occurrence-index entry: constraint index plus the term's
+// coefficient, inlined so counter updates never chase into the arenas.
+// Coefficients are immutable after AddCons, so the copy cannot go stale.
 type occRef struct {
 	cons int32
-	term int32
+	coef int64
 }
 
 // Stats counts search events.
@@ -104,8 +170,23 @@ type Stats struct {
 // Engine is the CDCL search state.
 type Engine struct {
 	nVars int
-	cons  []*Cons
-	occ   [][]occRef // per literal: constraints containing it
+
+	// Struct-of-arrays constraint store (see package comment).
+	hdrs  []consHdr
+	lits  []pb.Lit
+	coefs []int64
+
+	// occCSR/occOff form the immutable CSR occurrence index over the
+	// constraints present at New: the constraints containing literal l are
+	// occCSR[occOff[l]:occOff[l+1]]. Those constraints are problem
+	// constraints and are never removed, so the CSR needs no purging —
+	// the hot loops over it skip the removed check entirely.
+	occCSR []occRef
+	occOff []int32
+	// occDyn holds occurrence entries for counter-based constraints added
+	// after New (late problem rows, learned PB cuts, imported units); these
+	// can be removed by ReduceDB, so entries are validated and purged.
+	occDyn [][]occRef
 
 	value    []Value
 	level    []int32
@@ -139,7 +220,19 @@ type Engine struct {
 
 	// consWatcher, when non-nil, observes satisfaction transitions of
 	// problem constraints (see notify.go). Registered via SetConsWatcher.
+	// Transitions are coalesced per propagation wave: assign/backtrack only
+	// mark constraints dirty, and FlushConsDeltas delivers the net
+	// transitions in one ConsWave call.
 	consWatcher ConsWatcher
+	dirty       []int32
+	satState    []uint8 // state* bits per constraint (see const block)
+	satBuf      []int32
+	unsatBuf    []int32
+
+	// numDyn counts constraints added after New (the only ones with occDyn
+	// entries). While zero — the common case until PB cuts are learned or
+	// rows imported — the hot loops skip the occDyn indexing entirely.
+	numDyn int
 
 	// rng, when non-nil, injects seeded random branching: with probability
 	// randFreq a decision picks a random unassigned variable instead of the
@@ -173,7 +266,7 @@ func New(p *pb.Problem) *Engine {
 		activity:  make([]float64, p.NumVars),
 		phase:     make([]Value, p.NumVars),
 		seen:      make([]bool, p.NumVars),
-		occ:       make([][]occRef, 2*p.NumVars),
+		occDyn:    make([][]occRef, 2*p.NumVars),
 		watchList: make([][]int32, 2*p.NumVars),
 		varInc:    1,
 		consInc:   1,
@@ -186,20 +279,79 @@ func New(p *pb.Problem) *Engine {
 	for v := 0; v < p.NumVars; v++ {
 		e.heap.push(pb.Var(v))
 	}
+
+	// Build the SoA store and the CSR occurrence index in two passes:
+	// count occurrences per literal, prefix-sum into row offsets, then fill
+	// arena spans and CSR cells. Everything is unassigned at New, so the
+	// counters are watchSum = Σcoef, trueSum = 0.
+	total := 0
 	for _, c := range p.Constraints {
-		e.AddCons(c.Terms, c.Degree, false)
+		total += len(c.Terms)
 	}
+	e.lits = make([]pb.Lit, 0, total)
+	e.coefs = make([]int64, 0, total)
+	e.hdrs = make([]consHdr, 0, len(p.Constraints))
+	e.occOff = make([]int32, 2*p.NumVars+1)
+	for _, c := range p.Constraints {
+		for _, t := range c.Terms {
+			e.occOff[t.Lit+1]++
+		}
+	}
+	for l := 1; l < len(e.occOff); l++ {
+		e.occOff[l] += e.occOff[l-1]
+	}
+	e.occCSR = make([]occRef, total)
+	cursor := make([]int32, 2*p.NumVars)
+	copy(cursor, e.occOff[:2*p.NumVars])
+	for ci, c := range p.Constraints {
+		h := consHdr{off: int32(len(e.lits)), n: int32(len(c.Terms)), degree: c.Degree}
+		for _, t := range c.Terms {
+			e.lits = append(e.lits, t.Lit)
+			e.coefs = append(e.coefs, t.Coef)
+			h.watchSum += t.Coef
+			if t.Coef > h.maxCoef {
+				h.maxCoef = t.Coef
+			}
+			e.occCSR[cursor[t.Lit]] = occRef{int32(ci), t.Coef}
+			cursor[t.Lit]++
+		}
+		if !h.satisfied() {
+			e.numUnsatisfied++
+		}
+		e.hdrs = append(e.hdrs, h)
+	}
+	e.satState = make([]uint8, len(e.hdrs))
 	return e
+}
+
+// csr returns the immutable CSR occurrence row of literal l.
+func (e *Engine) csr(l pb.Lit) []occRef {
+	return e.occCSR[e.occOff[l]:e.occOff[l+1]]
 }
 
 // NumVars returns the variable count.
 func (e *Engine) NumVars() int { return e.nVars }
 
 // NumCons returns the number of stored constraints (problem + learned).
-func (e *Engine) NumCons() int { return len(e.cons) }
+func (e *Engine) NumCons() int { return len(e.hdrs) }
 
-// Cons returns the i-th stored constraint (read-only use).
-func (e *Engine) Cons(i int) *Cons { return e.cons[i] }
+// Cons returns a read-only view of the i-th stored constraint. The view's
+// term slices alias the engine arenas and are invalidated by the next store
+// mutation (AddCons / LearnAndBackjump / ImportClause / ReduceDB); counters
+// (TrueSum, Slack, Satisfied) are copied at call time.
+func (e *Engine) Cons(i int) Cons {
+	h := &e.hdrs[i]
+	end := h.off + h.n
+	return Cons{
+		Lits:     e.lits[h.off:end:end],
+		Coefs:    e.coefs[h.off:end:end],
+		Degree:   h.degree,
+		Learned:  h.learned(),
+		watchSum: h.watchSum,
+		trueSum:  h.trueSum,
+		removed:  h.removed(),
+	}
+}
 
 // Value returns the current assignment of v.
 func (e *Engine) Value(v pb.Var) Value { return e.value[v] }
@@ -241,48 +393,88 @@ func (e *Engine) DecisionLit(lvl int) pb.Lit { return e.trail[e.trailLim[lvl-1]]
 // by true literals.
 func (e *Engine) NumUnsatisfied() int { return e.numUnsatisfied }
 
+// appendHdr appends a header and grows the notification-state table in
+// step.
+func (e *Engine) appendHdr(h consHdr) int32 {
+	idx := int32(len(e.hdrs))
+	e.hdrs = append(e.hdrs, h)
+	e.satState = append(e.satState, 0)
+	return idx
+}
+
 // AddCons appends the normalized constraint Σ terms ≥ degree to the store,
 // initializing its propagation counters from the current assignment. It
 // returns the constraint index. The caller must ensure terms are normalized
-// (positive clipped coefficients, one term per variable) — constraints from
-// pb.Normalize or derived clauses satisfy this. A clause of literals can be
-// added with coefficient 1 each and degree 1.
+// (positive clipped coefficients sorted by descending coefficient, one term
+// per variable) — constraints from pb.Normalize or derived clauses satisfy
+// this. A clause of literals can be added with coefficient 1 each and
+// degree 1. The terms are interned into the engine arenas; the input slice
+// is neither retained nor mutated.
 func (e *Engine) AddCons(terms []pb.Term, degree int64, learned bool) int {
-	c := &Cons{
-		Terms:   append([]pb.Term(nil), terms...),
-		Degree:  degree,
-		Learned: learned,
-	}
-	idx := int32(len(e.cons))
-	e.cons = append(e.cons, c)
+	h := consHdr{off: int32(len(e.lits)), n: int32(len(terms)), degree: degree}
 	if learned {
+		h.flags |= flagLearned
 		e.Stats.Learned++
 	}
-	for ti, t := range c.Terms {
-		if t.Coef > c.maxCoef {
-			c.maxCoef = t.Coef
+	idx := int32(len(e.hdrs))
+	for _, t := range terms {
+		e.lits = append(e.lits, t.Lit)
+		e.coefs = append(e.coefs, t.Coef)
+		if t.Coef > h.maxCoef {
+			h.maxCoef = t.Coef
 		}
-		// occ[l] lists exactly the constraints whose stored term literal is
-		// l: when l turns true those constraints gain trueSum, and when l
+		// occDyn[l] lists exactly the constraints whose stored term literal
+		// is l: when l turns true those constraints gain trueSum, and when l
 		// turns false (its complement assigned) they lose watchSum.
-		e.occ[t.Lit] = append(e.occ[t.Lit], occRef{idx, int32(ti)})
+		e.occDyn[t.Lit] = append(e.occDyn[t.Lit], occRef{idx, t.Coef})
 		switch e.LitValue(t.Lit) {
 		case Unassigned:
-			c.watchSum += t.Coef
+			h.watchSum += t.Coef
 		case True:
-			c.watchSum += t.Coef
-			c.trueSum += t.Coef
+			h.watchSum += t.Coef
+			h.trueSum += t.Coef
+		case False:
+			// watchSum decrements are applied when Propagate consumes the
+			// falsifying trail literal. If that literal is still queued
+			// (trail position >= propHead), the decrement is yet to come:
+			// count the coefficient now so the books balance when it does.
+			if int(e.trailPos[t.Lit.Var()]) >= e.propHead {
+				h.watchSum += t.Coef
+			}
 		}
 	}
+	sat := h.satisfied()
 	if !learned {
-		if !c.Satisfied() {
+		if !sat {
 			e.numUnsatisfied++
 		}
-		if e.consWatcher != nil {
-			e.consWatcher.ConsAdded(int(idx), c.Satisfied())
+	}
+	e.numDyn++
+	e.appendHdr(h)
+	if !learned && e.consWatcher != nil {
+		if sat {
+			e.satState[idx] = stateCur | stateLast
 		}
+		e.consWatcher.ConsAdded(int(idx), sat)
 	}
 	return int(idx)
+}
+
+// noteTransition records a satisfaction transition of problem constraint ci
+// (to satisfied when sat, to unsatisfied otherwise) for the next
+// FlushConsDeltas, queueing ci at most once. Call sites guard on non-learned
+// constraints and an attached watcher only. The state byte carries the
+// current satisfaction, so the flush never has to re-read the header.
+func (e *Engine) noteTransition(ci int32, sat bool) {
+	s := e.satState[ci]
+	ns := (s &^ stateCur) | stateDirty
+	if sat {
+		ns |= stateCur
+	}
+	e.satState[ci] = ns
+	if s&stateDirty == 0 {
+		e.dirty = append(e.dirty, ci)
+	}
 }
 
 // Assign makes l true at the current decision level with the given reason
@@ -305,27 +497,43 @@ func (e *Engine) assign(l pb.Lit, reason int32) {
 	if len(e.trail) > e.Stats.MaxTrail {
 		e.Stats.MaxTrail = len(e.trail)
 	}
-	// Update counters: l is now true, ¬l false.
-	for _, ref := range e.occ[l] {
-		c := e.cons[ref.cons]
-		if c.removed {
-			continue
-		}
-		wasSat := c.Satisfied()
-		c.trueSum += c.Terms[ref.term].Coef
-		if !wasSat && c.Satisfied() && !c.Learned {
+	// Update trueSum eagerly: l is now true. The CSR rows cover only
+	// problem constraints (never removed, never watched); the dynamic rows
+	// may contain removed learned cuts. The watchSum decrement for ¬l is
+	// deferred to Propagate's queue-consumption loop, where it fuses with
+	// the conflict/implication check — one occurrence-list pass per
+	// falsified literal instead of two. Until l is consumed, watchSum of
+	// constraints containing ¬l reads transiently HIGH (slack too large):
+	// implications and conflicts are merely delayed to consumption time,
+	// never invented.
+	watching := e.consWatcher != nil
+	hdrs := e.hdrs
+	for _, ref := range e.csr(l) {
+		h := &hdrs[ref.cons]
+		wasSat := h.trueSum >= h.degree
+		h.trueSum += ref.coef
+		if !wasSat && h.trueSum >= h.degree {
 			e.numUnsatisfied--
-			if e.consWatcher != nil {
-				e.consWatcher.ConsSatisfied(int(ref.cons))
+			if watching {
+				e.noteTransition(ref.cons, true)
 			}
 		}
 	}
-	for _, ref := range e.occ[l.Neg()] {
-		c := e.cons[ref.cons]
-		if c.removed {
-			continue
+	if e.numDyn != 0 {
+		for _, ref := range e.occDyn[l] {
+			h := &e.hdrs[ref.cons]
+			if h.flags&flagRemoved != 0 {
+				continue
+			}
+			wasSat := h.trueSum >= h.degree
+			h.trueSum += ref.coef
+			if !wasSat && h.trueSum >= h.degree && h.flags&flagLearned == 0 {
+				e.numUnsatisfied--
+				if watching {
+					e.noteTransition(ref.cons, true)
+				}
+			}
 		}
-		c.watchSum -= c.Terms[ref.term].Coef
 	}
 }
 
@@ -353,16 +561,16 @@ func (e *Engine) Enqueue(l pb.Lit, reason int32) bool {
 
 // Protect excludes a learned constraint from ReduceDB garbage collection
 // (used for the incumbent cuts, which are semantically irreplaceable).
-func (e *Engine) Protect(idx int) { e.cons[idx].protected = true }
+func (e *Engine) Protect(idx int) { e.hdrs[idx].flags |= flagProtected }
 
 // bumpCons increases a constraint's activity (called when it participates
 // in conflict analysis).
 func (e *Engine) bumpCons(idx int32) {
-	c := e.cons[idx]
-	c.activity += e.consInc
-	if c.activity > rescaleLimit {
-		for _, cc := range e.cons {
-			cc.activity *= 1 / rescaleLimit
+	h := &e.hdrs[idx]
+	h.activity += e.consInc
+	if h.activity > rescaleLimit {
+		for i := range e.hdrs {
+			e.hdrs[i].activity *= 1 / rescaleLimit
 		}
 		e.consInc *= 1 / rescaleLimit
 	}
@@ -372,7 +580,9 @@ func (e *Engine) bumpCons(idx int32) {
 // constraints, keeping the most active. It must be called at decision level
 // 0 (after a restart): at the root no learned constraint above level 0 is a
 // reason, and the reasons of root-level assignments are kept. Occurrence
-// entries are purged so the hot propagation loops shrink accordingly.
+// and watch entries are purged, and the term arenas are compacted in place
+// (constraint indices stay stable; only arena offsets move), so the hot
+// propagation loops shrink accordingly and freed spans are reclaimed.
 // It returns the number of constraints removed.
 func (e *Engine) ReduceDB() int {
 	if e.DecisionLevel() != 0 {
@@ -385,8 +595,9 @@ func (e *Engine) ReduceDB() int {
 		}
 	}
 	var cands []int32
-	for i, c := range e.cons {
-		if c.Learned && !c.removed && !c.protected && !isRootReason[int32(i)] {
+	for i := range e.hdrs {
+		h := &e.hdrs[i]
+		if h.learned() && !h.removed() && h.flags&flagProtected == 0 && !isRootReason[int32(i)] {
 			cands = append(cands, int32(i))
 		}
 	}
@@ -394,27 +605,51 @@ func (e *Engine) ReduceDB() int {
 		return 0
 	}
 	sort.Slice(cands, func(a, b int) bool {
-		return e.cons[cands[a]].activity < e.cons[cands[b]].activity
+		return e.hdrs[cands[a]].activity < e.hdrs[cands[b]].activity
 	})
 	removed := 0
 	for _, ci := range cands[:len(cands)/2] {
-		c := e.cons[ci]
-		c.removed = true
-		c.Terms = nil // free memory; occ purge below drops the references
+		e.hdrs[ci].flags |= flagRemoved
 		removed++
 	}
-	// Purge occurrence and watch lists.
-	for li := range e.occ {
-		lst := e.occ[li][:0]
-		for _, ref := range e.occ[li] {
-			if !e.cons[ref.cons].removed {
+	// Purge dynamic occurrence and watch lists, then reclaim the arena
+	// spans of the removed constraints.
+	for li := range e.occDyn {
+		lst := e.occDyn[li][:0]
+		for _, ref := range e.occDyn[li] {
+			if !e.hdrs[ref.cons].removed() {
 				lst = append(lst, ref)
 			}
 		}
-		e.occ[li] = lst
+		e.occDyn[li] = lst
 	}
 	e.purgeWatchLists()
+	e.compactArena()
 	return removed
+}
+
+// compactArena slides the live constraint spans down over the holes left by
+// removed constraints and truncates the arenas. Constraint indices are
+// stable — only hdr.off moves — so reasons, occurrence entries and watch
+// lists stay valid. Outstanding Cons views are invalidated (they alias the
+// arenas), which is why ReduceDB sits on the between-nodes path only.
+func (e *Engine) compactArena() {
+	var w int32
+	for i := range e.hdrs {
+		h := &e.hdrs[i]
+		if h.removed() {
+			h.off, h.n = w, 0
+			continue
+		}
+		if h.off != w {
+			copy(e.lits[w:w+h.n], e.lits[h.off:h.off+h.n])
+			copy(e.coefs[w:w+h.n], e.coefs[h.off:h.off+h.n])
+			h.off = w
+		}
+		w += h.n
+	}
+	e.lits = e.lits[:w]
+	e.coefs = e.coefs[:w]
 }
 
 // UpdateDegree tightens constraint idx to a strictly larger degree in place
@@ -425,19 +660,19 @@ func (e *Engine) ReduceDB() int {
 // old degree. The constraint is scheduled for re-examination on the next
 // Propagate call.
 func (e *Engine) UpdateDegree(idx int, degree int64) {
-	c := e.cons[idx]
-	if degree <= c.Degree {
+	h := &e.hdrs[idx]
+	if degree <= h.degree {
 		return
 	}
-	wasSat := c.Satisfied()
-	c.Degree = degree
+	wasSat := h.satisfied()
+	h.degree = degree
 	// Tightening can un-satisfy a constraint in place. Only the incumbent
 	// cuts (learned) are tightened today, but keep the problem-constraint
 	// bookkeeping (and the watcher) honest should that ever change.
-	if !c.Learned && wasSat && !c.Satisfied() {
+	if !h.learned() && wasSat && !h.satisfied() {
 		e.numUnsatisfied++
 		if e.consWatcher != nil {
-			e.consWatcher.ConsUnsatisfied(idx)
+			e.noteTransition(int32(idx), false)
 		}
 	}
 	e.pending = append(e.pending, int32(idx))
@@ -450,28 +685,60 @@ func (e *Engine) UpdateDegree(idx int, degree int64) {
 // constraint is conflicting at the root (the instance is unsatisfiable).
 func (e *Engine) SeedUnits() int {
 	count := 0
-	for ci, c := range e.cons {
-		if c.removed || c.watched || c.Satisfied() {
+	for ci := range e.hdrs {
+		h := &e.hdrs[ci]
+		if h.flags&(flagRemoved|flagWatched) != 0 || h.satisfied() {
 			continue
 		}
-		slack := c.watchSum - c.Degree
+		slack := h.watchSum - h.degree
 		if slack < 0 {
 			return -1
 		}
-		if slack >= c.maxCoef {
+		if slack >= h.maxCoef {
 			continue
 		}
-		for _, t := range c.Terms {
-			if t.Coef <= slack {
+		ls := e.lits[h.off : h.off+h.n]
+		cs := e.coefs[h.off : h.off+h.n]
+		for k, coef := range cs {
+			if coef <= slack {
 				break
 			}
-			if e.LitValue(t.Lit) == Unassigned {
-				e.assign(t.Lit, int32(ci))
+			if e.LitValue(ls[k]) == Unassigned {
+				e.assign(ls[k], int32(ci))
 				count++
 			}
 		}
 	}
 	return count
+}
+
+// propagateCons examines counter-based constraint ci after one of its
+// literals was falsified (or its degree tightened): detects conflict,
+// asserts implied literals. Returns false on conflict.
+func (e *Engine) propagateCons(ci int32) bool {
+	h := &e.hdrs[ci]
+	if h.trueSum >= h.degree {
+		return true
+	}
+	slack := h.watchSum - h.degree
+	if slack < 0 {
+		e.Stats.Conflicts++
+		return false
+	}
+	if slack >= h.maxCoef {
+		return true
+	}
+	ls := e.lits[h.off : h.off+h.n]
+	cs := e.coefs[h.off : h.off+h.n]
+	for k, coef := range cs {
+		if coef <= slack {
+			break // terms sorted by descending coefficient
+		}
+		if e.LitValue(ls[k]) == Unassigned {
+			e.assign(ls[k], ci)
+		}
+	}
+	return true
 }
 
 // Propagate runs Boolean constraint propagation to fixpoint. It returns the
@@ -480,68 +747,122 @@ func (e *Engine) Propagate() int {
 	// Re-examine constraints whose degree was tightened in place.
 	for len(e.pending) > 0 {
 		ci := e.pending[len(e.pending)-1]
-		c := e.cons[ci]
-		if c.removed || c.Satisfied() {
+		h := &e.hdrs[ci]
+		if h.removed() || h.satisfied() {
 			e.pending = e.pending[:len(e.pending)-1]
 			continue
 		}
-		slack := c.watchSum - c.Degree
-		if slack < 0 {
+		if h.watchSum-h.degree < 0 {
 			e.Stats.Conflicts++
 			// Leave it pending: after backtracking the caller re-propagates
 			// and the constraint is examined again at the new level.
 			return int(ci)
 		}
 		e.pending = e.pending[:len(e.pending)-1]
-		if slack >= c.maxCoef {
-			continue
-		}
-		for _, t := range c.Terms {
-			if t.Coef <= slack {
-				break
-			}
-			if e.LitValue(t.Lit) == Unassigned {
-				e.assign(t.Lit, ci)
-			}
+		if !e.propagateCons(ci) {
+			return int(ci) // cannot happen (slack checked above); defensive
 		}
 	}
+	// None of these slices grow or move during propagation (assign appends
+	// only to the trail), so hoisting them out of the wave loop saves the
+	// field reloads and bounds-check setup per consumed literal.
+	hdrs, lits, coefs := e.hdrs, e.lits, e.coefs
+	occCSR, occOff := e.occCSR, e.occOff
 	for e.propHead < len(e.trail) {
-		l := e.trail[e.propHead]
-		e.propHead++
-		e.Stats.Propagations++
+		// The interrupt poll sits before consumption: once propHead moves
+		// past l, the watchSum decrements below are owed and an early
+		// return would leave BacktrackTo's restore unbalanced.
 		if e.Interrupt != nil && e.Stats.Propagations&1023 == 0 && e.Interrupt() {
 			return -1 // budget expired mid-fixpoint; caller aborts
 		}
-		// Literal ¬l became false: every constraint containing ¬l lost
-		// weight and may now be conflicting or propagating.
+		l := e.trail[e.propHead]
+		e.propHead++
+		e.Stats.Propagations++
+		// Literal ¬l became false: every constraint containing ¬l loses
+		// watchSum here (the decrement deferred by assign) and may now be
+		// conflicting or propagating — one fused pass per occurrence list.
 		nl := l.Neg()
-		if confl := e.propagateWatches(nl); confl >= 0 {
-			return confl
+		if len(e.watchList[nl]) != 0 {
+			if confl := e.propagateWatches(nl); confl >= 0 {
+				// propHead already moved past l, so BacktrackTo will treat it
+				// as consumed: the decrements must land even though the
+				// watched clause conflict aborts this wave.
+				for _, ref := range e.csr(nl) {
+					e.hdrs[ref.cons].watchSum -= ref.coef
+				}
+				if e.numDyn != 0 {
+					for _, ref := range e.occDyn[nl] {
+						h := &e.hdrs[ref.cons]
+						if h.flags&flagRemoved == 0 {
+							h.watchSum -= ref.coef
+						}
+					}
+				}
+				return confl
+			}
 		}
-		for _, ref := range e.occ[nl] {
-			c := e.cons[ref.cons]
-			if c.Terms[ref.term].Lit != nl {
+		// On a counter conflict the remaining decrements for nl must still
+		// be applied before returning, for the same reason.
+		conflict := int32(-1)
+		for _, ref := range occCSR[occOff[nl]:occOff[nl+1]] {
+			h := &hdrs[ref.cons]
+			h.watchSum -= ref.coef
+			if conflict >= 0 || h.trueSum >= h.degree {
 				continue
 			}
-			if c.Satisfied() {
-				continue
-			}
-			slack := c.watchSum - c.Degree
+			slack := h.watchSum - h.degree
 			if slack < 0 {
 				e.Stats.Conflicts++
-				return int(ref.cons)
-			}
-			if slack >= c.maxCoef {
+				conflict = ref.cons
 				continue
 			}
-			for _, t := range c.Terms {
-				if t.Coef <= slack {
+			if slack >= h.maxCoef {
+				continue
+			}
+			ls := lits[h.off : h.off+h.n]
+			cs := coefs[h.off : h.off+h.n]
+			for k, coef := range cs {
+				if coef <= slack {
 					break // terms sorted by descending coefficient
 				}
-				if e.LitValue(t.Lit) == Unassigned {
-					e.assign(t.Lit, ref.cons)
+				if e.LitValue(ls[k]) == Unassigned {
+					e.assign(ls[k], ref.cons)
 				}
 			}
+		}
+		if e.numDyn != 0 {
+			for _, ref := range e.occDyn[nl] {
+				h := &e.hdrs[ref.cons]
+				if h.flags&flagRemoved != 0 {
+					continue
+				}
+				h.watchSum -= ref.coef
+				if conflict >= 0 || h.trueSum >= h.degree {
+					continue
+				}
+				slack := h.watchSum - h.degree
+				if slack < 0 {
+					e.Stats.Conflicts++
+					conflict = ref.cons
+					continue
+				}
+				if slack >= h.maxCoef {
+					continue
+				}
+				ls := e.lits[h.off : h.off+h.n]
+				cs := e.coefs[h.off : h.off+h.n]
+				for k, coef := range cs {
+					if coef <= slack {
+						break
+					}
+					if e.LitValue(ls[k]) == Unassigned {
+						e.assign(ls[k], ref.cons)
+					}
+				}
+			}
+		}
+		if conflict >= 0 {
+			return int(conflict)
 		}
 	}
 	return -1
@@ -552,31 +873,59 @@ func (e *Engine) BacktrackTo(lvl int) {
 	if lvl >= e.DecisionLevel() {
 		return
 	}
+	watching := e.consWatcher != nil
 	limit := e.trailLim[lvl]
+	// Only consumed literals (trail position < propHead) had their watchSum
+	// decrement applied in Propagate; restore watchSum for exactly those.
+	// trueSum is updated eagerly in assign, so it restores unconditionally.
+	ph := e.propHead
+	hdrs := e.hdrs
+	occCSR, occOff := e.occCSR, e.occOff
 	for i := len(e.trail) - 1; i >= limit; i-- {
 		l := e.trail[i]
 		v := l.Var()
 		// Restore counters.
-		for _, ref := range e.occ[l] {
-			c := e.cons[ref.cons]
-			if c.removed {
-				continue
-			}
-			wasSat := c.Satisfied()
-			c.trueSum -= c.Terms[ref.term].Coef
-			if wasSat && !c.Satisfied() && !c.Learned {
+		for _, ref := range occCSR[occOff[l]:occOff[l+1]] {
+			h := &hdrs[ref.cons]
+			wasSat := h.trueSum >= h.degree
+			h.trueSum -= ref.coef
+			if wasSat && h.trueSum < h.degree {
 				e.numUnsatisfied++
-				if e.consWatcher != nil {
-					e.consWatcher.ConsUnsatisfied(int(ref.cons))
+				if watching {
+					e.noteTransition(ref.cons, false)
 				}
 			}
 		}
-		for _, ref := range e.occ[l.Neg()] {
-			c := e.cons[ref.cons]
-			if c.removed {
-				continue
+		if e.numDyn != 0 {
+			for _, ref := range e.occDyn[l] {
+				h := &e.hdrs[ref.cons]
+				if h.flags&flagRemoved != 0 {
+					continue
+				}
+				wasSat := h.trueSum >= h.degree
+				h.trueSum -= ref.coef
+				if wasSat && h.trueSum < h.degree && h.flags&flagLearned == 0 {
+					e.numUnsatisfied++
+					if watching {
+						e.noteTransition(ref.cons, false)
+					}
+				}
 			}
-			c.watchSum += c.Terms[ref.term].Coef
+		}
+		if i < ph {
+			nl := l.Neg()
+			for _, ref := range occCSR[occOff[nl]:occOff[nl+1]] {
+				hdrs[ref.cons].watchSum += ref.coef
+			}
+			if e.numDyn != 0 {
+				for _, ref := range e.occDyn[nl] {
+					h := &e.hdrs[ref.cons]
+					if h.flags&flagRemoved != 0 {
+						continue
+					}
+					h.watchSum += ref.coef
+				}
+			}
 		}
 		e.phase[v] = e.value[v]
 		e.value[v] = Unassigned
@@ -594,14 +943,14 @@ func (e *Engine) BacktrackTo(lvl int) {
 // was propagated by constraint consIdx): the literals of the constraint that
 // are false and were assigned strictly before l. Appends to out.
 func (e *Engine) reasonSide(l pb.Lit, consIdx int32, out []pb.Lit) []pb.Lit {
-	c := e.cons[consIdx]
+	h := &e.hdrs[consIdx]
 	pos := e.trailPos[l.Var()]
-	for _, t := range c.Terms {
-		if t.Lit.Var() == l.Var() {
+	for _, q := range e.lits[h.off : h.off+h.n] {
+		if q.Var() == l.Var() {
 			continue
 		}
-		if e.LitValue(t.Lit) == False && e.trailPos[t.Lit.Var()] < pos {
-			out = append(out, t.Lit)
+		if e.LitValue(q) == False && e.trailPos[q.Var()] < pos {
+			out = append(out, q)
 		}
 	}
 	return out
@@ -609,10 +958,10 @@ func (e *Engine) reasonSide(l pb.Lit, consIdx int32, out []pb.Lit) []pb.Lit {
 
 // conflictSide returns the falsified literals of the conflicting constraint.
 func (e *Engine) conflictSide(consIdx int, out []pb.Lit) []pb.Lit {
-	c := e.cons[consIdx]
-	for _, t := range c.Terms {
-		if e.LitValue(t.Lit) == False {
-			out = append(out, t.Lit)
+	h := &e.hdrs[consIdx]
+	for _, q := range e.lits[h.off : h.off+h.n] {
+		if e.LitValue(q) == False {
+			out = append(out, q)
 		}
 	}
 	return out
@@ -873,16 +1222,17 @@ func (e *Engine) Values() []bool {
 }
 
 // UnsatisfiedCons calls fn for every problem constraint not yet satisfied by
-// true literals, passing the constraint index and residual degree
-// (Degree − trueSum > 0). Learned constraints are skipped: lower bounds must
-// be estimated on the problem itself (learned bound clauses depend on the
-// incumbent and would make explanations circular).
-func (e *Engine) UnsatisfiedCons(fn func(idx int, c *Cons, residual int64)) {
-	for i, c := range e.cons {
-		if c.removed || c.Learned || c.Satisfied() {
+// true literals, passing the constraint index, a transient view and the
+// residual degree (Degree − trueSum > 0). Learned constraints are skipped:
+// lower bounds must be estimated on the problem itself (learned bound
+// clauses depend on the incumbent and would make explanations circular).
+func (e *Engine) UnsatisfiedCons(fn func(idx int, c Cons, residual int64)) {
+	for i := range e.hdrs {
+		h := &e.hdrs[i]
+		if h.flags&(flagRemoved|flagLearned) != 0 || h.satisfied() {
 			continue
 		}
-		fn(i, c, c.Degree-c.trueSum)
+		fn(i, e.Cons(i), h.degree-h.trueSum)
 	}
 }
 
@@ -890,25 +1240,35 @@ func (e *Engine) UnsatisfiedCons(fn func(idx int, c *Cons, residual int64)) {
 // watchSum/trueSum from scratch and compares.
 func (e *Engine) CheckInvariants() error {
 	unsat := 0
-	for i, c := range e.cons {
-		if c.removed || c.watched {
+	for i := range e.hdrs {
+		h := &e.hdrs[i]
+		if h.removed() || h.watched() {
 			continue
 		}
 		var ws, ts int64
-		for _, t := range c.Terms {
-			switch e.LitValue(t.Lit) {
+		ls := e.lits[h.off : h.off+h.n]
+		cs := e.coefs[h.off : h.off+h.n]
+		for k, l := range ls {
+			switch e.LitValue(l) {
 			case True:
-				ws += t.Coef
-				ts += t.Coef
+				ws += cs[k]
+				ts += cs[k]
 			case Unassigned:
-				ws += t.Coef
+				ws += cs[k]
+			case False:
+				// Deferred decrement: a falsified literal leaves watchSum
+				// only once Propagate consumes its complement from the
+				// trail queue.
+				if int(e.trailPos[l.Var()]) >= e.propHead {
+					ws += cs[k]
+				}
 			}
 		}
-		if ws != c.watchSum || ts != c.trueSum {
+		if ws != h.watchSum || ts != h.trueSum {
 			return fmt.Errorf("cons %d: watchSum=%d(want %d) trueSum=%d(want %d)",
-				i, c.watchSum, ws, c.trueSum, ts)
+				i, h.watchSum, ws, h.trueSum, ts)
 		}
-		if !c.Learned && ts < c.Degree {
+		if !h.learned() && ts < h.degree {
 			unsat++
 		}
 	}

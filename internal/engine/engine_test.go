@@ -380,7 +380,7 @@ func TestUnsatisfiedConsIteration(t *testing.T) {
 	e.Decide(pb.PosLit(0))
 	_ = e.Propagate()
 	var got []int64
-	e.UnsatisfiedCons(func(idx int, c *Cons, residual int64) {
+	e.UnsatisfiedCons(func(idx int, c Cons, residual int64) {
 		got = append(got, residual)
 	})
 	if len(got) != 1 || got[0] != 1 {
@@ -389,7 +389,7 @@ func TestUnsatisfiedConsIteration(t *testing.T) {
 	e.Decide(pb.PosLit(1))
 	_ = e.Propagate()
 	count := 0
-	e.UnsatisfiedCons(func(int, *Cons, int64) { count++ })
+	e.UnsatisfiedCons(func(int, Cons, int64) { count++ })
 	if count != 0 {
 		t.Fatalf("count=%d want 0", count)
 	}

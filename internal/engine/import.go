@@ -115,17 +115,11 @@ func (e *Engine) ImportClause(lits []pb.Lit) ImportStatus {
 		return ImportUnit
 	}
 	// All surviving literals are unassigned at the root: any two are valid
-	// watches.
-	terms := make([]pb.Term, len(out))
-	for i, l := range out {
-		terms[i] = pb.Term{Coef: 1, Lit: l}
-	}
-	c := &Cons{Terms: terms, Degree: 1, Learned: true, watched: true, maxCoef: 1}
-	idx := int32(len(e.cons))
-	e.cons = append(e.cons, c)
-	e.Stats.Learned++
+	// watches. internClause copies the literals into the engine's arena, so
+	// the stored clause can never alias the (foreign, cross-goroutine)
+	// input buffer — see TestImportClauseInternsLiterals.
+	idx := e.internClause(out)
 	e.Stats.Imported++
-	e.watchList[terms[0].Lit] = append(e.watchList[terms[0].Lit], idx)
-	e.watchList[terms[1].Lit] = append(e.watchList[terms[1].Lit], idx)
+	e.watchBoth(idx)
 	return ImportAdded
 }

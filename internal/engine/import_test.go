@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/pb"
@@ -155,5 +157,76 @@ func TestSeedRandomBranching(t *testing.T) {
 	}
 	if same {
 		t.Log("seeds 7 and 8 produced identical picks (possible but unlikely)")
+	}
+}
+
+// TestImportClauseInternsLiterals pins the interning guarantee documented on
+// ImportClause and internClause: the stored clause must be a copy, never an
+// alias of the caller's buffer. Foreign clauses cross goroutines in the
+// portfolio, and a publisher is free to reuse its buffer the moment
+// ImportClause returns — so several engines import the SAME shared slice
+// concurrently, and the main goroutine scrambles that slice while the
+// engines are still propagating over the imported clause. A retained alias
+// shows up twice: as a data race under -race, and as a wrong implication
+// when the clause text silently changes under the propagator.
+func TestImportClauseInternsLiterals(t *testing.T) {
+	p := pb.NewProblem(6)
+	// x2 ∨ ¬x3 ∨ x4 over root-unassigned variables: survives import intact.
+	shared := []pb.Lit{pb.PosLit(2), pb.NegLit(3), pb.PosLit(4)}
+
+	const workers = 8
+	engines := make([]*Engine, workers)
+	errs := make(chan error, 2*workers)
+	start := make(chan struct{})
+	var imported, done sync.WaitGroup
+	imported.Add(workers)
+	done.Add(workers)
+	for i := range engines {
+		engines[i] = New(p)
+		go func(e *Engine) {
+			defer done.Done()
+			<-start
+			st := e.ImportClause(shared)
+			imported.Done()
+			if st != ImportAdded {
+				errs <- fmt.Errorf("ImportClause = %v, want added", st)
+				return
+			}
+			// Falsify the first two literals; the imported clause must
+			// imply the third — while the source buffer is being scrambled.
+			e.Decide(pb.NegLit(2))
+			e.Decide(pb.PosLit(3))
+			if confl := e.Propagate(); confl >= 0 {
+				errs <- fmt.Errorf("unexpected conflict %d propagating imported clause", confl)
+				return
+			}
+			if got := e.LitValue(pb.PosLit(4)); got != True {
+				errs <- fmt.Errorf("imported clause did not imply x4 (got %v)", got)
+			}
+		}(engines[i])
+	}
+	close(start)
+	imported.Wait() // every ImportClause has returned; engines still searching
+	for i := range shared {
+		shared[i] = pb.NegLit(0) // publisher reuses its buffer
+	}
+	done.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The scramble must not have reached any engine's store: re-derive the
+	// implication from scratch on every engine after the fact.
+	for i, e := range engines {
+		e.BacktrackTo(0)
+		e.Decide(pb.NegLit(2))
+		e.Decide(pb.PosLit(3))
+		if confl := e.Propagate(); confl >= 0 {
+			t.Fatalf("engine %d: conflict re-propagating after source scramble", i)
+		}
+		if got := e.LitValue(pb.PosLit(4)); got != True {
+			t.Fatalf("engine %d: stored clause corrupted by source scramble (x4=%v)", i, got)
+		}
 	}
 }

@@ -6,35 +6,64 @@
 // entirely. Backtracking costs nothing for watched clauses (watches remain
 // valid), which removes the learned-clause share of the two hottest loops
 // (assign and BacktrackTo).
+//
+// Watched clauses live in the same header/arena store as counter-based
+// constraints (flagWatched): their literal span is mutated in place when a
+// watch moves (positions 0 and 1 are the watches), and their coefficients
+// are all 1, kept in the coefficient arena so ReduceDB compaction can slide
+// every constraint span uniformly.
 package engine
 
 import "repro/internal/pb"
+
+// internClause copies lits into the arenas as a watched learned clause
+// header (no watches registered yet) and returns its index. The input slice
+// is copied, never retained: imported clauses cross goroutines, and a
+// publisher mutating its buffer after the call must not reach this store.
+func (e *Engine) internClause(lits []pb.Lit) int32 {
+	h := consHdr{
+		off:    int32(len(e.lits)),
+		n:      int32(len(lits)),
+		flags:  flagLearned | flagWatched,
+		degree: 1, maxCoef: 1,
+	}
+	e.lits = append(e.lits, lits...)
+	for range lits {
+		e.coefs = append(e.coefs, 1)
+	}
+	idx := e.appendHdr(h)
+	e.Stats.Learned++
+	return idx
+}
+
+// watchBoth registers clause idx on its first two span literals.
+func (e *Engine) watchBoth(idx int32) {
+	h := &e.hdrs[idx]
+	e.watchList[e.lits[h.off]] = append(e.watchList[e.lits[h.off]], idx)
+	e.watchList[e.lits[h.off+1]] = append(e.watchList[e.lits[h.off+1]], idx)
+}
 
 // addWatchedClause installs a learned clause of length ≥ 2 under the
 // two-watched-literal scheme and returns its constraint index. lits[0] must
 // be the asserting literal (unassigned after the backjump) and the rest
 // currently false; the second watch is placed on a literal from the highest
-// remaining decision level so it unassigns last.
+// remaining decision level so it unassigns last. The input is not mutated.
 func (e *Engine) addWatchedClause(lits []pb.Lit) int {
-	terms := make([]pb.Term, len(lits))
-	for i, l := range lits {
-		terms[i] = pb.Term{Coef: 1, Lit: l}
-	}
 	// Second watch: the falsified literal with the highest level.
 	best := 1
-	for k := 2; k < len(terms); k++ {
-		if e.level[terms[k].Lit.Var()] > e.level[terms[best].Lit.Var()] {
+	for k := 2; k < len(lits); k++ {
+		if e.level[lits[k].Var()] > e.level[lits[best].Var()] {
 			best = k
 		}
 	}
-	terms[1], terms[best] = terms[best], terms[1]
-
-	c := &Cons{Terms: terms, Degree: 1, Learned: true, watched: true, maxCoef: 1}
-	idx := int32(len(e.cons))
-	e.cons = append(e.cons, c)
-	e.Stats.Learned++
-	e.watchList[terms[0].Lit] = append(e.watchList[terms[0].Lit], idx)
-	e.watchList[terms[1].Lit] = append(e.watchList[terms[1].Lit], idx)
+	idx := e.internClause(lits)
+	if best != 1 {
+		// Swap inside the interned span (the caller's slice stays untouched).
+		h := &e.hdrs[idx]
+		ls := e.lits[h.off : h.off+h.n]
+		ls[1], ls[best] = ls[best], ls[1]
+	}
+	e.watchBoth(idx)
 	return int(idx)
 }
 
@@ -45,25 +74,26 @@ func (e *Engine) propagateWatches(q pb.Lit) int {
 	kept := list[:0]
 	for li := 0; li < len(list); li++ {
 		ci := list[li]
-		c := e.cons[ci]
-		if c.removed {
+		h := &e.hdrs[ci]
+		if h.flags&flagRemoved != 0 {
 			continue // drop the entry
 		}
-		// Normalize: Terms[1] is the falsified watch.
-		if c.Terms[0].Lit == q {
-			c.Terms[0], c.Terms[1] = c.Terms[1], c.Terms[0]
+		ls := e.lits[h.off : h.off+h.n]
+		// Normalize: ls[1] is the falsified watch.
+		if ls[0] == q {
+			ls[0], ls[1] = ls[1], ls[0]
 		}
-		other := c.Terms[0].Lit
+		other := ls[0]
 		if e.LitValue(other) == True {
 			kept = append(kept, ci) // satisfied: keep watching q
 			continue
 		}
 		// Search for a replacement watch.
 		moved := false
-		for k := 2; k < len(c.Terms); k++ {
-			if e.LitValue(c.Terms[k].Lit) != False {
-				c.Terms[1], c.Terms[k] = c.Terms[k], c.Terms[1]
-				e.watchList[c.Terms[1].Lit] = append(e.watchList[c.Terms[1].Lit], ci)
+		for k := 2; k < len(ls); k++ {
+			if e.LitValue(ls[k]) != False {
+				ls[1], ls[k] = ls[k], ls[1]
+				e.watchList[ls[1]] = append(e.watchList[ls[1]], ci)
 				moved = true
 				break
 			}
@@ -91,7 +121,7 @@ func (e *Engine) purgeWatchLists() {
 	for li := range e.watchList {
 		lst := e.watchList[li][:0]
 		for _, ci := range e.watchList[li] {
-			if !e.cons[ci].removed {
+			if e.hdrs[ci].flags&flagRemoved == 0 {
 				lst = append(lst, ci)
 			}
 		}

@@ -4,6 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/opb"
+	"repro/internal/preprocess"
 )
 
 // TestFuzzCorpus replays every committed reproducer under
@@ -39,5 +42,41 @@ func TestFuzzCorpus(t *testing.T) {
 				t.Errorf("mismatch %s", m)
 			}
 		})
+	}
+}
+
+// TestPresolveReproducersFixVariables guards the point of the presolve-*.opb
+// reproducers: each must actually drive FixVariables into eliminating at
+// least one variable, so the Check matrix exercises the lifted value-line
+// mapping rather than a no-op renumbering. (A presolve regression that stops
+// fixing anything would otherwise silently drain these files of coverage.)
+func TestPresolveReproducersFixVariables(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "fuzz-corpus")
+	files, err := filepath.Glob(filepath.Join(dir, "presolve-*.opb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("want at least 3 presolve reproducers, found %d", len(files))
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := opb.ParseString(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", filepath.Base(f), err)
+		}
+		fx, err := preprocess.FixVariables(p, preprocess.DefaultFixOptions)
+		if err != nil {
+			t.Fatalf("%s: %v", filepath.Base(f), err)
+		}
+		if fx.NumFixed() == 0 {
+			t.Errorf("%s: presolve fixed no variables — reproducer no longer exercises the mapping", filepath.Base(f))
+		}
+		if fx.ProvedUnsat {
+			t.Errorf("%s: unexpectedly proved UNSAT", filepath.Base(f))
+		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/opb"
 	"repro/internal/pb"
 	"repro/internal/portfolio"
+	"repro/internal/preprocess"
 	"repro/internal/verify"
 )
 
@@ -149,6 +150,81 @@ func Check(p *pb.Problem, budget int64) []Mismatch {
 		opt := c.opt
 		opt.Audit = aud
 		judge(c.name, core.SafeSolve(p, opt), aud)
+	}
+
+	// Presolve half of the matrix: FixVariables rewrites the instance over
+	// the unfixed variables (different numbering, possibly fewer vars), each
+	// lower-bound method solves the REDUCED problem under its own auditor,
+	// and the solution is lifted back and judged against the ORIGINAL
+	// problem's oracle and value-line round-trip. Any error in the fixing
+	// rules, the CostOffset bookkeeping, or the Lift mapping shows up as a
+	// presolve-vs-plain disagreement.
+	fx, ferr := preprocess.FixVariables(p, preprocess.DefaultFixOptions)
+	if ferr != nil {
+		out = append(out, Mismatch{Config: "presolve", Detail: ferr.Error()})
+	} else {
+		if fx.ProvedUnsat && want.Feasible {
+			out = append(out, Mismatch{Config: "presolve",
+				Detail: fmt.Sprintf("proved UNSAT, brute force found optimum %d", want.Optimum)})
+		}
+		for _, lb := range []core.Method{core.LBNone, core.LBMIS, core.LBLGR, core.LBLPR} {
+			name := "presolve-" + lb.String()
+			aud := audit.New(fx.Problem)
+			res := core.SafeSolve(fx.Problem, core.Options{
+				LowerBound: lb, MaxConflicts: budget, Audit: aud,
+			})
+			if rep := aud.Snapshot(); !rep.Ok() {
+				for _, v := range rep.Violations {
+					out = append(out, Mismatch{Config: name, Detail: "audit: " + v.String()})
+				}
+			}
+			switch res.Status {
+			case core.StatusError:
+				out = append(out, Mismatch{Config: name, Detail: "crashed: " + firstLine(res.Err)})
+			case core.StatusLimit:
+				// No verdict to compare.
+			case core.StatusUnsat:
+				if want.Feasible {
+					out = append(out, Mismatch{Config: name,
+						Detail: fmt.Sprintf("claimed UNSAT, brute force found optimum %d", want.Optimum)})
+				}
+			case core.StatusSatisfiable, core.StatusOptimal:
+				if !want.Feasible {
+					out = append(out, Mismatch{Config: name, Detail: "claimed a solution on an UNSAT instance"})
+					continue
+				}
+				// A proved StatusSatisfiable on a reduced problem whose
+				// objective presolve fully absorbed is an optimum claim in
+				// the original space.
+				conclusive := res.Status == core.StatusOptimal ||
+					(res.Status == core.StatusSatisfiable && p.HasObjective())
+				// Best already includes the reduced CostOffset, which absorbs
+				// the costs of presolve-fixed-true variables: directly
+				// comparable to the original-space optimum.
+				if conclusive && res.Best != want.Optimum {
+					out = append(out, Mismatch{Config: name,
+						Detail: fmt.Sprintf("claimed optimum %d, brute force says %d", res.Best, want.Optimum)})
+				}
+				if res.Values == nil {
+					out = append(out, Mismatch{Config: name, Detail: "conclusive solution without values"})
+					continue
+				}
+				lifted := fx.Lift(res.Values)
+				a, err := ix.ParseValueLine(verify.FormatValueLine(p, lifted))
+				if err != nil {
+					out = append(out, Mismatch{Config: name, Detail: "lifted value line round-trip: " + err.Error()})
+					continue
+				}
+				rep := verify.Check(p, a.Values)
+				if !rep.Feasible {
+					out = append(out, Mismatch{Config: name,
+						Detail: fmt.Sprintf("lifted model violates original constraint %d", rep.ViolatedIdx)})
+				} else if conclusive && rep.Objective != res.Best {
+					out = append(out, Mismatch{Config: name,
+						Detail: fmt.Sprintf("lifted model costs %d in original space, solver claimed %d", rep.Objective, res.Best)})
+				}
+			}
+		}
 	}
 
 	// Portfolio: cooperative (sharing) and isolated, each with the audit

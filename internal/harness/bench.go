@@ -11,22 +11,24 @@ import (
 // here so obs stays a stdlib-only leaf.
 func (r *RunResult) BenchRow() obs.BenchRow {
 	row := obs.BenchRow{
-		Instance:   r.Instance,
-		Family:     string(r.Family),
-		Solver:     string(r.Solver),
-		Solved:     r.Solved,
-		WallMs:     ms(r.Duration),
-		Err:        r.Err,
-		Conflicts:  r.Conflicts,
-		Decisions:  r.Decisions,
-		BoundCalls: r.BoundCalls(),
-		BoundMs:    ms(r.BoundTime()),
-		LPWarm:     r.Bounds.WarmSolves,
-		LPCold:     r.Bounds.ColdSolves,
-		Members:    r.Members,
-		ShPub:      r.ShClausesPub,
-		ShImp:      r.ShClausesImp,
-		ShPrunes:   r.ShForeignPrunes,
+		Instance:    r.Instance,
+		Family:      string(r.Family),
+		Solver:      string(r.Solver),
+		Solved:      r.Solved,
+		WallMs:      ms(r.Duration),
+		Err:         r.Err,
+		Conflicts:   r.Conflicts,
+		Decisions:   r.Decisions,
+		BoundCalls:  r.BoundCalls(),
+		BoundMs:     ms(r.BoundTime()),
+		LPWarm:      r.Bounds.WarmSolves,
+		LPCold:      r.Bounds.ColdSolves,
+		FixedVars:   r.FixedVars,
+		PropsPerSec: r.PropsPerSec(),
+		Members:     r.Members,
+		ShPub:       r.ShClausesPub,
+		ShImp:       r.ShClausesImp,
+		ShPrunes:    r.ShForeignPrunes,
 	}
 	if r.HasUB {
 		b := r.Best

@@ -18,6 +18,7 @@ import (
 	"repro/internal/milp"
 	"repro/internal/pb"
 	"repro/internal/portfolio"
+	"repro/internal/preprocess"
 )
 
 // Family identifies a Table 1 benchmark family.
@@ -201,6 +202,12 @@ type Limits struct {
 	// incremental bound pipeline disabled (ablation; see core.Options).
 	NoIncrementalReduce bool
 	NoWarmLP            bool
+	// Presolve runs preprocess.FixVariables on each instance before the
+	// solver (all columns): variables fixed at the root are eliminated and
+	// the solver sees the reduced, renumbered problem. Incumbents stay
+	// comparable — the reduced CostOffset absorbs fixed-true costs. The
+	// presolve time counts toward the cell's wall clock.
+	Presolve bool
 }
 
 // RunResult is one cell of the table.
@@ -226,6 +233,13 @@ type RunResult struct {
 	// cooperative and isolated portfolio columns.
 	Conflicts int64
 	Decisions int64
+	// FixedVars counts the variables presolve eliminated before the run
+	// (0 unless Limits.Presolve).
+	FixedVars int
+	// Propagations counts engine propagation steps (bsolo columns; summed
+	// across members for the portfolio columns). PropsPerSec derives the
+	// node-throughput rate the data-oriented engine work is gated on.
+	Propagations int64
 	// Members is the member count of a portfolio run (0 for single solvers);
 	// Winner names the member that produced the verdict.
 	Members int
@@ -237,6 +251,14 @@ type RunResult struct {
 	ShClausesPub    int64
 	ShClausesImp    int64
 	ShForeignPrunes int64
+}
+
+// PropsPerSec returns the propagation rate of the run (0 when unmeasured).
+func (r *RunResult) PropsPerSec() float64 {
+	if r.Duration <= 0 || r.Propagations == 0 {
+		return 0
+	}
+	return float64(r.Propagations) / r.Duration.Seconds()
 }
 
 // BoundCalls returns the total estimation calls of the run.
@@ -261,32 +283,42 @@ func Run(inst Instance, id SolverID, lim Limits) RunResult {
 				rr.Err = fmt.Sprintf("panic: %v", r)
 			}
 		}()
+		prob := inst.Prob
+		if lim.Presolve {
+			fx, err := preprocess.FixVariables(prob, preprocess.DefaultFixOptions)
+			if err != nil {
+				rr.Err = "presolve: " + err.Error()
+				return
+			}
+			prob = fx.Problem
+			rr.FixedVars = fx.NumFixed()
+		}
 		switch id {
 		case SolverPBS:
-			fill(&rr, baseline.PBS(inst.Prob, bl))
+			fill(&rr, baseline.PBS(prob, bl))
 		case SolverGalena:
-			fill(&rr, baseline.Galena(inst.Prob, bl))
+			fill(&rr, baseline.Galena(prob, bl))
 		case SolverMILP:
 			nodes := lim.MilpNodes
 			if nodes == 0 {
 				nodes = 2_000_000
 			}
-			m := milp.Solve(inst.Prob, milp.Options{TimeLimit: lim.Time, MaxNodes: nodes})
+			m := milp.Solve(prob, milp.Options{TimeLimit: lim.Time, MaxNodes: nodes})
 			rr.Solved = m.Status == milp.StatusOptimal || m.Status == milp.StatusInfeasible
 			rr.HasUB = m.HasSolution
 			rr.Best = m.Best
 		case SolverPlain:
-			fill(&rr, baseline.Bsolo(inst.Prob, core.LBNone, bl))
+			fill(&rr, baseline.Bsolo(prob, core.LBNone, bl))
 		case SolverMIS:
-			fill(&rr, baseline.Bsolo(inst.Prob, core.LBMIS, bl))
+			fill(&rr, baseline.Bsolo(prob, core.LBMIS, bl))
 		case SolverLGR:
-			fill(&rr, baseline.Bsolo(inst.Prob, core.LBLGR, bl))
+			fill(&rr, baseline.Bsolo(prob, core.LBLGR, bl))
 		case SolverLPR:
-			fill(&rr, baseline.Bsolo(inst.Prob, core.LBLPR, bl))
+			fill(&rr, baseline.Bsolo(prob, core.LBLPR, bl))
 		case SolverPortfolio:
-			fillPortfolio(&rr, runPortfolio(inst.Prob, lim, false))
+			fillPortfolio(&rr, runPortfolio(prob, lim, false))
 		case SolverPortfolioIso:
-			fillPortfolio(&rr, runPortfolio(inst.Prob, lim, true))
+			fillPortfolio(&rr, runPortfolio(prob, lim, true))
 		}
 	}()
 	rr.Duration = time.Since(start)
@@ -308,6 +340,7 @@ func fill(rr *RunResult, res core.Result) {
 	rr.Bounds = res.Stats.Bounds
 	rr.Conflicts = res.Stats.Conflicts + res.Stats.BoundConflicts
 	rr.Decisions = res.Stats.Decisions
+	rr.Propagations = res.Stats.Propagations
 	if res.Status == core.StatusError {
 		rr.Solved, rr.HasUB = false, false
 		if res.Err != nil {
@@ -342,9 +375,11 @@ func fillPortfolio(rr *RunResult, res portfolio.Result) {
 	rr.Conflicts = res.TotalConflicts()
 	rr.Decisions = res.TotalDecisions()
 	rr.ShClausesPub = res.Board.ClausesPublished
+	rr.Propagations = 0
 	for _, m := range res.Members {
 		rr.ShClausesImp += m.Stats.ImportedClauses
 		rr.ShForeignPrunes += m.Stats.Sharing.ForeignUBPrunes
+		rr.Propagations += m.Stats.Propagations
 	}
 }
 
@@ -444,18 +479,19 @@ func fmtDur(d time.Duration) string {
 func FormatCSV(results []RunResult) string {
 	var sb strings.Builder
 	sb.WriteString("instance,family,solver,solved,best,ms,boundCalls,boundMs,lpWarm,lpCold," +
-		"conflicts,decisions,members,shPub,shImp,shPrunes\n")
+		"conflicts,decisions,fixedVars,propsPerSec,members,shPub,shImp,shPrunes\n")
 	for _, r := range results {
 		best := ""
 		if r.HasUB {
 			best = fmt.Sprint(r.Best)
 		}
-		fmt.Fprintf(&sb, "%s,%s,%s,%t,%s,%.2f,%d,%.2f,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(&sb, "%s,%s,%s,%t,%s,%.2f,%d,%.2f,%d,%d,%d,%d,%d,%.0f,%d,%d,%d,%d\n",
 			r.Instance, r.Family, r.Solver, r.Solved, best,
 			float64(r.Duration.Microseconds())/1000,
 			r.BoundCalls(), float64(r.BoundTime().Microseconds())/1000,
 			r.Bounds.WarmSolves, r.Bounds.ColdSolves,
 			r.Conflicts, r.Decisions,
+			r.FixedVars, r.PropsPerSec(),
 			r.Members, r.ShClausesPub, r.ShClausesImp, r.ShForeignPrunes)
 	}
 	return sb.String()

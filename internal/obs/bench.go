@@ -34,6 +34,12 @@ type BenchRow struct {
 	LPWarm     int64   `json:"lp_warm"`
 	LPCold     int64   `json:"lp_cold"`
 
+	// FixedVars counts presolve-eliminated variables; PropsPerSec is the
+	// engine propagation rate. Both omitempty so snapshots taken before
+	// these columns existed still load and compare.
+	FixedVars   int     `json:"fixed_vars,omitempty"`
+	PropsPerSec float64 `json:"props_per_sec,omitempty"`
+
 	Members  int   `json:"members,omitempty"`
 	ShPub    int64 `json:"sh_pub,omitempty"`
 	ShImp    int64 `json:"sh_imp,omitempty"`
