@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-bounds bench-engine bench-portfolio bench-snapshot bench-baseline bench-compare escape-check load-smoke table examples clean ci vet
+.PHONY: all build test race fuzz bench bench-bounds bench-engine bench-portfolio bench-cuts bench-snapshot bench-baseline bench-compare escape-check load-smoke table examples clean ci vet
 
 all: build test
 
@@ -18,7 +18,7 @@ vet:
 # baseline, then a single-iteration smoke pass over the bound-pipeline
 # and portfolio-sharing benchmarks and a small bench snapshot.
 ci: vet build test
-	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/share ./internal/fault ./internal/bounds ./internal/lp ./internal/fuzz ./internal/obs ./internal/preprocess ./internal/serve
+	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/share ./internal/fault ./internal/bounds ./internal/lp ./internal/cuts ./internal/fuzz ./internal/obs ./internal/preprocess ./internal/serve
 	$(MAKE) escape-check
 	$(MAKE) load-smoke
 	$(MAKE) bench-compare
@@ -94,7 +94,15 @@ escape-check:
 		echo "escape-check: allocation escaped onto the batched-delta path:"; \
 		echo "$$out" | grep 'notify\.go' | grep 'escapes to heap'; exit 1; \
 	fi; \
-	echo "escape-check: hot-path inlining + alloc-free delta flush OK"
+	cutsout=$$($(GO) build -gcflags='-m' ./internal/cuts 2>&1); \
+	for fn in '(*Pool).Probe' '(*Pool).Len'; do \
+		echo "$$cutsout" | grep -qF "can inline $$fn" || { echo "escape-check: $$fn is no longer inlinable"; exit 1; }; \
+	done; \
+	if echo "$$cutsout" | grep 'probe\.go' | grep -q 'escapes to heap'; then \
+		echo "escape-check: allocation escaped onto the per-node separation fast path:"; \
+		echo "$$cutsout" | grep 'probe\.go' | grep 'escapes to heap'; exit 1; \
+	fi; \
+	echo "escape-check: hot-path inlining + alloc-free delta flush + cut-probe fast path OK"
 
 # Cooperative-portfolio benchmarks: every member proving the optimum with and
 # without the sharing board (total conflicts/decisions across members), the
@@ -102,6 +110,14 @@ escape-check:
 # stable comparative numbers.
 bench-portfolio:
 	$(GO) test -bench='BenchmarkPortfolioSharedVsIsolated|BenchmarkPortfolioRace|BenchmarkBoardHotPath' -benchmem -benchtime=$(BENCHTIME) -run='^$$' ./internal/portfolio
+
+# Cut-separation payoff on the synthetic LPR-gap family: share of the root
+# integrality gap closed by the separation fixpoint, and the median
+# conflicts/nodes to the proved optimum with cuts on vs off. The workload is
+# search-order sensitive, so compare medians across repetitions
+# (BENCHCOUNT=6), never single runs.
+bench-cuts:
+	$(GO) test -bench='BenchmarkCutsSynth' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -run='^$$' ./internal/harness
 
 # Benchmark-trajectory snapshot: run the bench matrix and write a versioned
 # BENCH_<family>_<date>.json document (schema repro.bench/v1). Compare two

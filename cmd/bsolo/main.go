@@ -50,6 +50,9 @@ func main() {
 		pbLearn      = flag.Bool("pb-learning", false, "derive Galena-style cutting-plane constraints at conflicts")
 		incremental  = flag.Bool("incremental", true, "maintain the reduced problem incrementally across nodes (false = rebuild per node)")
 		warmLP       = flag.Bool("warm-lp", true, "warm-start the LPR simplex from the previous node's basis")
+		cutsOn       = flag.Bool("cuts", true, "with -lb lpr: separate knapsack-cover and clique cuts into a managed pool")
+		cutRounds    = flag.Int("cut-rounds", 0, "with -cuts: root separation fixpoint cap (0 = default)")
+		cutMaxPool   = flag.Int("cut-max-pool", 0, "with -cuts: cut pool capacity before activity-based eviction (0 = default)")
 		portfolioRun = flag.Bool("portfolio", false, "race all four lower-bound methods concurrently")
 		shareOn      = flag.Bool("share", true, "with -portfolio: cooperative sharing (incumbents + learned clauses); false = isolated race")
 		shareLen     = flag.Int("share-len", 8, "with -portfolio -share: max literals of an exchanged clause")
@@ -87,16 +90,17 @@ func main() {
 	if *pre || *coverRed {
 		var info preprocess.Info
 		prob, info, err = preprocess.Apply(prob, preprocess.Options{
-			Probing:         *pre,
-			Strengthening:   *pre,
-			Subsumption:     *pre,
-			CoverReductions: *coverRed,
+			Probing:           *pre,
+			Strengthening:     *pre,
+			Subsumption:       *pre,
+			CoverReductions:   *coverRed,
+			CardinalityDetect: *pre,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("c preprocess: fixed=%d implications=%d subsumed=%d essential=%d domRows=%d domCols=%d\n",
-			info.FixedLiterals, info.Implications, info.SubsumedRemoved,
+		fmt.Printf("c preprocess: fixed=%d implications=%d subsumed=%d card=%d essential=%d domRows=%d domCols=%d\n",
+			info.FixedLiterals, info.Implications, info.SubsumedRemoved, info.CardinalityNormalized,
 			info.Cover.EssentialColumns, info.Cover.DominatedRows, info.Cover.DominatedColumns)
 	}
 
@@ -132,6 +136,9 @@ func main() {
 		FallbackAfter:        *fallbackK,
 		NoIncrementalReduce:  !*incremental,
 		NoWarmLP:             !*warmLP,
+		NoCuts:               !*cutsOn,
+		CutRounds:            *cutRounds,
+		CutMaxPool:           *cutMaxPool,
 	}
 
 	// SIGINT/SIGTERM close the Cancel channel so the search unwinds
@@ -218,6 +225,9 @@ func main() {
 			configs[i].Options.MaxConflicts = opt.MaxConflicts
 			configs[i].Options.BoundBudget = opt.BoundBudget
 			configs[i].Options.FallbackAfter = opt.FallbackAfter
+			configs[i].Options.NoCuts = opt.NoCuts
+			configs[i].Options.CutRounds = opt.CutRounds
+			configs[i].Options.CutMaxPool = opt.CutMaxPool
 		}
 		p := portfolio.SolveOpts(prob, configs, portfolio.Options{
 			NoSharing:     !*shareOn,
@@ -319,6 +329,9 @@ func main() {
 		}
 		fmt.Printf("c solutions=%d restarts=%d knapsackCuts=%d cardCuts=%d ncbSavedLevels=%d learned=%d\n",
 			st.Solutions, st.Restarts, st.KnapsackCuts, st.CardCuts, st.NCBSavedLevels, st.LearnedClauses)
+		if st.PBLearned > 0 || st.PBCardNormalized > 0 {
+			fmt.Printf("c pbLearned=%d pbCardNormalized=%d\n", st.PBLearned, st.PBCardNormalized)
+		}
 		if st.BoundFailures > 0 || st.BoundFallbacks > 0 || st.BoundTimeouts > 0 || st.BoundDemotions > 0 {
 			fmt.Printf("c boundFailures=%d boundPanics=%d boundFallbacks=%d boundTimeouts=%d boundDemotions=%d\n",
 				st.BoundFailures, st.BoundPanics, st.BoundFallbacks, st.BoundTimeouts, st.BoundDemotions)

@@ -80,6 +80,11 @@ const (
 	// KindTermination: the terminal status/optimum disagrees with the
 	// exhaustive reference.
 	KindTermination
+	// KindPooledCut: a cutting plane accepted into the LPR cut pool
+	// eliminates a feasible assignment. Pooled cuts must be implied by the
+	// original problem alone — the pool outlives incumbents, so no
+	// upper-bound assumption is admissible.
+	KindPooledCut
 )
 
 func (k Kind) String() string {
@@ -94,6 +99,8 @@ func (k Kind) String() string {
 		return "incumbent"
 	case KindTermination:
 		return "termination"
+	case KindPooledCut:
+		return "pooled-cut"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -122,6 +129,7 @@ type Counts struct {
 	ImportedClauses int64
 	Incumbents      int64
 	Terminations    int64
+	PooledCuts      int64
 	// Skipped counts events whose exhaustive replay was skipped because the
 	// instance exceeds MaxExhaustiveVars (incumbent checks are never
 	// skipped).
@@ -140,9 +148,9 @@ func (r *Report) Ok() bool { return len(r.Violations) == 0 }
 // String renders a compact multi-line summary ("c audit: ..." friendly).
 func (r *Report) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "audited %d learned, %d bound conflicts, %d imports, %d incumbents, %d terminations (%d skipped)",
+	fmt.Fprintf(&sb, "audited %d learned, %d bound conflicts, %d imports, %d incumbents, %d cuts, %d terminations (%d skipped)",
 		r.Counts.LearnedClauses, r.Counts.BoundConflicts, r.Counts.ImportedClauses,
-		r.Counts.Incumbents, r.Counts.Terminations, r.Counts.Skipped)
+		r.Counts.Incumbents, r.Counts.PooledCuts, r.Counts.Terminations, r.Counts.Skipped)
 	if r.Ok() {
 		sb.WriteString("; no violations")
 		return sb.String()
@@ -308,6 +316,49 @@ func (a *Auditor) ImportedClause(lits []pb.Lit, boardUB int64, hasUB bool) {
 	defer a.mu.Unlock()
 	a.rep.Counts.ImportedClauses++
 	a.checkClauseImplied(KindImportedClause, lits, boardUB, hasUB)
+}
+
+// PooledCut audits one cutting plane accepted into the LPR cut pool: every
+// feasible assignment of the original problem must satisfy Σ terms ≥ degree,
+// with no cost assumption whatsoever (the pool persists across incumbents
+// and tightens every node LP, so a cut valid only under some upper bound
+// would silently corrupt bounds for the rest of the run).
+func (a *Auditor) PooledCut(terms []pb.Term, degree int64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rep.Counts.PooledCuts++
+	if !a.exhaustive {
+		a.rep.Counts.Skipped++
+		return
+	}
+	for m := range a.feas {
+		if !a.feas[m] {
+			continue
+		}
+		var lhs int64
+		for _, t := range terms {
+			if t.Lit.Eval(m&(1<<t.Lit.Var()) != 0) {
+				lhs += t.Coef
+			}
+		}
+		if lhs < degree {
+			lits := make([]pb.Lit, len(terms))
+			for i, t := range terms {
+				lits[i] = t.Lit
+			}
+			a.violate(Violation{
+				Kind: KindPooledCut,
+				Detail: fmt.Sprintf("pooled cut %v >= %d eliminates feasible assignment (lhs=%d, internal cost %d)",
+					terms, degree, lhs, a.cost[m]),
+				Clause:  lits,
+				Witness: a.witness(m),
+			})
+			return
+		}
+	}
 }
 
 // checkClauseImplied verifies that every feasible assignment strictly below

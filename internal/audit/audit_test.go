@@ -248,3 +248,48 @@ func TestConcurrentAuditing(t *testing.T) {
 		t.Fatalf("%+v", rep)
 	}
 }
+
+func TestPooledCutReplay(t *testing.T) {
+	p := sample(t)
+	a := New(p)
+	// a + b ≥ 1 is the problem's own row: trivially implied.
+	a.PooledCut([]pb.Term{
+		{Coef: 1, Lit: pb.PosLit(0)}, {Coef: 1, Lit: pb.PosLit(1)},
+	}, 1)
+	if !a.Ok() {
+		rep0 := a.Snapshot()
+		t.Fatalf("valid pooled cut flagged: %s", rep0.String())
+	}
+	// a + b ≥ 2 wrongly excludes the feasible (a=0, b=1) — and an
+	// upper-bound-style justification must not save it: cuts get none.
+	a.PooledCut([]pb.Term{
+		{Coef: 1, Lit: pb.PosLit(0)}, {Coef: 1, Lit: pb.PosLit(1)},
+	}, 2)
+	rep := a.Snapshot()
+	if rep.Ok() || rep.Counts.PooledCuts != 2 {
+		t.Fatalf("invalid pooled cut not flagged: %s", rep.String())
+	}
+	v := rep.Violations[0]
+	if v.Kind != KindPooledCut || v.Witness == nil {
+		t.Fatalf("violation lacks kind/witness: %+v", v)
+	}
+	// Any witness must be feasible yet below the cut's degree.
+	if !v.Witness[0] && !v.Witness[1] {
+		t.Fatalf("witness %v is not even feasible for a+b≥1", v.Witness)
+	}
+	if v.Witness[0] && v.Witness[1] {
+		t.Fatalf("witness %v satisfies the bogus cut; proves nothing", v.Witness)
+	}
+}
+
+func TestPooledCutNilAndSkip(t *testing.T) {
+	var nilA *Auditor
+	nilA.PooledCut([]pb.Term{{Coef: 1, Lit: pb.PosLit(0)}}, 1)
+	big := pb.NewProblem(25) // above the exhaustive gate
+	a := New(big)
+	a.PooledCut([]pb.Term{{Coef: 1, Lit: pb.PosLit(0)}}, 1)
+	rep := a.Snapshot()
+	if rep.Counts.PooledCuts != 1 || rep.Counts.Skipped != 1 || !rep.Ok() {
+		t.Fatalf("gated pooled cut should count as skipped: %+v", rep.Counts)
+	}
+}

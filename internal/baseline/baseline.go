@@ -32,6 +32,11 @@ type Limits struct {
 	// the bsolo columns, which are the only users of lower bounding.
 	NoIncrementalReduce bool
 	NoWarmLP            bool
+	// NoCuts disables LPR cutting-plane separation; CutRounds / CutMaxPool
+	// override the separation fixpoint cap and pool capacity (0 = defaults).
+	NoCuts     bool
+	CutRounds  int
+	CutMaxPool int
 }
 
 // PBS runs the PBS-style linear-search solver.
@@ -82,5 +87,8 @@ func Bsolo(p *pb.Problem, method core.Method, lim Limits) core.Result {
 		CardinalityInference: true,
 		NoIncrementalReduce:  lim.NoIncrementalReduce,
 		NoWarmLP:             lim.NoWarmLP,
+		NoCuts:               lim.NoCuts,
+		CutRounds:            lim.CutRounds,
+		CutMaxPool:           lim.CutMaxPool,
 	})
 }

@@ -3,6 +3,7 @@ package bounds
 import (
 	"math"
 
+	"repro/internal/cuts"
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/lp"
@@ -31,6 +32,18 @@ import (
 // y_i — a subset of the paper's zero-slack rows, giving a stronger (smaller)
 // explanation that remains sound by weak duality: the final bound is
 // recomputed from the multipliers restricted to S.
+//
+// When Cuts is wired, the relaxation is additionally tightened with pooled
+// cutting planes (lifted knapsack covers and clique cuts — internal/cuts):
+// each globally valid cut is residualized under the current assignment and
+// installed as one more primal row, i.e. one more y column of the dual, so
+// the whole warm-start/anytime machinery applies to cut rows unchanged. New
+// cuts are separated at the LP optimum (to a fixpoint at the root, one round
+// at every Config.Every-th deep estimation) and the LP is re-solved through
+// the warm basis after each round. Cut rows that earn a positive multiplier
+// contribute the cut's false literals to the explanation instead of an
+// engine row index (Result.ResponsibleLits) and bump the cut's pool
+// activity.
 type LPR struct {
 	// MaxIter bounds simplex iterations per call (0 = 4·(m+n)+200, a cap
 	// that keeps per-node cost proportional to the reduced problem size).
@@ -49,6 +62,10 @@ type LPR struct {
 	// solve is snapshotted into State and reused by the next call (see
 	// LPRState). nil preserves the cold per-node behaviour.
 	State *LPRState
+	// Cuts, when non-nil, is the managed cut pool: pooled cuts tighten every
+	// node LP, and the estimator separates new ones at LP optima under the
+	// pool's budgets. nil disables cutting planes entirely.
+	Cuts *cuts.Pool
 }
 
 // Name implements Estimator.
@@ -66,93 +83,44 @@ func (l LPR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64
 	// the search's panic recovery, MIS fallback and circuit breaker.
 	fault.Fire("lpr.solve")
 	xp := toXSpace(red, cost)
-	m, n := len(xp.rows), len(xp.vars)
-
-	maxIter := l.MaxIter
-	if maxIter == 0 {
-		maxIter = 4*(m+n) + 200
-	}
-	prob := &lp.Problem{
-		NumVars: m + n,
-		Cost:    make([]float64, m+n),
-		Rows:    make([]lp.Row, n),
-		Lo:       make([]float64, m+n),
-		Hi:       make([]float64, m+n),
-		MaxIter:  maxIter,
-		Deadline: bud.Deadline, // per-node bound budget reaches the simplex
-	}
-	for i := range prob.Hi {
-		prob.Hi[i] = math.Inf(1)
-	}
-	for i, xr := range xp.rows {
-		prob.Cost[i] = -xr.rhs // minimize −d·y
-	}
-	for j := 0; j < n; j++ {
-		prob.Cost[m+j] = 1 // + Σ w_j
-		prob.Rows[j] = lp.Row{
-			RHS:     -xp.cost[j],
-			Entries: []lp.Entry{{Var: m + j, Coef: 1}},
-		}
-	}
-	for i, xr := range xp.rows {
-		for _, en := range xr.entries {
-			prob.Rows[en.local].Entries = append(prob.Rows[en.local].Entries,
-				lp.Entry{Var: i, Coef: -en.coef})
-		}
+	inst := installCuts(e, xp, l.Cuts, cost)
+	if inst.infeasible {
+		// A residualized pooled cut is unsatisfiable even with every
+		// unassigned literal true: the node is hopeless, and the cut's false
+		// literals are the whole explanation (the cut is valid for the
+		// original problem, so any node keeping them false is equally dead).
+		return Result{Bound: InfBound, ResponsibleLits: inst.infeasibleLits}
 	}
 
-	var sol lp.Solution
-	var err error
-	if st := l.State; st != nil {
-		// Warm path: identify LP columns and rows by search-stable keys so
-		// the previous node's basis maps onto this node's (re-numbered)
-		// problem. y_i is keyed by its engine constraint index, w_j and row j
-		// by the pb.Var they belong to; the two key spaces are disjoint by
-		// the low tag bit.
-		varKeys := make([]int64, m+n)
-		for i, xr := range xp.rows {
-			varKeys[i] = int64(xr.engIdx) << 1
-		}
-		for j, v := range xp.vars {
-			varKeys[m+j] = int64(v)<<1 | 1
-		}
-		rowKeys := make([]int64, n)
-		for j, v := range xp.vars {
-			rowKeys[j] = int64(v)
-		}
-		hadBasis := st.basis != nil
-		var next *lp.Basis
-		sol, next, err = lp.SolveWarm(prob, varKeys, rowKeys, st.basis)
-		st.basis = next
-		if err == nil {
-			if sol.Warm {
-				st.warmSolves.Add(1)
-			} else {
-				st.coldSolves.Add(1)
-				if hadBasis {
-					st.warmFallbacks.Add(1)
-				}
-			}
-		}
-		if err != nil || sol.Status == lp.Numerical {
-			// A basis that produced (or accompanied) numerical corruption is
-			// not worth keeping.
-			st.Invalidate()
-		}
-	} else {
-		sol, err = lp.Solve(prob)
-	}
+	sol, err := l.solveDual(xp, inst, &bud)
 	if err != nil {
 		// Malformed LP (should not happen for Extract output): report a
 		// failed call so the ladder can fall back rather than silently
 		// losing pruning power node after node.
 		return Result{Failed: true}
 	}
+
+	if l.Cuts != nil && sol.Status == lp.Optimal {
+		depth := e.DecisionLevel()
+		if l.Cuts.Probe(depth) {
+			rounds := 1
+			if depth == 0 {
+				rounds = l.Cuts.MaxRounds() // root: separate to a fixpoint
+			}
+			sol = l.separationRounds(e, red, xp, inst, cost, sol, &bud, rounds)
+			if inst.infeasible {
+				return Result{Bound: InfBound, ResponsibleLits: inst.infeasibleLits}
+			}
+		}
+	}
+
 	switch sol.Status {
 	case lp.Unbounded:
 		// The dual is unbounded iff the primal relaxation is infeasible:
-		// no completion satisfies the reduced rows.
-		return Result{Bound: InfBound, Responsible: allRows(red)}
+		// no completion satisfies the reduced rows and residual cuts. Every
+		// installed cut joins the explanation — the certificate may lean on
+		// any of them.
+		return Result{Bound: InfBound, Responsible: allRows(red), ResponsibleLits: inst.allFalseLits()}
 	case lp.Numerical:
 		// Floating-point corruption detected inside the simplex (genuine or
 		// injected via "lp.pivot"): the solution is unusable.
@@ -165,6 +133,7 @@ func (l LPR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64
 		// under IterLimit this is the anytime bound). fault point
 		// "lpr.value": tests corrupt the recomputed value to exercise the
 		// NaN detection below.
+		m, n := len(xp.rows), len(xp.vars)
 		y := sol.X[:m]
 		val, s, alpha := xp.lagrangianValue(y, 1e-9)
 		val = fault.Corrupt("lpr.value", val)
@@ -176,19 +145,29 @@ func (l LPR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64
 		// minimizer is a feasible completion: a rounded bound above a known
 		// feasible completion is a provable float over-round (see completionCap).
 		res.Bound = capToCompletion(res.Bound, xp, red, cost, alpha)
-		res.Responsible = make([]int, len(s))
-		for k, i := range s {
-			res.Responsible[k] = xp.rows[i].engIdx
+		for _, i := range s {
+			if i < inst.m0 {
+				res.Responsible = append(res.Responsible, xp.rows[i].engIdx)
+				continue
+			}
+			// A cut row carries the bound: its false literals explain it, and
+			// the pool learns the cut is earning its keep.
+			k := i - inst.m0
+			res.ResponsibleLits = append(res.ResponsibleLits, inst.falseLits[k]...)
+			l.Cuts.Bump(inst.ids[k])
 		}
 		if l.ZeroSlackExplanations && sol.Status == lp.Optimal {
 			// §4.2 literally: all rows with zero slack at the LP optimum.
-			// The primal x values are the duals of the dual LP's rows.
+			// The primal x values are the duals of the dual LP's rows. Cut
+			// rows are excluded — the paper's responsible set is defined over
+			// problem constraints, and positive-multiplier cuts are already
+			// explained above.
 			inS := map[int]bool{}
 			for _, i := range s {
 				inS[i] = true
 			}
 			for i, xr := range xp.rows {
-				if inS[i] {
+				if inS[i] || xr.engIdx < 0 {
 					continue
 				}
 				lhs := 0.0
@@ -215,7 +194,7 @@ func (l LPR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64
 			}
 		}
 		if l.AlphaFilter {
-			res.ExcludedVars = l.filter(e, xp, s, y, cost)
+			res.ExcludedVars = l.filter(e, xp, inst, s, y, cost)
 		}
 		return res
 	default:
@@ -223,9 +202,153 @@ func (l LPR) Estimate(e *engine.Engine, red *Reduced, cost []int64, target int64
 	}
 }
 
-func (l LPR) filter(e *engine.Engine, xp *xProblem, s []int, y []float64, cost []int64) map[pb.Var]bool {
+// solveDual builds and solves the dual LP of the current x-space problem
+// (problem rows and installed cut rows alike become y columns). Warm keys
+// use two tag bits so the three key spaces stay disjoint: y rows by engine
+// index (tag 0), w columns and LP rows by variable (tag 1), cut y columns by
+// pool id (tag 2) — pool ids are never reused, so a basis never misbinds to
+// a different cut after eviction.
+func (l LPR) solveDual(xp *xProblem, inst *cutInstall, bud *Budget) (lp.Solution, error) {
+	m, n := len(xp.rows), len(xp.vars)
+	maxIter := l.MaxIter
+	if maxIter == 0 {
+		maxIter = 4*(m+n) + 200
+	}
+	prob := &lp.Problem{
+		NumVars:  m + n,
+		Cost:     make([]float64, m+n),
+		Rows:     make([]lp.Row, n),
+		Lo:       make([]float64, m+n),
+		Hi:       make([]float64, m+n),
+		MaxIter:  maxIter,
+		Deadline: bud.Deadline, // per-node bound budget reaches the simplex
+	}
+	for i := range prob.Hi {
+		prob.Hi[i] = math.Inf(1)
+	}
+	for i, xr := range xp.rows {
+		prob.Cost[i] = -xr.rhs // minimize −d·y
+	}
+	for j := 0; j < n; j++ {
+		prob.Cost[m+j] = 1 // + Σ w_j
+		prob.Rows[j] = lp.Row{
+			RHS:     -xp.cost[j],
+			Entries: []lp.Entry{{Var: m + j, Coef: 1}},
+		}
+	}
+	for i, xr := range xp.rows {
+		for _, en := range xr.entries {
+			prob.Rows[en.local].Entries = append(prob.Rows[en.local].Entries,
+				lp.Entry{Var: i, Coef: -en.coef})
+		}
+	}
+
+	st := l.State
+	if st == nil {
+		return lp.Solve(prob)
+	}
+	// Warm path: identify LP columns and rows by search-stable keys so the
+	// previous solve's basis maps onto this (re-numbered) problem.
+	varKeys := make([]int64, m+n)
+	for i, xr := range xp.rows {
+		if xr.engIdx >= 0 {
+			varKeys[i] = int64(xr.engIdx) << 2
+		} else {
+			varKeys[i] = int64(inst.ids[i-inst.m0])<<2 | 2
+		}
+	}
+	for j, v := range xp.vars {
+		varKeys[m+j] = int64(v)<<2 | 1
+	}
+	rowKeys := make([]int64, n)
+	for j, v := range xp.vars {
+		rowKeys[j] = int64(v)
+	}
+	hadBasis := st.basis != nil
+	sol, next, err := lp.SolveWarm(prob, varKeys, rowKeys, st.basis)
+	st.basis = next
+	if err == nil {
+		if sol.Warm {
+			st.warmSolves.Add(1)
+		} else {
+			st.coldSolves.Add(1)
+			if hadBasis {
+				st.warmFallbacks.Add(1)
+			}
+		}
+	}
+	if err != nil || sol.Status == lp.Numerical {
+		// A basis that produced (or accompanied) numerical corruption is
+		// not worth keeping.
+		st.Invalidate()
+	}
+	return sol, err
+}
+
+// separationRounds runs up to rounds separate→install→re-solve cycles from
+// the LP optimum sol, returning the last trustworthy solution (always
+// describing the x-space problem as left in xp).
+//
+// Abandonment discipline: whenever a round is cut short — the budget
+// expires between rounds, or a re-solve comes back unusable — the warm
+// basis snapshot in State is invalidated. The basis lease otherwise ends up
+// describing a tableau with cut rows the caller's Result never saw, and the
+// next estimation would warm-start from a phantom problem (the
+// TestLPRCutsInterrupt* regressions pin this).
+func (l LPR) separationRounds(e *engine.Engine, red *Reduced, xp *xProblem, inst *cutInstall, cost []int64, sol lp.Solution, bud *Budget, rounds int) lp.Solution {
+	for round := 0; round < rounds; round++ {
+		if bud.Expired() {
+			l.State.Invalidate()
+			return sol
+		}
+		frac := fracPoint(e, xp, sol.Dual)
+		if l.Cuts.Separate(cutSources(e, red), frac) == 0 {
+			return sol // fixpoint: nothing violated remains separable
+		}
+		snap := inst.snapshot(xp)
+		if inst.installNew(e, xp, l.Cuts, cost) == 0 {
+			return sol
+		}
+		if inst.infeasible {
+			return sol // caller returns the infeasible result
+		}
+		sol2, err := l.solveDual(xp, inst, bud)
+		if err != nil || sol2.Status == lp.Numerical || sol2.X == nil {
+			// The augmented LP produced nothing usable: restore the problem
+			// the previous solution describes and stop separating. solveDual
+			// already invalidated the basis on err/Numerical; the X==nil
+			// iteration-limit case must drop it too (it references the
+			// augmented tableau).
+			inst.rollback(xp, snap)
+			l.State.Invalidate()
+			return sol
+		}
+		sol = sol2
+		if sol.Status != lp.Optimal {
+			// Unbounded (node infeasible) or an anytime IterLimit bound:
+			// either way there is no optimum to separate from.
+			return sol
+		}
+	}
+	return sol
+}
+
+func (l LPR) filter(e *engine.Engine, xp *xProblem, inst *cutInstall, s []int, y []float64, cost []int64) map[pb.Var]bool {
 	return alphaFilter(s, y, cost,
 		func(rowIdx int, visit func(v pb.Var, xCoef float64)) {
+			if rowIdx >= inst.m0 {
+				// Cut row: the pooled cut is a globally valid constraint in
+				// its own right, so the α accounting uses its full terms,
+				// exactly as e.Cons supplies them for problem rows.
+				for _, t := range inst.full[rowIdx-inst.m0] {
+					xc := float64(t.Coef)
+					if t.Lit.IsNeg() {
+						xc = -xc
+					}
+					visit(t.Lit.Var(), xc)
+				}
+				return
+			}
 			c := e.Cons(xp.rows[rowIdx].engIdx)
 			for k, l := range c.Lits {
 				xc := float64(c.Coefs[k])

@@ -167,6 +167,13 @@ type Result struct {
 	// Responsible lists the engine constraint indices whose current false
 	// literals explain the bound (the set S of §4.2/§4.3).
 	Responsible []int
+	// ResponsibleLits lists currently-false literals that explain the bound
+	// directly, without an engine constraint to point at: the false literals
+	// of pooled cutting planes whose rows carry the LP bound. Cuts are valid
+	// for the original problem, so any node keeping these literals false
+	// keeps the cut's contribution — exactly the ω_pl contract, with the
+	// cut's own literals standing in for a constraint's.
+	ResponsibleLits []pb.Lit
 	// ExcludedVars, when non-nil, lists assigned variables that the §4.3
 	// α-filter proves irrelevant: their false literals may be dropped from
 	// ω_pl even though they appear in responsible constraints.

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/cuts"
 )
 
 // ProcStats aggregates per-estimator observability for one lower-bound
@@ -76,6 +78,10 @@ type Stats struct {
 	WarmSolves    int64
 	ColdSolves    int64
 	WarmFallbacks int64
+
+	// Cuts is the cut-pool observability block (zero when LPR ran without a
+	// pool): separation rounds, cuts separated/pooled/pruned, install volume.
+	Cuts cuts.Counters
 
 	// Per maps estimator name to its aggregate.
 	Per map[string]*ProcStats
@@ -156,6 +162,12 @@ func (s *Stats) String() string {
 	if s.WarmSolves+s.ColdSolves > 0 {
 		fmt.Fprintf(&sb, "; lp: %d warm %d cold (%d fallbacks)",
 			s.WarmSolves, s.ColdSolves, s.WarmFallbacks)
+	}
+	if s.Cuts.Rounds > 0 {
+		fmt.Fprintf(&sb, "; cuts: %d sep %d active %d pruned (%d rounds, %d applied, %d dup, %v)",
+			s.Cuts.Separated, s.Cuts.Active, s.Cuts.Pruned,
+			s.Cuts.Rounds, s.Cuts.Applied, s.Cuts.Duplicates,
+			s.Cuts.SepTime.Round(time.Microsecond))
 	}
 	for _, n := range s.Names() {
 		p := s.Per[n]

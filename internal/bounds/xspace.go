@@ -27,24 +27,28 @@ type xProblem struct {
 	cost   []float64 // per local variable
 }
 
+// local returns the compact index of v, registering it (with its cost) on
+// first sight. Cut installation extends the variable set after toXSpace when
+// a pooled cut mentions a variable no reduced row does.
+func (xp *xProblem) local(v pb.Var, cost []int64) int {
+	if i, ok := xp.varIdx[v]; ok {
+		return i
+	}
+	i := len(xp.vars)
+	xp.varIdx[v] = i
+	xp.vars = append(xp.vars, v)
+	xp.cost = append(xp.cost, float64(cost[v]))
+	return i
+}
+
 // toXSpace converts the reduced rows to x-space over a compact local
 // variable indexing.
 func toXSpace(red *Reduced, cost []int64) *xProblem {
 	xp := &xProblem{varIdx: make(map[pb.Var]int)}
-	local := func(v pb.Var) int {
-		if i, ok := xp.varIdx[v]; ok {
-			return i
-		}
-		i := len(xp.vars)
-		xp.varIdx[v] = i
-		xp.vars = append(xp.vars, v)
-		xp.cost = append(xp.cost, float64(cost[v]))
-		return i
-	}
 	for _, row := range red.Rows {
 		xr := xRow{engIdx: row.EngIdx, rhs: float64(row.Degree)}
 		for _, t := range row.Terms {
-			j := local(t.Lit.Var())
+			j := xp.local(t.Lit.Var(), cost)
 			a := float64(t.Coef)
 			if t.Lit.IsNeg() {
 				// a·(1−x) = a − a·x: coefficient −a, rhs reduced by a.

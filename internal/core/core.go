@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/bounds"
+	"repro/internal/cuts"
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -167,6 +168,19 @@ type Options struct {
 	// solved cold. Kept for ablation; warm starts never change results
 	// (see bounds.LPRState), only node cost.
 	NoWarmLP bool
+	// NoCuts disables cutting-plane separation for LBLPR: node LPs are
+	// solved over the reduced rows alone, with no pool. Cuts are on by
+	// default for LBLPR (mirroring warm starts); the flag exists for
+	// ablation and differential testing — cuts tighten bounds but never
+	// change optima (every pooled cut is implied by the problem; the
+	// auditor's PooledCut hook replays that claim).
+	NoCuts bool
+	// CutRounds overrides the root separation fixpoint cap (0 = the
+	// internal/cuts default).
+	CutRounds int
+	// CutMaxPool overrides the cut pool capacity (0 = the internal/cuts
+	// default).
+	CutMaxPool int
 
 	// LPRState, when non-nil, supplies a persistent LP warm-start state that
 	// outlives this solve: the serving layer's solve-session cache hands the
@@ -277,6 +291,10 @@ type Stats struct {
 	LearnedClauses int64
 	// PBLearned counts cutting-plane constraints derived by PB learning.
 	PBLearned int64
+	// PBCardNormalized counts learned PB constraints recognized as semantic
+	// cardinality constraints and rewritten with unit coefficients
+	// (cuts.DetectCardinality): e.g. 3x+3y+2z ≥ 5 becomes x+y+z ≥ 2.
+	PBCardNormalized int64
 
 	// Resilience counters (the fallback ladder of the bound procedures).
 	//
@@ -359,6 +377,11 @@ type solver struct {
 	lprWarm0 int64
 	lprCold0 int64
 	lprFB0   int64
+	// cutPool is the managed cut store threaded into LPR (nil unless
+	// LowerBound is LBLPR and cuts are enabled). One pool per solve: pooled
+	// cuts are derived from THIS problem's rows and must not leak across
+	// instances.
+	cutPool *cuts.Pool
 	// bstats aggregates the bound pipeline's observability (surfaced as
 	// Stats.Bounds). lastEst names the estimator whose result the last
 	// estimate() call returned, for per-estimator prune attribution.
@@ -470,8 +493,24 @@ func Solve(p *pb.Problem, opt Options) Result {
 			s.lprCold0 = s.lprState.ColdSolves()
 			s.lprFB0 = s.lprState.WarmFallbacks()
 		}
+		if !opt.NoCuts {
+			s.cutPool = cuts.NewPool(cuts.Config{
+				MaxRounds: opt.CutRounds,
+				MaxPool:   opt.CutMaxPool,
+			})
+			// Every cut accepted into the pool is observable (trace) and
+			// replayable (audit): the pool feeds every subsequent node LP, so
+			// an invalid cut here corrupts the whole run — exactly what the
+			// auditor's PooledCut hook exists to catch.
+			s.cutPool.OnAdd = func(terms []pb.Term, degree int64) {
+				s.trace.Emit(obs.EvCut, "cut", int64(len(terms)), degree, "")
+				if s.aud != nil {
+					s.aud.PooledCut(terms, degree)
+				}
+			}
+		}
 		s.est = bounds.LPR{AlphaFilter: opt.LPRAlphaFilter, ZeroSlackExplanations: opt.LPRZeroSlack,
-			State: s.lprState}
+			State: s.lprState, Cuts: s.cutPool}
 		s.fallback = bounds.MIS{}
 	default:
 		s.est = bounds.None{}
@@ -533,6 +572,9 @@ func (s *solver) snapshotStats() Stats {
 		bs.WarmSolves = s.lprState.WarmSolves() - s.lprWarm0
 		bs.ColdSolves = s.lprState.ColdSolves() - s.lprCold0
 		bs.WarmFallbacks = s.lprState.WarmFallbacks() - s.lprFB0
+	}
+	if s.cutPool != nil {
+		bs.Cuts = s.cutPool.Counters()
 	}
 	st.Bounds = bs
 	es := s.eng.Stats
@@ -917,7 +959,7 @@ func (s *solver) search() Result {
 				}
 				s.trace.Emit(obs.EvPrune, "path", path, s.upper, "")
 				s.auditBound(path, 0)
-				if !s.boundConflict(nil, nil) {
+				if !s.boundConflict(nil, nil, nil) {
 					return s.finish(true)
 				}
 				continue
@@ -944,7 +986,7 @@ func (s *solver) search() Result {
 				}
 				s.trace.Emit(obs.EvPrune, s.lastEst, path, res.Bound, "")
 				s.auditBound(path, res.Bound)
-				if !s.boundConflict(res.Responsible, res.ExcludedVars) {
+				if !s.boundConflict(res.Responsible, res.ResponsibleLits, res.ExcludedVars) {
 					return s.finish(true)
 				}
 				continue
@@ -985,7 +1027,7 @@ func (s *solver) search() Result {
 			// Branch-and-bound: the incumbent now equals the path, so raise
 			// a bound conflict with the path explanation ω_pp (lower = 0).
 			s.auditBound(path, 0)
-			if !s.boundConflict(nil, nil) {
+			if !s.boundConflict(nil, nil, nil) {
 				return s.finish(true)
 			}
 			continue
@@ -1014,6 +1056,18 @@ func (s *solver) resolveConstraintConflict(confl int) bool {
 		}
 		if s.opt.PBLearning && s.stats.PBLearned < maxPB {
 			cpTerms, cpDegree = s.eng.AnalyzeCuttingPlane(confl)
+			// Cardinality detection: when the derived constraint is
+			// semantically a cardinality constraint (every solution set
+			// unchanged), normalize the coefficients to 1. The unit form
+			// propagates identically but is cheaper to watch and is what the
+			// clique-graph builder recognizes exactly.
+			if cpTerms != nil {
+				if need, ok := cuts.DetectCardinality(cpTerms, cpDegree); ok && !allUnitCoefs(cpTerms) {
+					cpTerms = cuts.UnitTerms(cpTerms)
+					cpDegree = int64(need)
+					s.stats.PBCardNormalized++
+				}
+			}
 		}
 		res := s.eng.AnalyzeConstraint(confl)
 		if res.Unsat {
@@ -1047,10 +1101,13 @@ func (s *solver) resolveConstraintConflict(confl int) bool {
 
 // boundConflict handles path + lower ≥ upper (§4): build ω_bc = ω_pp ∪ ω_pl,
 // backtrack non-chronologically, learn, and continue. responsible lists the
-// engine constraints explaining the lower bound (nil when lower = 0).
+// engine constraints explaining the lower bound (nil when lower = 0);
+// responsibleLits carries the currently-false literals of pooled cut rows
+// that participated in the bound — a cut has no engine constraint index, so
+// its literals enter ω_pl directly.
 // Returns false when the search space below the incumbent is exhausted —
 // the incumbent is optimal (or the instance unsatisfiable).
-func (s *solver) boundConflict(responsible []int, excluded map[pb.Var]bool) bool {
+func (s *solver) boundConflict(responsible []int, responsibleLits []pb.Lit, excluded map[pb.Var]bool) bool {
 	s.stats.BoundConflicts++
 	curLevel := s.eng.DecisionLevel()
 	if curLevel == 0 {
@@ -1101,6 +1158,20 @@ func (s *solver) boundConflict(responsible []int, excluded map[pb.Var]bool) bool
 				add(l)
 			}
 		}
+		// ω_pl contribution of pooled cuts: cuts are implied by the original
+		// problem, so their false literals stand in for a constraint's exactly
+		// as in eq. 9. The α-filter never excludes them — cut rows were part
+		// of the LP the filter was computed against, but the filter's
+		// exclusion set is keyed to problem rows only.
+		for _, l := range responsibleLits {
+			if s.eng.LitValue(l) != engine.False {
+				continue
+			}
+			if s.eng.Level(l.Var()) == 0 {
+				continue
+			}
+			add(l)
+		}
 	}
 
 	if len(seed) == 0 {
@@ -1141,6 +1212,16 @@ func (s *solver) boundConflict(responsible []int, excluded map[pb.Var]bool) bool
 	if s.eng.LitValue(res.Learnt[0]) == engine.False {
 		// Still conflicting: resolve through the regular path.
 		return s.resolveConstraintConflict(idx)
+	}
+	return true
+}
+
+// allUnitCoefs reports whether every coefficient is already 1.
+func allUnitCoefs(terms []pb.Term) bool {
+	for _, t := range terms {
+		if t.Coef != 1 {
+			return false
+		}
 	}
 	return true
 }

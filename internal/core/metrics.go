@@ -76,6 +76,17 @@ func boundsMetrics(bs *bounds.Stats) obs.BoundsMetrics {
 		ColdSolves:    bs.ColdSolves,
 		WarmFallbacks: bs.WarmFallbacks,
 	}
+	if c := bs.Cuts; c.Rounds > 0 || c.Separated > 0 {
+		bm.Cuts = &obs.CutMetrics{
+			Separated:  c.Separated,
+			Duplicates: c.Duplicates,
+			Rounds:     c.Rounds,
+			Applied:    c.Applied,
+			Active:     c.Active,
+			Pruned:     c.Pruned,
+			SepMs:      ms(c.SepTime),
+		}
+	}
 	if len(bs.Per) > 0 {
 		bm.Per = make(map[string]obs.ProcMetrics, len(bs.Per))
 		for name, p := range bs.Per {

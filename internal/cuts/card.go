@@ -1,0 +1,82 @@
+package cuts
+
+import (
+	"sort"
+
+	"repro/internal/pb"
+)
+
+// DetectCardinality reports whether the pseudo-Boolean constraint
+// Σ coef_j·lit_j ≥ degree is *semantically* the cardinality constraint
+// Σ lit_j ≥ need: the two have exactly the same 0/1 solution set even
+// though the coefficients differ. The classic example is
+// 3x + 3y + 2z ≥ 5 ≡ x + y + z ≥ 2.
+//
+// The characterization (Le Berre–Wallon): with coefficients sorted
+// descending and prefix sums μ_k = a_1 + … + a_k, let need be the smallest k
+// with μ_k ≥ degree (fewer than need true literals cannot reach the degree
+// even with the largest coefficients). The constraint is cardinality(need)
+// iff ANY need literals suffice — i.e. the sum of the need smallest
+// coefficients also reaches the degree. Both directions are immediate:
+// the two conditions make "≥ need literals true" necessary and sufficient.
+//
+// Terms need not be pre-sorted; coefficients must be positive (engine /
+// pb normal form). Returns ok=false for empty or trivially satisfied
+// (degree ≤ 0) constraints and for constraints no assignment satisfies.
+func DetectCardinality(terms []pb.Term, degree int64) (need int, ok bool) {
+	if degree <= 0 || len(terms) == 0 {
+		return 0, false
+	}
+	coefs := make([]int64, len(terms))
+	for i, t := range terms {
+		if t.Coef <= 0 {
+			return 0, false
+		}
+		coefs[i] = t.Coef
+	}
+	sort.Slice(coefs, func(i, j int) bool { return coefs[i] > coefs[j] })
+	return cardNeed(coefs, degree)
+}
+
+// cardNeed is DetectCardinality's core on a descending coefficient slice.
+func cardNeed(coefs []int64, degree int64) (need int, ok bool) {
+	if degree <= 0 || len(coefs) == 0 {
+		return 0, false
+	}
+	// need = smallest k with (sum of k largest) ≥ degree.
+	var sum int64
+	need = -1
+	for k, a := range coefs {
+		sum += a
+		if sum >= degree {
+			need = k + 1
+			break
+		}
+	}
+	if need < 0 {
+		return 0, false // unsatisfiable even with everything true
+	}
+	// Sufficiency: the need *smallest* coefficients must reach the degree
+	// too, otherwise some need-subset fails and the constraint is genuinely
+	// weighted.
+	sum = 0
+	for i := len(coefs) - need; i < len(coefs); i++ {
+		sum += coefs[i]
+	}
+	if sum < degree {
+		return 0, false
+	}
+	return need, true
+}
+
+// UnitTerms rewrites terms to coefficient 1 in normal order (ascending
+// literal — all coefficients equal), for installing a detected cardinality
+// constraint. The input slice is not modified.
+func UnitTerms(terms []pb.Term) []pb.Term {
+	out := make([]pb.Term, len(terms))
+	for i, t := range terms {
+		out[i] = pb.Term{Coef: 1, Lit: t.Lit}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lit < out[j].Lit })
+	return out
+}

@@ -1,0 +1,202 @@
+package cuts
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/pb"
+)
+
+// Separator-side size caps: rows longer than maxCoverRow are skipped (cover
+// separation is quadratic-ish in the row length), at most maxLift variables
+// are lifted into one cover, and the lifting DP's profit axis is capped at
+// maxLiftProfit (profits are the cut coefficients; the DP is
+// min-weight-per-profit, so the cap bounds its table, not its soundness —
+// lifting just stops early).
+const (
+	maxCoverRow   = 128
+	maxLift       = 16
+	maxLiftProfit = 256
+)
+
+// separateCover derives one lifted knapsack-cover cut from an original row
+// Σ a_j·l_j ≥ d, violated by the LP point frac, or reports ok=false.
+//
+// The derivation works in the complemented space y_j = ¬l_j, where the row
+// reads Σ a_j·y_j ≤ b with b = Σa − d (the row's slack). A cover is a set C
+// with Σ_C a_j > b: its literals cannot all be false, so Σ_C y_j ≤ |C|−1 is
+// valid. The greedy picks complements closest to 1 at the LP point (the
+// most violated direction), then minimalizes the cover.
+//
+// Sequential lifting then strengthens the cover inequality with non-cover
+// terms β_t·y_t. Each β_t is the *exact* maximal valid coefficient
+//
+//	β_t = R − max{ Σ_{C∪L} profit_j·y_j : Σ a_j·y_j ≤ b − a_t }
+//
+// (R = |C|−1, L = previously lifted, profit = 1 on C and β_k on L),
+// computed by a min-weight-per-profit knapsack DP over the small item set —
+// exactness matters because an overestimated β is an invalid cut, and the
+// fuzz auditor replays every pooled cut against the original problem.
+// Candidates are visited in descending-coefficient order (the engine's
+// stored span order), which is the classical lifting order.
+//
+// Back in literal space (y = 1−l) the lifted cut is
+//
+//	Σ_C l_j + Σ_L β_t·l_t ≥ 1 + Σ_L β_t.
+func separateCover(src Source, frac func(pb.Lit) float64, minViol float64) (Cut, bool) {
+	n := len(src.Lits)
+	if n < 2 || n > maxCoverRow || src.Degree <= 0 {
+		return Cut{}, false
+	}
+	b := src.slack()
+	if b <= 0 {
+		// Zero slack: every literal is forced true — propagation's business,
+		// and the complemented knapsack admits no cover structure.
+		return Cut{}, false
+	}
+
+	// LP values of the complements, the greedy's sort key.
+	ys := make([]float64, n)
+	for j, l := range src.Lits {
+		ys[j] = clamp01(1 - frac(l))
+	}
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, c int) bool {
+		if ys[order[a]] != ys[order[c]] {
+			return ys[order[a]] > ys[order[c]]
+		}
+		return src.Coefs[order[a]] > src.Coefs[order[c]]
+	})
+
+	// Greedy cover: most-violated complements first until the weight
+	// exceeds the capacity.
+	var cover []int
+	var wsum int64
+	for _, j := range order {
+		cover = append(cover, j)
+		wsum += src.Coefs[j]
+		if wsum > b {
+			break
+		}
+	}
+	if wsum <= b {
+		return Cut{}, false // the whole row fits: no cover exists
+	}
+	// Minimalize from the least-violated end: drop members the cover
+	// property survives without.
+	for k := len(cover) - 1; k >= 0 && len(cover) > 1; k-- {
+		if wsum-src.Coefs[cover[k]] > b {
+			wsum -= src.Coefs[cover[k]]
+			cover = append(cover[:k], cover[k+1:]...)
+		}
+	}
+	r := int64(len(cover) - 1)
+	if r < 1 {
+		// A singleton cover means one literal is forced true; leave that to
+		// propagation rather than pooling a unit cut.
+		return Cut{}, false
+	}
+
+	inCover := make([]bool, n)
+	for _, j := range cover {
+		inCover[j] = true
+	}
+
+	// Min-weight-per-profit DP state over C ∪ L. minw[p] = least knapsack
+	// weight attaining profit exactly p; maxProfit tracks the attainable
+	// total so β queries never read junk.
+	minw := make([]int64, maxLiftProfit+1)
+	for p := range minw {
+		minw[p] = math.MaxInt64
+	}
+	minw[0] = 0
+	maxProfit := 0
+	addItem := func(weight, profit int64) {
+		top := maxProfit + int(profit)
+		if top > maxLiftProfit {
+			top = maxLiftProfit
+		}
+		for p := top; p >= int(profit); p-- {
+			if prev := minw[p-int(profit)]; prev != math.MaxInt64 && prev+weight < minw[p] {
+				minw[p] = prev + weight
+			}
+		}
+		maxProfit = top
+	}
+	// maxPack(W) = max profit packable within weight W.
+	maxPack := func(w int64) int64 {
+		for p := maxProfit; p > 0; p-- {
+			if minw[p] <= w {
+				return int64(p)
+			}
+		}
+		return 0
+	}
+	for _, j := range cover {
+		addItem(src.Coefs[j], 1)
+	}
+
+	type lifted struct {
+		j    int
+		beta int64
+	}
+	var lifts []lifted
+	var betaSum int64
+	if int(r) < maxLiftProfit {
+		// Lifting order: descending coefficient across the non-cover span.
+		cand := make([]int, 0, n-len(cover))
+		for j := 0; j < n; j++ {
+			if !inCover[j] {
+				cand = append(cand, j)
+			}
+		}
+		sort.Slice(cand, func(a, c int) bool { return src.Coefs[cand[a]] > src.Coefs[cand[c]] })
+		for _, j := range cand {
+			if len(lifts) >= maxLift {
+				break
+			}
+			a := src.Coefs[j]
+			if a > b {
+				// y_j = 1 alone overflows the knapsack: l_j is forced true by
+				// the row itself; propagation handles it.
+				continue
+			}
+			beta := r - maxPack(b-a)
+			if beta < 1 {
+				continue
+			}
+			if maxProfit+int(beta) > maxLiftProfit {
+				break // DP table exhausted; stop lifting (still valid)
+			}
+			lifts = append(lifts, lifted{j, beta})
+			betaSum += beta
+			addItem(a, beta)
+		}
+	}
+
+	// Violation test at the LP point, in y-space: the cut reads
+	// Σ_C y + Σ_L β·y ≤ r, so it separates iff the lhs exceeds r.
+	lhs := 0.0
+	for _, j := range cover {
+		lhs += ys[j]
+	}
+	for _, lf := range lifts {
+		lhs += float64(lf.beta) * ys[lf.j]
+	}
+	if lhs <= float64(r)+minViol {
+		return Cut{}, false
+	}
+
+	terms := make([]pb.Term, 0, len(cover)+len(lifts))
+	for _, j := range cover {
+		terms = append(terms, pb.Term{Coef: 1, Lit: src.Lits[j]})
+	}
+	for _, lf := range lifts {
+		terms = append(terms, pb.Term{Coef: lf.beta, Lit: src.Lits[lf.j]})
+	}
+	sortTerms(terms)
+	return Cut{Terms: terms, Degree: 1 + betaSum}, true
+}

@@ -1,0 +1,136 @@
+// Package cuts implements cutting-plane separation for the LPR bound
+// pipeline (DESIGN.md §14): lifted knapsack-cover inequalities and clique
+// cuts from a lazily-built conflict graph, managed by a bounded cut pool
+// with duplicate hashing and activity-based aging.
+//
+// Every cut produced here is *globally valid*: it is implied by a single
+// original problem constraint (covers) or by a set of pairwise
+// incompatibilities each read off one original constraint (cliques), never
+// by learned constraints or the current incumbent. Global validity is what
+// makes the pool reusable across search nodes — a cut separated at one node
+// may be residualized against any other node's partial assignment — and is
+// what the audit hook (audit.PooledCut) re-verifies exhaustively on small
+// instances.
+//
+// The package depends only on pb. The bounds package residualizes pooled
+// cuts per node and installs them into the LP as extra dual columns; see
+// bounds.LPR.
+package cuts
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/pb"
+)
+
+// Source is one original problem constraint offered to the separators:
+// Σ Coefs[j]·Lits[j] ≥ Degree in engine normal form (coefficients positive,
+// descending, clipped at the degree). The slices are views into the engine's
+// store and must not be retained past the separation call.
+type Source struct {
+	// EngIdx identifies the constraint in the engine store (used to absorb
+	// each row into the conflict graph exactly once).
+	EngIdx int
+	Lits   []pb.Lit
+	Coefs  []int64
+	Degree int64
+}
+
+// slack returns Σ Coefs − Degree: the capacity of the complemented knapsack
+// Σ a_j·¬l_j ≤ slack, the quantity both separators reason over.
+func (s Source) slack() int64 {
+	var sum int64
+	for _, a := range s.Coefs {
+		sum += a
+	}
+	return sum - s.Degree
+}
+
+// Cut is one pooled cutting plane: Σ Terms ≥ Degree over original problem
+// literals, implied by the original constraints alone.
+type Cut struct {
+	Terms  []pb.Term
+	Degree int64
+}
+
+// Config tunes the pool and the separators. The zero value selects the
+// defaults noted per field; NewPool applies them.
+type Config struct {
+	// MaxRounds caps separation rounds per root estimation (the root
+	// separates to a fixpoint or this cap, whichever first). Default 8.
+	MaxRounds int
+	// Every is the deep-node separation period: one separation round every
+	// Every-th non-root estimation. Default 16.
+	Every int
+	// MaxPool caps live cuts; beyond it the lowest-activity cut is evicted.
+	// Default 256.
+	MaxPool int
+	// MaxPerRound caps cuts accepted per separation round. Default 32.
+	MaxPerRound int
+	// MinViolation is the minimal LP violation (in the complemented
+	// y-space) for a separated cut to be worth pooling. Default 0.02.
+	MinViolation float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 8
+	}
+	if c.Every <= 0 {
+		c.Every = 16
+	}
+	if c.MaxPool <= 0 {
+		c.MaxPool = 256
+	}
+	if c.MaxPerRound <= 0 {
+		c.MaxPerRound = 32
+	}
+	if c.MinViolation <= 0 {
+		c.MinViolation = 0.02
+	}
+	return c
+}
+
+// Counters is the cut-pipeline observability block, snapshotted into
+// bounds.Stats.Cuts and from there into the obs metrics schema and the CSV
+// columns.
+type Counters struct {
+	// Separated counts cuts accepted into the pool.
+	Separated int64
+	// Duplicates counts separated cuts rejected by the duplicate hash
+	// (the violated inequality was already pooled).
+	Duplicates int64
+	// Rounds counts separation rounds run.
+	Rounds int64
+	// Applied counts cut columns installed into node LPs (summed over
+	// estimations: 3 live cuts over 10 nodes ⇒ 30).
+	Applied int64
+	// Active is the live pool size at snapshot time.
+	Active int64
+	// Pruned counts cuts evicted by activity aging.
+	Pruned int64
+	// SepTime is the wall clock spent inside separation rounds.
+	SepTime time.Duration
+}
+
+// sortTerms puts cut terms into the engine's normal order: descending
+// coefficient, ties by ascending literal.
+func sortTerms(terms []pb.Term) {
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].Coef != terms[j].Coef {
+			return terms[i].Coef > terms[j].Coef
+		}
+		return terms[i].Lit < terms[j].Lit
+	})
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,214 @@
+package cuts
+
+import (
+	"time"
+
+	"repro/internal/pb"
+)
+
+// activityDecay is applied to every live cut's activity at each separation
+// round; Bump resets a useful cut to the current scale. With the default
+// pool size a cut that never again earns a positive LP multiplier decays
+// below any bumped cut within ~90 rounds and becomes the eviction victim.
+const activityDecay = 0.95
+
+// Pool is the managed cut store: a bounded set of globally valid cuts with
+// duplicate hashing, activity-based aging, and the per-node separation
+// budget (Probe). It is not safe for concurrent use, matching the
+// single-threaded search loop that owns it.
+type Pool struct {
+	cfg  Config
+	est  int64 // non-root estimation ordinal (Probe cadence)
+	next int64 // next cut id (stable across evictions, never reused)
+
+	live   []poolCut
+	byHash map[uint64]int // hash → index in live
+	byID   map[int64]int  // id → index in live
+
+	graph conflictGraph
+	ctr   Counters
+
+	// OnAdd, when non-nil, observes every cut accepted into the pool (the
+	// solver wires the audit hook and the trace emitter here). Called before
+	// Separate returns, with slices the receiver must not mutate.
+	OnAdd func(terms []pb.Term, degree int64)
+}
+
+type poolCut struct {
+	id       int64
+	terms    []pb.Term
+	degree   int64
+	hash     uint64
+	activity float64
+}
+
+// NewPool returns an empty pool with cfg's defaults applied.
+func NewPool(cfg Config) *Pool {
+	return &Pool{
+		cfg:    cfg.withDefaults(),
+		byHash: make(map[uint64]int),
+		byID:   make(map[int64]int),
+	}
+}
+
+// MaxRounds returns the configured root fixpoint cap.
+func (p *Pool) MaxRounds() int {
+	if p == nil {
+		return 0
+	}
+	return p.cfg.MaxRounds
+}
+
+// Counters returns a snapshot of the pool's observability block.
+func (p *Pool) Counters() Counters {
+	if p == nil {
+		return Counters{}
+	}
+	c := p.ctr
+	c.Active = int64(len(p.live))
+	return c
+}
+
+// Separate runs one separation round against the LP point frac: lifted
+// covers from each source row, then clique cuts from the (lazily grown)
+// conflict graph. Returns the number of cuts newly accepted into the pool.
+func (p *Pool) Separate(rows []Source, frac func(pb.Lit) float64) int {
+	start := time.Now()
+	p.ctr.Rounds++
+	for i := range p.live {
+		p.live[i].activity *= activityDecay
+	}
+	added := 0
+	for _, src := range rows {
+		if added >= p.cfg.MaxPerRound {
+			break
+		}
+		if cut, ok := separateCover(src, frac, p.cfg.MinViolation); ok {
+			if p.add(cut) {
+				added++
+			}
+		}
+	}
+	if added < p.cfg.MaxPerRound {
+		p.graph.absorb(rows)
+		for _, cut := range p.graph.separate(frac, p.cfg.MinViolation, p.cfg.MaxPerRound-added) {
+			if p.add(cut) {
+				added++
+			}
+		}
+	}
+	p.ctr.SepTime += time.Since(start)
+	return added
+}
+
+// Add offers one externally derived cut to the pool (tests, and callers that
+// prove a cut by other means). The caller vouches for its global validity —
+// the same contract the separators meet. Reports whether the cut was
+// accepted (false = duplicate).
+func (p *Pool) Add(c Cut) bool {
+	if p == nil {
+		return false
+	}
+	return p.add(c)
+}
+
+// add accepts one separated cut unless an identical cut is already pooled;
+// when the pool is full the lowest-activity cut is evicted first. New cuts
+// start at activity 1 (the same scale Bump restores), so a fresh cut is not
+// the immediate eviction victim.
+func (p *Pool) add(c Cut) bool {
+	h := hashCut(c.Terms, c.Degree)
+	if i, ok := p.byHash[h]; ok {
+		p.ctr.Duplicates++
+		p.live[i].activity = 1 // still violated somewhere: keep it around
+		return false
+	}
+	for len(p.live) >= p.cfg.MaxPool {
+		victim := 0
+		for i := 1; i < len(p.live); i++ {
+			if p.live[i].activity < p.live[victim].activity {
+				victim = i
+			}
+		}
+		p.removeAt(victim)
+		p.ctr.Pruned++
+	}
+	pc := poolCut{id: p.next, terms: c.Terms, degree: c.Degree, hash: h, activity: 1}
+	p.next++
+	p.byHash[h] = len(p.live)
+	p.byID[pc.id] = len(p.live)
+	p.live = append(p.live, pc)
+	p.ctr.Separated++
+	if p.OnAdd != nil {
+		p.OnAdd(c.Terms, c.Degree)
+	}
+	return true
+}
+
+// removeAt drops live[i] by swapping the tail in, keeping both indexes
+// consistent.
+func (p *Pool) removeAt(i int) {
+	pc := p.live[i]
+	delete(p.byHash, pc.hash)
+	delete(p.byID, pc.id)
+	last := len(p.live) - 1
+	if i != last {
+		p.live[i] = p.live[last]
+		p.byHash[p.live[i].hash] = i
+		p.byID[p.live[i].id] = i
+	}
+	p.live = p.live[:last]
+}
+
+// Each visits every live cut. The visited slices must not be mutated; the
+// id is stable for the cut's lifetime and never reused after eviction (the
+// LP warm-start keys rely on that).
+func (p *Pool) Each(fn func(id int64, terms []pb.Term, degree int64)) {
+	if p == nil {
+		return
+	}
+	for i := range p.live {
+		fn(p.live[i].id, p.live[i].terms, p.live[i].degree)
+	}
+}
+
+// Bump marks a cut useful: it earned a positive multiplier in an LP solve.
+// Unknown ids (evicted between install and solve) are ignored.
+func (p *Pool) Bump(id int64) {
+	if p == nil {
+		return
+	}
+	if i, ok := p.byID[id]; ok {
+		p.live[i].activity = 1
+	}
+}
+
+// NoteApplied records n cut columns installed into one node LP.
+func (p *Pool) NoteApplied(n int) {
+	if p != nil {
+		p.ctr.Applied += int64(n)
+	}
+}
+
+// hashCut is FNV-1a over the degree and the normalized term list, the
+// pool's duplicate key.
+func hashCut(terms []pb.Term, degree int64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mix(uint64(degree))
+	for _, t := range terms {
+		mix(uint64(t.Coef))
+		mix(uint64(t.Lit))
+	}
+	return h
+}

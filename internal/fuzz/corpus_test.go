@@ -5,7 +5,9 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/opb"
+	"repro/internal/pb"
 	"repro/internal/preprocess"
 )
 
@@ -78,5 +80,54 @@ func TestPresolveReproducersFixVariables(t *testing.T) {
 		if fx.ProvedUnsat {
 			t.Errorf("%s: unexpectedly proved UNSAT", filepath.Base(f))
 		}
+	}
+}
+
+// TestCutsReproducersEngageSeparation guards the point of the cuts-*.opb
+// reproducers: cuts-cover-lifting.opb must actually drive the LPR pool into
+// separating cuts (its knapsack rows sit at fractional LP vertices where only
+// a lifted cover is violated), and cuts-cardinality.opb must drive the
+// cardinality detector into normalizing at least one row while refusing its
+// non-cardinality lookalike. Either property silently decaying would drain
+// the files of the coverage they were committed for.
+func TestCutsReproducersEngageSeparation(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "fuzz-corpus")
+
+	read := func(name string) *pb.Problem {
+		t.Helper()
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := opb.ParseString(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return p
+	}
+
+	cover := read("cuts-cover-lifting.opb")
+	on := core.SafeSolve(cover, core.Options{LowerBound: core.LBLPR, MaxConflicts: DefaultBudget})
+	off := core.SafeSolve(cover, core.Options{LowerBound: core.LBLPR, NoCuts: true, MaxConflicts: DefaultBudget})
+	if on.Status != core.StatusOptimal || off.Status != core.StatusOptimal || on.Best != off.Best {
+		t.Fatalf("cover reproducer: cuts on/off disagree: on=%v/%d off=%v/%d",
+			on.Status, on.Best, off.Status, off.Best)
+	}
+	if on.Stats.Bounds.Cuts.Separated == 0 {
+		t.Errorf("cuts-cover-lifting.opb no longer separates any cuts")
+	}
+
+	card := read("cuts-cardinality.opb")
+	_, info, err := preprocess.Apply(card, preprocess.Options{CardinalityDetect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CardinalityNormalized == 0 {
+		t.Errorf("cuts-cardinality.opb no longer drives cardinality normalization")
+	}
+	// The 3a+b+c >= 3 lookalike must survive untouched: it forces a, which no
+	// unit-coefficient rewrite expresses.
+	if info.CardinalityNormalized >= len(card.Constraints) {
+		t.Errorf("every row normalized — the non-cardinality lookalike was wrongly rewritten")
 	}
 }

@@ -73,6 +73,7 @@ func configs(budget int64) []struct {
 		{"plain-linear-pb", core.Options{LowerBound: core.LBNone, Strategy: core.StrategyLinearSearch, PBLearning: true, MaxConflicts: budget}},
 		{"lpr-noincremental", core.Options{LowerBound: core.LBLPR, NoIncrementalReduce: true, MaxConflicts: budget}},
 		{"lpr-coldlp", core.Options{LowerBound: core.LBLPR, NoWarmLP: true, MaxConflicts: budget}},
+		{"lpr-nocuts", core.Options{LowerBound: core.LBLPR, NoCuts: true, MaxConflicts: budget}},
 		{"lgr-chrono", core.Options{LowerBound: core.LBLGR, ChronologicalBounds: true, MaxConflicts: budget}},
 		{"mis-cuts", core.Options{LowerBound: core.LBMIS, CardinalityInference: true, PBLearning: true, MaxConflicts: budget}},
 	}

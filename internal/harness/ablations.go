@@ -12,7 +12,7 @@ import (
 // AblationID names one of the DESIGN.md §4 ablation experiments.
 type AblationID string
 
-// The six ablations (A1–A6).
+// The seven ablations (A1–A7).
 const (
 	AblationBoundConflicts AblationID = "A1-bound-conflicts"
 	AblationLPBranching    AblationID = "A2-lp-branching"
@@ -20,6 +20,7 @@ const (
 	AblationCardInference  AblationID = "A4-card-inference"
 	AblationLGRIterations  AblationID = "A5-lgr-convergence"
 	AblationPreprocess     AblationID = "A6-preprocess"
+	AblationLPRCuts        AblationID = "A7-lpr-cuts"
 )
 
 // Ablations lists all ablation ids in order.
@@ -27,6 +28,7 @@ func Ablations() []AblationID {
 	return []AblationID{
 		AblationBoundConflicts, AblationLPBranching, AblationKnapsack,
 		AblationCardInference, AblationLGRIterations, AblationPreprocess,
+		AblationLPRCuts,
 	}
 }
 
@@ -80,6 +82,10 @@ func ablationVariants(id AblationID) []ablationVariant {
 		}
 	case AblationPreprocess:
 		return []ablationVariant{{"preprocess", base, true}, {"raw", base, false}}
+	case AblationLPRCuts:
+		noCuts := base
+		noCuts.NoCuts = true
+		return []ablationVariant{{"cuts", base, false}, {"no-cuts", noCuts, false}}
 	default:
 		return nil
 	}

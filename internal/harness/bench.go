@@ -25,6 +25,9 @@ func (r *RunResult) BenchRow() obs.BenchRow {
 		LPCold:      r.Bounds.ColdSolves,
 		FixedVars:   r.FixedVars,
 		PropsPerSec: r.PropsPerSec(),
+		CutsSep:     r.Bounds.Cuts.Separated,
+		CutsActive:  r.Bounds.Cuts.Active,
+		CutsPruned:  r.Bounds.Cuts.Pruned,
 		Members:     r.Members,
 		ShPub:       r.ShClausesPub,
 		ShImp:       r.ShClausesImp,

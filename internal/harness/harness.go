@@ -202,6 +202,11 @@ type Limits struct {
 	// incremental bound pipeline disabled (ablation; see core.Options).
 	NoIncrementalReduce bool
 	NoWarmLP            bool
+	// NoCuts disables LPR cutting-plane separation; CutRounds / CutMaxPool
+	// override the separation fixpoint cap and pool capacity (0 = defaults).
+	NoCuts     bool
+	CutRounds  int
+	CutMaxPool int
 	// Presolve runs preprocess.FixVariables on each instance before the
 	// solver (all columns): variables fixed at the root are eliminated and
 	// the solver sees the reduced, renumbered problem. Incumbents stay
@@ -275,7 +280,8 @@ func Run(inst Instance, id SolverID, lim Limits) RunResult {
 	start := time.Now()
 	rr := RunResult{Instance: inst.Name, Family: inst.Family, Solver: id}
 	bl := baseline.Limits{TimeLimit: lim.Time, MaxConflicts: lim.MaxConflicts,
-		NoIncrementalReduce: lim.NoIncrementalReduce, NoWarmLP: lim.NoWarmLP}
+		NoIncrementalReduce: lim.NoIncrementalReduce, NoWarmLP: lim.NoWarmLP,
+		NoCuts: lim.NoCuts, CutRounds: lim.CutRounds, CutMaxPool: lim.CutMaxPool}
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -360,6 +366,9 @@ func runPortfolio(p *pb.Problem, lim Limits, isolated bool) portfolio.Result {
 		configs[i].Options.MaxConflicts = lim.MaxConflicts
 		configs[i].Options.NoIncrementalReduce = lim.NoIncrementalReduce
 		configs[i].Options.NoWarmLP = lim.NoWarmLP
+		configs[i].Options.NoCuts = lim.NoCuts
+		configs[i].Options.CutRounds = lim.CutRounds
+		configs[i].Options.CutMaxPool = lim.CutMaxPool
 	}
 	return portfolio.SolveOpts(p, configs, portfolio.Options{NoSharing: isolated})
 }
@@ -474,22 +483,26 @@ func fmtDur(d time.Duration) string {
 // bound-pipeline profile (estimation calls, milliseconds spent estimating,
 // LP warm/cold solve counts — zero for the non-bsolo columns), the search
 // effort (conflicts, decisions — summed across members for the portfolio
-// columns), and the sharing counters (members, clauses published/imported,
-// foreign-UB prunes — zero outside the cooperative portfolio column).
+// columns), the cut-pool counters (cuts separated/live/evicted — zero unless
+// the LPR column ran with cuts), and the sharing counters (members, clauses
+// published/imported, foreign-UB prunes — zero outside the cooperative
+// portfolio column).
 func FormatCSV(results []RunResult) string {
 	var sb strings.Builder
 	sb.WriteString("instance,family,solver,solved,best,ms,boundCalls,boundMs,lpWarm,lpCold," +
+		"cutsSep,cutsActive,cutsPruned," +
 		"conflicts,decisions,fixedVars,propsPerSec,members,shPub,shImp,shPrunes\n")
 	for _, r := range results {
 		best := ""
 		if r.HasUB {
 			best = fmt.Sprint(r.Best)
 		}
-		fmt.Fprintf(&sb, "%s,%s,%s,%t,%s,%.2f,%d,%.2f,%d,%d,%d,%d,%d,%.0f,%d,%d,%d,%d\n",
+		fmt.Fprintf(&sb, "%s,%s,%s,%t,%s,%.2f,%d,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%.0f,%d,%d,%d,%d\n",
 			r.Instance, r.Family, r.Solver, r.Solved, best,
 			float64(r.Duration.Microseconds())/1000,
 			r.BoundCalls(), float64(r.BoundTime().Microseconds())/1000,
 			r.Bounds.WarmSolves, r.Bounds.ColdSolves,
+			r.Bounds.Cuts.Separated, r.Bounds.Cuts.Active, r.Bounds.Cuts.Pruned,
 			r.Conflicts, r.Decisions,
 			r.FixedVars, r.PropsPerSec(),
 			r.Members, r.ShClausesPub, r.ShClausesImp, r.ShForeignPrunes)

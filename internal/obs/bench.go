@@ -40,6 +40,13 @@ type BenchRow struct {
 	FixedVars   int     `json:"fixed_vars,omitempty"`
 	PropsPerSec float64 `json:"props_per_sec,omitempty"`
 
+	// Cut-pool counters (LPR with cuts only; omitempty for pre-cuts
+	// snapshots): cuts separated into the pool, live at end of run, and
+	// evicted by activity aging.
+	CutsSep    int64 `json:"cuts_sep,omitempty"`
+	CutsActive int64 `json:"cuts_active,omitempty"`
+	CutsPruned int64 `json:"cuts_pruned,omitempty"`
+
 	Members  int   `json:"members,omitempty"`
 	ShPub    int64 `json:"sh_pub,omitempty"`
 	ShImp    int64 `json:"sh_imp,omitempty"`

@@ -78,7 +78,20 @@ type BoundsMetrics struct {
 	WarmSolves    int64                  `json:"lp_warm_solves"`
 	ColdSolves    int64                  `json:"lp_cold_solves"`
 	WarmFallbacks int64                  `json:"lp_warm_fallbacks"`
+	Cuts          *CutMetrics            `json:"cuts,omitempty"`
 	Per           map[string]ProcMetrics `json:"per,omitempty"`
+}
+
+// CutMetrics is the LPR cut-pool block (cuts.Counters); nil when LPR ran
+// without a pool (or never separated).
+type CutMetrics struct {
+	Separated  int64   `json:"separated"`
+	Duplicates int64   `json:"duplicates"`
+	Rounds     int64   `json:"rounds"`
+	Applied    int64   `json:"applied"`
+	Active     int64   `json:"active"`
+	Pruned     int64   `json:"pruned"`
+	SepMs      float64 `json:"sep_ms"`
 }
 
 // ProcMetrics is one estimator's aggregate (bounds.ProcStats).

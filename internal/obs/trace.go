@@ -56,6 +56,10 @@ const (
 	// method is demoted for the rest of the run. Method = demoted method;
 	// Note = replacement method.
 	EvDemotion
+	// EvCut is one cutting plane accepted into the LPR cut pool.
+	// Method = separator family ("cover" or "clique" when known, else
+	// "cut"); A = term count; B = degree.
+	EvCut
 
 	numEventKinds = iota
 )
@@ -63,7 +67,7 @@ const (
 var eventKindNames = [numEventKinds]string{
 	"solve_start", "solve_end", "restart", "reduce_db", "bound", "prune",
 	"bound_conflict", "incumbent", "share_publish", "share_import",
-	"fallback", "demotion",
+	"fallback", "demotion", "cut",
 }
 
 func (k EventKind) String() string {
@@ -299,6 +303,8 @@ func (e *Event) Pretty() string {
 		detail = fmt.Sprintf("rescued-by=%s bound=%d", e.Method, e.A)
 	case EvDemotion:
 		detail = fmt.Sprintf("demoted=%s to=%s", e.Method, e.Note)
+	case EvCut:
+		detail = fmt.Sprintf("terms=%d degree=%d", e.A, e.B)
 	default:
 		detail = fmt.Sprintf("method=%s a=%d b=%d note=%s", e.Method, e.A, e.B, e.Note)
 	}

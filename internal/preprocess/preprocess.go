@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/cover"
+	"repro/internal/cuts"
 	"repro/internal/engine"
 	"repro/internal/pb"
 )
@@ -45,6 +46,12 @@ type Options struct {
 	// part of the instance before probing. Optimum-preserving but not
 	// solution-set-preserving (column dominance may exclude some optima).
 	CoverReductions bool
+	// CardinalityDetect rewrites input rows that are semantically
+	// cardinality constraints (identical solution set) to unit coefficients
+	// — e.g. 3x+3y+2z ≥ 5 becomes x+y+z ≥ 2. Solution-set-preserving; the
+	// unit form is cheaper to propagate and is recognized exactly by the LPR
+	// clique-cut separator.
+	CardinalityDetect bool
 }
 
 // Info reports what preprocessing did.
@@ -52,7 +59,10 @@ type Info struct {
 	FixedLiterals   int
 	Implications    int
 	SubsumedRemoved int
-	ProvedUnsat     bool
+	// CardinalityNormalized counts rows rewritten to unit coefficients by
+	// CardinalityDetect.
+	CardinalityNormalized int
+	ProvedUnsat           bool
 	// Cover reports the covering-reduction statistics when CoverReductions
 	// was enabled.
 	Cover cover.Info
@@ -75,6 +85,12 @@ func Apply(p *pb.Problem, opt Options) (*pb.Problem, Info, error) {
 		info.Cover = cinfo
 	}
 
+	if opt.CardinalityDetect {
+		// Before subsumption: normalized degree-1 rows become clauses and
+		// join the subsumption pass.
+		info.CardinalityNormalized = normalizeCardinalities(out)
+	}
+
 	if opt.Subsumption {
 		info.SubsumedRemoved = subsume(out)
 	}
@@ -85,6 +101,36 @@ func Apply(p *pb.Problem, opt Options) (*pb.Problem, Info, error) {
 		}
 	}
 	return out, info, nil
+}
+
+// normalizeCardinalities rewrites semantically-cardinality rows in place to
+// unit coefficients (cuts.DetectCardinality certifies the solution set is
+// unchanged). Returns the number of rows rewritten. Already-unit rows are
+// left alone.
+func normalizeCardinalities(p *pb.Problem) int {
+	n := 0
+	for _, c := range p.Constraints {
+		unit := true
+		for _, t := range c.Terms {
+			if t.Coef != 1 {
+				unit = false
+				break
+			}
+		}
+		if unit {
+			continue
+		}
+		need, ok := cuts.DetectCardinality(c.Terms, c.Degree)
+		if !ok {
+			continue
+		}
+		for i := range c.Terms {
+			c.Terms[i].Coef = 1
+		}
+		c.Degree = int64(need)
+		n++
+	}
+	return n
 }
 
 // subsume removes clauses whose literal set is a superset of another
