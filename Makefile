@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-bounds bench-engine bench-portfolio bench-cuts bench-snapshot bench-baseline bench-compare escape-check load-smoke table examples clean ci vet
+.PHONY: all build test race fuzz bench bench-bounds bench-engine bench-portfolio bench-cuts bench-ls bench-snapshot bench-baseline bench-compare escape-check load-smoke table examples clean ci vet
 
 all: build test
 
@@ -18,7 +18,7 @@ vet:
 # baseline, then a single-iteration smoke pass over the bound-pipeline
 # and portfolio-sharing benchmarks and a small bench snapshot.
 ci: vet build test
-	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/share ./internal/fault ./internal/bounds ./internal/lp ./internal/cuts ./internal/fuzz ./internal/obs ./internal/preprocess ./internal/serve
+	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/share ./internal/ls ./internal/fault ./internal/bounds ./internal/lp ./internal/cuts ./internal/fuzz ./internal/obs ./internal/preprocess ./internal/serve
 	$(MAKE) escape-check
 	$(MAKE) load-smoke
 	$(MAKE) bench-compare
@@ -26,6 +26,7 @@ ci: vet build test
 	$(MAKE) bench-engine BENCHTIME=1x
 	$(MAKE) bench-portfolio BENCHTIME=1x
 	$(MAKE) bench-snapshot BENCH_FAMILY=synth BENCH_N=2 BENCH_TIME=3s
+	$(MAKE) bench-ls BENCH_LS_N=2 BENCH_LS_TIME=2s BENCH_LS_NODES=20 BENCH_LS_OUT=/tmp/bench_ls_smoke.json
 	$(MAKE) fuzz FUZZTIME=10s PBFUZZ_N=500
 
 # bsolvd load/chaos smoke under the race detector: 50 concurrent solves with
@@ -102,7 +103,11 @@ escape-check:
 		echo "escape-check: allocation escaped onto the per-node separation fast path:"; \
 		echo "$$cutsout" | grep 'probe\.go' | grep 'escapes to heap'; exit 1; \
 	fi; \
-	echo "escape-check: hot-path inlining + alloc-free delta flush + cut-probe fast path OK"
+	lsout=$$($(GO) build -gcflags='-m' ./internal/ls 2>&1); \
+	for fn in 'violation' 'objViolation' '(*solver).removeUnsat' '(*solver).bumpWeights'; do \
+		echo "$$lsout" | grep -qF "can inline $$fn" || { echo "escape-check: ls $$fn is no longer inlinable"; exit 1; }; \
+	done; \
+	echo "escape-check: hot-path inlining + alloc-free delta flush + cut-probe + ls flip-loop helpers OK"
 
 # Cooperative-portfolio benchmarks: every member proving the optimum with and
 # without the sharing board (total conflicts/decisions across members), the
@@ -118,6 +123,19 @@ bench-portfolio:
 # (BENCHCOUNT=6), never single runs.
 bench-cuts:
 	$(GO) test -bench='BenchmarkCutsSynth' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -run='^$$' ./internal/harness
+
+# Local-search payoff benchmark (see DESIGN.md section 15): the cooperative
+# race plus one LS member (portfolio-ls) vs the B&B-only race (portfolio) on
+# the always-feasible sat family, with the exact lpr column as the quality
+# reference. The ttfiMs column is the headline — how much earlier the mixed
+# portfolio reaches its first feasible incumbent — and the best column bounds
+# incumbent quality. Writes a versioned snapshot (BENCH_sat_<date>.json).
+BENCH_LS_N ?= 3
+BENCH_LS_TIME ?= 5s
+BENCH_LS_NODES ?= 0
+BENCH_LS_OUT ?= auto
+bench-ls:
+	$(GO) run ./cmd/pbbench -family sat -n $(BENCH_LS_N) -time $(BENCH_LS_TIME) -sat-nodes $(BENCH_LS_NODES) -solvers lpr,portfolio,portfolio-ls -snapshot $(BENCH_LS_OUT)
 
 # Benchmark-trajectory snapshot: run the bench matrix and write a versioned
 # BENCH_<family>_<date>.json document (schema repro.bench/v1). Compare two

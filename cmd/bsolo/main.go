@@ -59,6 +59,8 @@ func main() {
 		shareLBD     = flag.Int("share-lbd", 4, "with -portfolio -share: max LBD of an exchanged clause")
 		shareCap     = flag.Int("share-cap", 4096, "with -portfolio -share: exchange ring capacity in clauses")
 		maxMembers   = flag.Int("members", 0, "with -portfolio: cap on concurrently running members (0 = GOMAXPROCS; 1 + -share=false = deterministic)")
+		lsMembers    = flag.Int("ls", 0, "with -portfolio: append this many stochastic local-search members (UB-only: they publish incumbents but never prove optimality or infeasibility)")
+		lsFlips      = flag.Int64("ls-flips", 0, "with -ls: per-member flip limit (0 = none; the wall clock governs)")
 		seed         = flag.Int64("seed", 0, "RNG seed for -random-branch (0 = default seed 1; portfolio members use per-member seeds)")
 		randBranch   = flag.Float64("random-branch", 0, "probability of a random branch decision (single-solver diversification; 0 = off)")
 		auditRun     = flag.Bool("audit", false, "replay learned clauses, bound conflicts, imports and incumbents against the original problem (exhaustive on small instances; see internal/audit)")
@@ -215,6 +217,10 @@ func main() {
 		fmt.Printf("c debug endpoint: http://%s/metrics (pprof at /debug/pprof/)\n", bound)
 	}
 
+	if *lsMembers > 0 && !*portfolioRun {
+		fatal(fmt.Errorf("-ls requires -portfolio (a lone UB-only worker cannot conclude; race it against the exact members)"))
+	}
+
 	start := time.Now()
 	var res core.Result
 	var pres *portfolio.Result
@@ -229,6 +235,21 @@ func main() {
 			configs[i].Options.CutRounds = opt.CutRounds
 			configs[i].Options.CutMaxPool = opt.CutMaxPool
 		}
+		// LS members go first: irrelevant when members race concurrently,
+		// but under serialized execution (capped -members, low GOMAXPROCS)
+		// the UB-only workers must run before the exact members so their
+		// incumbents are already on the board warming B&B pruning.
+		var lsConfigs []portfolio.Config
+		for i := 0; i < *lsMembers; i++ {
+			name := "ls"
+			if *lsMembers > 1 {
+				name = fmt.Sprintf("ls%d", i+1)
+			}
+			cfg := portfolio.LSConfig(name, int64(101+i), *lsFlips)
+			cfg.LS.TimeLimit = opt.TimeLimit
+			lsConfigs = append(lsConfigs, cfg)
+		}
+		configs = append(lsConfigs, configs...)
 		p := portfolio.SolveOpts(prob, configs, portfolio.Options{
 			NoSharing:     !*shareOn,
 			Share:         share.Config{Capacity: *shareCap, MaxLen: *shareLen, MaxLBD: *shareLBD},
@@ -420,8 +441,13 @@ func printPortfolioStats(p *portfolio.Result) {
 			b.ClausesHighLBD, b.ClausesDuplicate, b.ClausesLapped)
 	}
 	for _, m := range p.Members {
-		fmt.Printf("c member %-6s status=%s decisions=%d conflicts=%d boundConflicts=%d\n",
-			m.Name, m.Status, m.Stats.Decisions, m.Stats.Conflicts, m.Stats.BoundConflicts)
+		if m.UBOnly {
+			fmt.Printf("c member %-6s status=%s flips=%d restarts=%d improvements=%d (ub-only)\n",
+				m.Name, m.Status, m.Stats.Flips, m.Stats.Restarts, m.Stats.Solutions)
+		} else {
+			fmt.Printf("c member %-6s status=%s decisions=%d conflicts=%d boundConflicts=%d\n",
+				m.Name, m.Status, m.Stats.Decisions, m.Stats.Conflicts, m.Stats.BoundConflicts)
+		}
 		if m.Stats.Sharing.Active() {
 			printSharing(m.Name+" ", &m.Stats.Sharing, m.Stats.ImportedClauses)
 		}

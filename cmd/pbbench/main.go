@@ -18,6 +18,18 @@
 //
 // measures what cooperation buys on identical instances.
 //
+// The solver list also accepts "ls" (the stochastic local-search worker
+// alone — UB-only: incumbents but never proofs) and "portfolio-ls" (the
+// cooperative race plus one LS member), and the family list accepts "sat"
+// (large always-feasible synthesis instances sized for first-incumbent
+// latency). The ttfiMs CSV/snapshot column records wall-clock to the first
+// incumbent any member reported, so
+//
+//	pbbench -family sat -solvers portfolio,portfolio-ls -csv out.csv
+//
+// measures how much earlier the mixed portfolio reaches a feasible solution
+// (make bench-ls wraps exactly this comparison).
+//
 // Benchmark trajectory: -snapshot writes the run as a versioned
 // BENCH_<family>_<date>.json document (-snapshot auto picks the canonical
 // name), and -compare old.json re-runs the same cells and flags regressions
@@ -48,7 +60,7 @@ func main() {
 func run(stdout, stderr io.Writer, args []string) int {
 	fs := flag.NewFlagSet("pbbench", flag.ExitOnError)
 	var (
-		family    = fs.String("family", "", "family to run: grout|synth|mcnc|acc (empty with -all = all)")
+		family    = fs.String("family", "", "family to run: grout|synth|mcnc|acc|sat (empty with -all = the four Table 1 families)")
 		all       = fs.Bool("all", false, "run all four families")
 		solvers   = fs.String("solvers", "", "comma-separated solver subset (default: all seven columns)")
 		timeLimit = fs.Duration("time", 10*time.Second, "per-run wall-clock limit")
@@ -60,6 +72,7 @@ func run(stdout, stderr io.Writer, args []string) int {
 		synthNodes = fs.Int("synth-nodes", 0, "override synth node count")
 		mcncInputs = fs.Int("mcnc-inputs", 0, "override mcnc input count")
 		accTeams   = fs.Int("acc-teams", 0, "override acc team count")
+		satNodes   = fs.Int("sat-nodes", 0, "override sat-family node count")
 		csvOut     = fs.String("csv", "", "also write machine-readable results to this file")
 		ablations  = fs.Bool("ablations", false, "run the A1-A7 ablations instead of Table 1")
 
@@ -131,6 +144,9 @@ func run(stdout, stderr io.Writer, args []string) int {
 	if *accTeams > 0 {
 		sc.AccTeams = *accTeams
 	}
+	if *satNodes > 0 {
+		sc.SatNodes = *satNodes
+	}
 
 	insts, err := harness.Instances(fams, sc)
 	if err != nil {
@@ -158,6 +174,9 @@ func run(stdout, stderr io.Writer, args []string) int {
 			if r.Members > 0 {
 				extra = fmt.Sprintf("  winner=%s conflicts=%d decisions=%d shImp=%d shPrunes=%d",
 					r.Winner, r.Conflicts, r.Decisions, r.ShClausesImp, r.ShForeignPrunes)
+			}
+			if r.FirstIncumbent > 0 {
+				extra += fmt.Sprintf("  ttfi=%v", r.FirstIncumbent.Round(time.Millisecond))
 			}
 			fmt.Fprintf(stderr, "  %-18s %-7s %-10s %v%s\n", inst.Name, id, status, r.Duration.Round(time.Millisecond), extra)
 		}

@@ -485,7 +485,12 @@ type Claim struct {
 	Satisfiable bool
 	// Unsat: the solver proved the constraints unsatisfiable.
 	Unsat bool
-	// Best is the claimed optimum (meaningful with Optimal).
+	// UpperBound: a UB-only member (local search) claims Best is achieved by
+	// some feasible assignment — an upper bound on the optimum, never an
+	// exhaustion proof. Mutually exclusive with the verdicts above.
+	UpperBound bool
+	// Best is the claimed optimum (meaningful with Optimal) or achieved
+	// upper bound (meaningful with UpperBound).
 	Best int64
 }
 
@@ -529,6 +534,21 @@ func (a *Auditor) Termination(c Claim) {
 		a.violate(Violation{
 			Kind: KindTermination,
 			Detail: fmt.Sprintf("claimed optimum %d, exhaustive optimum is %d",
+				c.Best, satAdd(best, a.p.CostOffset)),
+			Witness: a.witness(bestM),
+		})
+	case c.UpperBound && !feasible:
+		a.violate(Violation{
+			Kind:   KindTermination,
+			Detail: "claimed an upper bound, but the instance is infeasible",
+		})
+	case c.UpperBound && feasible && c.Best < satAdd(best, a.p.CostOffset):
+		// An upper bound may exceed the optimum (local search is not a
+		// proof) — but never undercut it: no feasible assignment achieves
+		// a cost below the exhaustive minimum.
+		a.violate(Violation{
+			Kind: KindTermination,
+			Detail: fmt.Sprintf("claimed achieved upper bound %d below the exhaustive optimum %d",
 				c.Best, satAdd(best, a.p.CostOffset)),
 			Witness: a.witness(bestM),
 		})

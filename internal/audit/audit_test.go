@@ -293,3 +293,36 @@ func TestPooledCutNilAndSkip(t *testing.T) {
 		t.Fatalf("gated pooled cut should count as skipped: %+v", rep.Counts)
 	}
 }
+
+func TestTerminationUpperBoundClaims(t *testing.T) {
+	p := sample(t) // optimum 1
+	a := New(p)
+	// A UB-only member may report any achieved bound at or above the
+	// optimum — it is not an optimality proof.
+	a.Termination(Claim{UpperBound: true, Best: 3})
+	a.Termination(Claim{UpperBound: true, Best: 1})
+	if rep := a.Snapshot(); !rep.Ok() {
+		t.Fatalf("sound upper-bound claims flagged: %v", rep.Violations)
+	}
+	// Undercutting the exhaustive optimum means the claimed assignment
+	// cannot exist.
+	a.Termination(Claim{UpperBound: true, Best: 0})
+	rep := a.Snapshot()
+	if rep.Ok() {
+		t.Fatal("upper bound below the exhaustive optimum not flagged")
+	}
+	if !strings.Contains(rep.Violations[len(rep.Violations)-1].Detail, "below the exhaustive optimum") {
+		t.Fatalf("unexpected violation: %v", rep.Violations)
+	}
+
+	// On an infeasible instance no feasible assignment achieves any bound.
+	unsat, err := opb.ParseString("min: +1 a ;\n+1 a >= 1 ;\n+1 ~a >= 1 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(unsat)
+	b.Termination(Claim{UpperBound: true, Best: 1})
+	if b.Ok() {
+		t.Fatal("upper-bound claim on an infeasible instance not flagged")
+	}
+}

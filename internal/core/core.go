@@ -334,6 +334,11 @@ type Stats struct {
 	// RandomDecisions counts seeded-RNG branch picks (Options.Seed /
 	// RandomBranchFreq).
 	RandomDecisions int64
+
+	// Flips counts local-search moves; always 0 for branch-and-bound
+	// members, set when a portfolio maps an internal/ls worker's outcome
+	// into this shape.
+	Flips int64
 }
 
 // Result is the outcome of Solve.

@@ -44,6 +44,7 @@ func (st *Stats) Metrics() obs.SolverMetrics {
 
 		ImportedClauses: st.ImportedClauses,
 		RandomDecisions: st.RandomDecisions,
+		Flips:           st.Flips,
 
 		Bounds: boundsMetrics(&st.Bounds),
 	}
@@ -53,6 +54,7 @@ func (st *Stats) Metrics() obs.SolverMetrics {
 			IncumbentsPublished: sh.IncumbentsPublished,
 			IncumbentsWon:       sh.IncumbentsWon,
 			ForeignIncumbents:   sh.ForeignIncumbents,
+			ForeignRejected:     sh.ForeignRejected,
 			ForeignUBPrunes:     sh.ForeignUBPrunes,
 			UBInterrupts:        sh.UBInterrupts,
 			ClausesPublished:    sh.ClausesPublished,

@@ -57,6 +57,13 @@ type SharingStats struct {
 	IncumbentsWon       int64
 	// ForeignIncumbents counts upper bounds adopted from other members.
 	ForeignIncumbents int64
+	// ForeignRejected counts board incumbents that failed re-verification
+	// (infeasible, wrong length, or a cost mismatch) and were NOT adopted.
+	// Always 0 on a healthy board: a nonzero count means a member published
+	// a corrupt certificate — with UB-only members in the portfolio this
+	// check is what keeps a bad incumbent from ever becoming part of an
+	// exhaustion proof.
+	ForeignRejected int64
 	// ForeignUBPrunes counts nodes pruned (path or bound conflicts) while
 	// the incumbent in force was a foreign adoption — pruning this member
 	// only got because another member found the solution.
@@ -87,7 +94,28 @@ func (s *SharingStats) Active() bool {
 		s.ClausesPublished != 0 || s.ClausesRejected != 0 ||
 		s.ClausesImported != 0 || s.ImportsDropped != 0 ||
 		s.ImportsRejected != 0 || s.ImportConflicts != 0 ||
-		s.ForeignUBPrunes != 0 || s.UBInterrupts != 0
+		s.ForeignUBPrunes != 0 || s.UBInterrupts != 0 ||
+		s.ForeignRejected != 0
+}
+
+// verifyForeign re-verifies a board incumbent against the member's own
+// problem before adoption: right length, feasible, and the claimed internal
+// cost matches the assignment. Members trust the board for *pruning speed*
+// (BestUB tightens budgets without a certificate) but never for *proofs*:
+// an adopted incumbent becomes part of this member's terminal claim, so a
+// corrupt one — a torn write, a UB-only member with a lifting bug — must be
+// quarantined here rather than laundered into an "optimal"/"unsat" verdict.
+func (s *solver) verifyForeign(cost int64, vals []bool) bool {
+	if len(vals) != s.prob.NumVars || !s.prob.Feasible(vals) {
+		return false
+	}
+	var c int64
+	for v, cv := range s.prob.Cost {
+		if cv != 0 && vals[v] {
+			c += cv
+		}
+	}
+	return c == cost
 }
 
 // publishIncumbent offers the freshly improved local incumbent to the board.
@@ -120,6 +148,11 @@ func (s *solver) adoptShared() {
 	if !ok {
 		return
 	}
+	if !s.verifyForeign(cost, vals) {
+		s.stats.Sharing.ForeignRejected++
+		s.trace.Emit(obs.EvIncumbent, "", cost+s.prob.CostOffset, 0, "foreign-rejected")
+		return
+	}
 	s.upper = cost
 	s.bestVals = vals
 	s.upperForeign = true
@@ -145,11 +178,16 @@ func (s *solver) adoptFinal() {
 		return
 	}
 	if cost, vals, ok := sh.BestIncumbent(s.upper); ok {
+		if !s.verifyForeign(cost, vals) {
+			s.stats.Sharing.ForeignRejected++
+			s.trace.Emit(obs.EvIncumbent, "", cost+s.prob.CostOffset, 0, "foreign-rejected")
+			return
+		}
 		s.upper = cost
 		s.bestVals = vals
 		s.upperForeign = true
-		s.stats.Sharing.ForeignIncumbents++
 		s.trace.Emit(obs.EvIncumbent, "", cost+s.prob.CostOffset, 0, "foreign-final")
+		s.stats.Sharing.ForeignIncumbents++
 		s.auditIncumbent()
 	}
 }

@@ -1,0 +1,118 @@
+// Read-only scoring views: the engine's struct-of-arrays constraint layout,
+// exported as an immutable snapshot for consumers that score assignments
+// without running the propagation machinery — today the stochastic
+// local-search member (internal/ls), whose make/break flip deltas want the
+// same cache-friendly flat arenas the propagation wave iterates, but none of
+// the watch/trail state.
+package engine
+
+import "repro/internal/pb"
+
+// VarRef locates one occurrence of a variable inside ScoreRows: the row it
+// appears in and the signed change to that row's true-literal coefficient sum
+// when the variable flips false→true (+coef for a positive literal, −coef
+// for a negated one). Flipping true→false applies −Delta.
+type VarRef struct {
+	Row   int32
+	Delta int64
+}
+
+// ScoreRows is an immutable, flattened snapshot of a problem's normalized
+// constraint rows in the engine's SoA layout:
+//
+//   - Off/Lits/Coefs/Degree: CSR by row, exactly the arena layout the
+//     engine's propagation loop walks (row i's terms are Lits/Coefs in
+//     [Off[i], Off[i+1]));
+//   - VarOff/VarRefs: CSR by variable — every row a variable occurs in,
+//     with the precomputed signed lhs delta of flipping it to true.
+//
+// A row with true-coefficient sum lhs is satisfied iff lhs ≥ Degree[i];
+// max(0, Degree[i]−lhs) is its violation amount (the quantity local-search
+// scoring weighs). The snapshot aliases nothing in the source problem and is
+// safe for concurrent read-only use.
+type ScoreRows struct {
+	NumVars int
+
+	Off    []int32
+	Lits   []pb.Lit
+	Coefs  []int64
+	Degree []int64
+
+	VarOff  []int32
+	VarRefs []VarRef
+}
+
+// NewScoreRows builds the scoring snapshot from a problem in normal form.
+func NewScoreRows(p *pb.Problem) *ScoreRows {
+	nRows := len(p.Constraints)
+	r := &ScoreRows{
+		NumVars: p.NumVars,
+		Off:     make([]int32, nRows+1),
+		Degree:  make([]int64, nRows),
+		VarOff:  make([]int32, p.NumVars+1),
+	}
+	total := 0
+	for _, c := range p.Constraints {
+		total += len(c.Terms)
+	}
+	r.Lits = make([]pb.Lit, 0, total)
+	r.Coefs = make([]int64, 0, total)
+
+	counts := make([]int32, p.NumVars)
+	for i, c := range p.Constraints {
+		r.Off[i] = int32(len(r.Lits))
+		r.Degree[i] = c.Degree
+		for _, t := range c.Terms {
+			r.Lits = append(r.Lits, t.Lit)
+			r.Coefs = append(r.Coefs, t.Coef)
+			counts[t.Lit.Var()]++
+		}
+	}
+	r.Off[nRows] = int32(len(r.Lits))
+
+	for v := 0; v < p.NumVars; v++ {
+		r.VarOff[v+1] = r.VarOff[v] + counts[v]
+	}
+	r.VarRefs = make([]VarRef, len(r.Lits))
+	next := make([]int32, p.NumVars)
+	copy(next, r.VarOff[:p.NumVars])
+	for i := range p.Constraints {
+		for k := r.Off[i]; k < r.Off[i+1]; k++ {
+			l := r.Lits[k]
+			v := l.Var()
+			d := r.Coefs[k]
+			if l.IsNeg() {
+				d = -d
+			}
+			r.VarRefs[next[v]] = VarRef{Row: int32(i), Delta: d}
+			next[v]++
+		}
+	}
+	return r
+}
+
+// NumRows returns the number of rows in the snapshot.
+func (r *ScoreRows) NumRows() int { return len(r.Degree) }
+
+// RowLits returns row i's literal slice (read-only).
+func (r *ScoreRows) RowLits(i int32) []pb.Lit { return r.Lits[r.Off[i]:r.Off[i+1]] }
+
+// RowCoefs returns row i's coefficient slice (read-only).
+func (r *ScoreRows) RowCoefs(i int32) []int64 { return r.Coefs[r.Off[i]:r.Off[i+1]] }
+
+// RefsOf returns the occurrence refs of variable v (read-only).
+func (r *ScoreRows) RefsOf(v pb.Var) []VarRef { return r.VarRefs[r.VarOff[v]:r.VarOff[v+1]] }
+
+// TrueSum returns the true-literal coefficient sum of row i under the given
+// full assignment (the scorer's lhs; recomputed from scratch — the scorer
+// maintains it incrementally and uses this for invariant checks and rebuilds).
+func (r *ScoreRows) TrueSum(i int32, values []bool) int64 {
+	var s int64
+	for k := r.Off[i]; k < r.Off[i+1]; k++ {
+		l := r.Lits[k]
+		if values[l.Var()] != l.IsNeg() {
+			s += r.Coefs[k]
+		}
+	}
+	return s
+}

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pb"
+)
+
+func randomScoreProblem(rng *rand.Rand, n, m int) *pb.Problem {
+	p := pb.NewProblem(n)
+	for v := 0; v < n; v++ {
+		p.SetCost(pb.Var(v), int64(rng.Intn(5)))
+	}
+	for i := 0; i < m; i++ {
+		nt := 1 + rng.Intn(4)
+		terms := make([]pb.Term, nt)
+		for k := range terms {
+			terms[k] = pb.Term{
+				Coef: int64(1 + rng.Intn(4)),
+				Lit:  pb.MkLit(pb.Var(rng.Intn(n)), rng.Intn(2) == 0),
+			}
+		}
+		_ = p.AddConstraint(terms, pb.GE, int64(rng.Intn(6)))
+	}
+	return p
+}
+
+// TestScoreRowsMatchesProblem cross-checks the flattened snapshot against the
+// source problem: per-row sums under random assignments, and the per-variable
+// refs applying exactly the delta a real flip causes.
+func TestScoreRowsMatchesProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + rng.Intn(8)
+		p := randomScoreProblem(rng, n, 1+rng.Intn(10))
+		r := NewScoreRows(p)
+		if r.NumRows() != len(p.Constraints) || r.NumVars != p.NumVars {
+			t.Fatalf("iter %d: shape mismatch", iter)
+		}
+		values := make([]bool, n)
+		for v := range values {
+			values[v] = rng.Intn(2) == 0
+		}
+		lhs := make([]int64, r.NumRows())
+		for i := range p.Constraints {
+			c := p.Constraints[i]
+			var want int64
+			for _, tm := range c.Terms {
+				if values[tm.Lit.Var()] != tm.Lit.IsNeg() {
+					want += tm.Coef
+				}
+			}
+			got := r.TrueSum(int32(i), values)
+			if got != want {
+				t.Fatalf("iter %d row %d: TrueSum=%d want %d", iter, i, got, want)
+			}
+			if r.Degree[i] != c.Degree {
+				t.Fatalf("iter %d row %d: degree %d want %d", iter, i, r.Degree[i], c.Degree)
+			}
+			lhs[i] = got
+		}
+		// Flip each variable once; the refs' deltas must reproduce the
+		// recomputed sums exactly.
+		for v := 0; v < n; v++ {
+			toTrue := !values[v]
+			values[v] = toTrue
+			for _, ref := range r.RefsOf(pb.Var(v)) {
+				d := ref.Delta
+				if !toTrue {
+					d = -d
+				}
+				lhs[ref.Row] += d
+			}
+			for i := range p.Constraints {
+				if got := r.TrueSum(int32(i), values); got != lhs[i] {
+					t.Fatalf("iter %d flip %d row %d: delta-updated %d, recomputed %d",
+						iter, v, i, lhs[i], got)
+				}
+			}
+		}
+	}
+}
+
+// TestScoreRowsAliasesNothing mutates the snapshot and checks the problem is
+// untouched (the snapshot promises full independence for concurrent readers).
+func TestScoreRowsAliasesNothing(t *testing.T) {
+	p := pb.NewProblem(2)
+	_ = p.AddConstraint([]pb.Term{{Coef: 2, Lit: pb.PosLit(0)}, {Coef: 1, Lit: pb.NegLit(1)}}, pb.GE, 1)
+	r := NewScoreRows(p)
+	r.Lits[0] = pb.PosLit(1)
+	r.Coefs[0] = 99
+	r.Degree[0] = 99
+	c := p.Constraints[0]
+	if c.Terms[0].Coef == 99 || c.Degree == 99 {
+		t.Fatal("ScoreRows aliases the problem's constraint storage")
+	}
+}

@@ -252,6 +252,34 @@ func Check(p *pb.Problem, budget int64) []Mismatch {
 		})
 		judge(name, pres.Result, aud)
 	}
+
+	// Mixed portfolio: one UB-only local-search member racing one B&B member
+	// per lower-bound method, shared and isolated. The judge treats any
+	// conclusive verdict as a proof claim, so these cells pin the UB-only
+	// contract end to end: the LS member's incumbents may accelerate (or,
+	// shared, tighten) the B&B member, but the portfolio's verdict must
+	// still match the brute-force oracle exactly — in particular, an LS
+	// incumbent must never surface as a fake UNSAT/optimality proof.
+	for _, shared := range []bool{true, false} {
+		for i, lb := range []core.Method{core.LBNone, core.LBMIS, core.LBLGR, core.LBLPR} {
+			name := "mixed-" + lb.String() + "-isolated"
+			if shared {
+				name = "mixed-" + lb.String() + "-shared"
+			}
+			aud := audit.New(p)
+			members := []portfolio.Config{
+				{Name: lb.String(), Options: core.Options{LowerBound: lb, MaxConflicts: budget,
+					Seed: int64(i + 1), RandomBranchFreq: 0.02}},
+				portfolio.LSConfig("ls", int64(100+i), 10_000),
+			}
+			pres := portfolio.SolveOpts(p, members, portfolio.Options{
+				NoSharing:     !shared,
+				MaxConcurrent: 2,
+				Audit:         aud,
+			})
+			judge(name, pres.Result, aud)
+		}
+	}
 	return out
 }
 

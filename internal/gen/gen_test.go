@@ -332,3 +332,41 @@ func TestACCHomeAwaySatisfiable(t *testing.T) {
 		}
 	}
 }
+
+func TestPlantedAlwaysFeasibleAndDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p, err := Planted(PlantedConfig{Vars: 40, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// The generator verifies the planted witness itself; cross-check
+		// feasibility independently with a solve.
+		res := core.Solve(p, core.Options{LowerBound: core.LBMIS, MaxConflicts: 200_000})
+		if res.Status != core.StatusOptimal {
+			t.Fatalf("seed %d: planted instance not proved feasible-optimal: %v", seed, res.Status)
+		}
+	}
+	a, _ := Planted(PlantedConfig{Vars: 40, Seed: 3})
+	b, _ := Planted(PlantedConfig{Vars: 40, Seed: 3})
+	if a.NumVars != b.NumVars || len(a.Constraints) != len(b.Constraints) {
+		t.Fatal("planted generation not deterministic")
+	}
+	for i := range a.Constraints {
+		if a.Constraints[i].String() != b.Constraints[i].String() {
+			t.Fatalf("row %d differs across identical seeds", i)
+		}
+	}
+	if _, err := Planted(PlantedConfig{Vars: 2}); err == nil {
+		t.Fatal("want error for too-few variables")
+	}
+	sat, err := Planted(PlantedConfig{Vars: 40, Seed: 5, CostFrac: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat.HasObjective() {
+		t.Fatal("CostFrac<0 must yield a pure satisfaction instance")
+	}
+}

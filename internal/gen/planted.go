@@ -1,0 +1,135 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pb"
+)
+
+// PlantedConfig parameterizes a planted-solution random pseudo-Boolean
+// instance: random at-least-d-of-k constraints near the satisfiability
+// threshold, every one repaired to agree with a hidden planted assignment.
+// Feasibility is guaranteed by construction, but the instance carries none
+// of the per-node structure (one-hot rows, topological order) that lets a
+// branch-and-bound dive reach a feasible leaf by propagation alone — a
+// systematic solver conflicts its way through the dense random core before
+// it sees its first incumbent, while a stochastic local search walks to one
+// quickly. This is exactly the regime the local-search portfolio member
+// (internal/ls) exists for, and the harness "sat" family is built from it.
+type PlantedConfig struct {
+	// Vars is the number of Boolean variables.
+	Vars int
+	// Ratio is the number of constraints per variable (0 = default 4.2,
+	// near the random-3-SAT threshold where systematic search is slowest).
+	Ratio float64
+	// K is the number of literals per constraint (0 = default 3).
+	K int
+	// AtLeast2Frac is the fraction of rows that demand two satisfied
+	// literals from K+1 instead of one from K (0 = default 0.2) — the
+	// pseudo-Boolean twist that keeps the family from being plain CNF.
+	AtLeast2Frac float64
+	// CostFrac is the fraction of variables that carry objective weight
+	// (0 = default 0.5; negative = no objective, a pure satisfaction
+	// instance). Costs are uniform in [1, MaxCost].
+	CostFrac float64
+	// MaxCost bounds the per-variable objective weight (0 = default 9).
+	MaxCost int64
+	Seed    int64
+}
+
+// Planted generates the instance. The planted assignment is sampled
+// uniformly; each constraint samples its literal set uniformly and, when the
+// planted assignment would violate it, flips the polarity of randomly chosen
+// literals until it is satisfied. The objective is independent of the
+// planted witness, so the planted assignment is feasible but rarely optimal.
+func Planted(cfg PlantedConfig) (*pb.Problem, error) {
+	if cfg.Vars < 3 {
+		return nil, fmt.Errorf("gen: planted needs ≥3 variables, got %d", cfg.Vars)
+	}
+	if cfg.Ratio <= 0 {
+		cfg.Ratio = 4.2
+	}
+	if cfg.K == 0 {
+		cfg.K = 3
+	}
+	if cfg.K < 2 || cfg.K >= cfg.Vars {
+		return nil, fmt.Errorf("gen: planted needs 2 ≤ K < Vars, got K=%d", cfg.K)
+	}
+	if cfg.AtLeast2Frac == 0 {
+		cfg.AtLeast2Frac = 0.2
+	}
+	if cfg.CostFrac == 0 {
+		cfg.CostFrac = 0.5
+	}
+	if cfg.MaxCost <= 0 {
+		cfg.MaxCost = 9
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	prob := pb.NewProblem(cfg.Vars)
+	witness := make([]bool, cfg.Vars)
+	for v := range witness {
+		witness[v] = rng.Intn(2) == 0
+	}
+	if cfg.CostFrac > 0 {
+		for v := 0; v < cfg.Vars; v++ {
+			if rng.Float64() < cfg.CostFrac {
+				prob.SetCost(pb.Var(v), 1+rng.Int63n(cfg.MaxCost))
+			}
+		}
+	}
+
+	litTrue := func(l pb.Lit) bool { return witness[l.Var()] != l.IsNeg() }
+	rows := int(cfg.Ratio * float64(cfg.Vars))
+	if rows < 1 {
+		rows = 1
+	}
+	scratch := make([]pb.Term, 0, cfg.K+1)
+	for r := 0; r < rows; r++ {
+		k, degree := cfg.K, int64(1)
+		if rng.Float64() < cfg.AtLeast2Frac && cfg.K+1 < cfg.Vars {
+			k, degree = cfg.K+1, 2
+		}
+		scratch = scratch[:0]
+		seen := map[pb.Var]bool{}
+		for len(scratch) < k {
+			v := pb.Var(rng.Intn(cfg.Vars))
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			l := pb.PosLit(v)
+			if rng.Intn(2) == 0 {
+				l = pb.NegLit(v)
+			}
+			scratch = append(scratch, pb.Term{Coef: 1, Lit: l})
+		}
+		// Repair toward the planted witness: flip random literals' polarity
+		// until the row is satisfied by it.
+		for {
+			var sat int64
+			for _, t := range scratch {
+				if litTrue(t.Lit) {
+					sat++
+				}
+			}
+			if sat >= degree {
+				break
+			}
+			i := rng.Intn(len(scratch))
+			if !litTrue(scratch[i].Lit) {
+				scratch[i].Lit = scratch[i].Lit.Neg()
+			}
+		}
+		if err := prob.AddConstraint(scratch, pb.GE, degree); err != nil {
+			return nil, fmt.Errorf("gen: planted row %d: %w", r, err)
+		}
+	}
+	if !prob.Feasible(witness) {
+		// Cannot happen by construction; fail loudly rather than hand a
+		// possibly-infeasible instance to a benchmark that assumes SAT.
+		return nil, fmt.Errorf("gen: planted witness infeasible (generator bug)")
+	}
+	return prob, nil
+}

@@ -32,6 +32,8 @@ func (r *RunResult) BenchRow() obs.BenchRow {
 		ShPub:       r.ShClausesPub,
 		ShImp:       r.ShClausesImp,
 		ShPrunes:    r.ShForeignPrunes,
+		TtfiMs:      ms(r.FirstIncumbent),
+		Flips:       r.Flips,
 	}
 	if r.HasUB {
 		b := r.Best

@@ -9,12 +9,14 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/ls"
 	"repro/internal/milp"
 	"repro/internal/pb"
 	"repro/internal/portfolio"
@@ -32,6 +34,14 @@ const (
 	FamilyAcc   Family = "acc"   // scheduling satisfaction [16]
 )
 
+// FamilySat (beyond Table 1) is a satisfiable synthesis family sized so that
+// finding *any* feasible assignment takes the B&B columns a while: buffered
+// incompatibilities keep every instance feasible while the larger node count
+// pushes the first incumbent deep into the search. It exists for the
+// local-search columns (time-to-first-incumbent benchmarks, make bench-ls)
+// and is not part of Families() — select it explicitly (pbbench -family sat).
+const FamilySat Family = "sat"
+
 // Families lists all families in Table 1 order.
 func Families() []Family {
 	return []Family{FamilyGrout, FamilySynth, FamilyMcnc, FamilyAcc}
@@ -47,12 +57,13 @@ type Instance struct {
 // Scale adjusts instance sizes: 1 is the default reproduction scale
 // (seconds per solver column); smaller values shrink instances for tests.
 type Scale struct {
-	// GroutNets, SynthNodes, McncInputs, AccTeams override the per-family
-	// size knobs when nonzero.
+	// GroutNets, SynthNodes, McncInputs, AccTeams, SatNodes override the
+	// per-family size knobs when nonzero.
 	GroutNets  int
 	SynthNodes int
 	McncInputs int
 	AccTeams   int
+	SatNodes   int
 	// PerFamily is the number of instances per family (default 10, as in
 	// Table 1).
 	PerFamily int
@@ -60,7 +71,7 @@ type Scale struct {
 
 // DefaultScale returns the reproduction-scale configuration.
 func DefaultScale() Scale {
-	return Scale{GroutNets: 22, SynthNodes: 36, McncInputs: 8, AccTeams: 12, PerFamily: 10}
+	return Scale{GroutNets: 22, SynthNodes: 36, McncInputs: 8, AccTeams: 12, SatNodes: 420, PerFamily: 10}
 }
 
 // Instances generates the benchmark suite for the given families.
@@ -80,6 +91,9 @@ func Instances(families []Family, sc Scale) ([]Instance, error) {
 	}
 	if sc.AccTeams == 0 {
 		sc.AccTeams = d.AccTeams
+	}
+	if sc.SatNodes == 0 {
+		sc.SatNodes = d.SatNodes
 	}
 	var out []Instance
 	for _, fam := range families {
@@ -142,6 +156,22 @@ func Instances(families []Family, sc Scale) ([]Instance, error) {
 					DcDensity: 0.1,
 					Seed:      seed,
 				})
+			case FamilySat:
+				// Always feasible (planted witness), but a dense random core
+				// near the satisfiability threshold: a branch-and-bound dive
+				// cannot reach a feasible leaf by propagation alone and
+				// conflicts its way toward the first incumbent, while local
+				// search walks to one quickly — the regime the LS columns
+				// are measured in. SatNodes is the variable count.
+				vars := sc.SatNodes - 10 + 5*k
+				if vars < 12 {
+					vars = 12
+				}
+				name = fmt.Sprintf("sat-%d-%d", vars, k+1)
+				p, err = gen.Planted(gen.PlantedConfig{
+					Vars: vars,
+					Seed: seed,
+				})
 			case FamilyAcc:
 				name = fmt.Sprintf("acc-tight-%d-%d", sc.AccTeams, k+1)
 				p, err = gen.ACC(gen.ACCConfig{
@@ -186,6 +216,14 @@ const (
 	// SolverPortfolioIso is the same race with sharing disconnected — the
 	// isolated baseline the sharing columns are compared against.
 	SolverPortfolioIso SolverID = "portfolio-iso"
+	// SolverLS runs the stochastic local-search worker alone (internal/ls).
+	// UB-only: the cell can report an incumbent (and SAT on objective-free
+	// instances) but never proves optimality or infeasibility.
+	SolverLS SolverID = "ls"
+	// SolverPortfolioLS is the cooperative race extended with one LS member:
+	// the mixed portfolio the first-incumbent benchmarks (make bench-ls)
+	// compare against SolverPortfolio.
+	SolverPortfolioLS SolverID = "portfolio-ls"
 )
 
 // Solvers lists the columns in Table 1 order.
@@ -256,6 +294,14 @@ type RunResult struct {
 	ShClausesPub    int64
 	ShClausesImp    int64
 	ShForeignPrunes int64
+	// FirstIncumbent is the wall-clock from run start to the first incumbent
+	// reported by any member (0 = no incumbent was ever reported). The LS
+	// benchmarks (make bench-ls) compare this column between the mixed and
+	// the B&B-only portfolios.
+	FirstIncumbent time.Duration
+	// Flips counts local-search flips (ls column; summed across members for
+	// the mixed portfolio; 0 for the exact columns).
+	Flips int64
 }
 
 // PropsPerSec returns the propagation rate of the run (0 when unmeasured).
@@ -282,6 +328,17 @@ func Run(inst Instance, id SolverID, lim Limits) RunResult {
 	bl := baseline.Limits{TimeLimit: lim.Time, MaxConflicts: lim.MaxConflicts,
 		NoIncrementalReduce: lim.NoIncrementalReduce, NoWarmLP: lim.NoWarmLP,
 		NoCuts: lim.NoCuts, CutRounds: lim.CutRounds, CutMaxPool: lim.CutMaxPool}
+	// Time-to-first-incumbent capture: any member (B&B or LS) reporting its
+	// first incumbent stamps the wall-clock once. Concurrent members race on
+	// the stamp, hence the CAS; presolve time counts (it is part of the cell).
+	var firstInc atomic.Int64 // ns since start; 0 = none yet
+	noteInc := func(int64) {
+		ns := int64(time.Since(start))
+		if ns < 1 {
+			ns = 1
+		}
+		firstInc.CompareAndSwap(0, ns)
+	}
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -322,12 +379,22 @@ func Run(inst Instance, id SolverID, lim Limits) RunResult {
 		case SolverLPR:
 			fill(&rr, baseline.Bsolo(prob, core.LBLPR, bl))
 		case SolverPortfolio:
-			fillPortfolio(&rr, runPortfolio(prob, lim, false))
+			fillPortfolio(&rr, runPortfolio(prob, lim, false, false, noteInc))
 		case SolverPortfolioIso:
-			fillPortfolio(&rr, runPortfolio(prob, lim, true))
+			fillPortfolio(&rr, runPortfolio(prob, lim, true, false, noteInc))
+		case SolverPortfolioLS:
+			fillPortfolio(&rr, runPortfolio(prob, lim, false, true, noteInc))
+		case SolverLS:
+			fillLS(&rr, ls.Solve(prob, ls.Options{
+				Seed:        1,
+				TimeLimit:   lim.Time,
+				MaxFlips:    lsFlipBudget(lim),
+				OnIncumbent: noteInc,
+			}))
 		}
 	}()
 	rr.Duration = time.Since(start)
+	rr.FirstIncumbent = time.Duration(firstInc.Load())
 	// Enforce the wall-clock budget strictly (the paper's 1h cutoff): a
 	// solver that only finished after the deadline does not count as
 	// having solved the instance within it.
@@ -358,8 +425,10 @@ func fill(rr *RunResult, res core.Result) {
 }
 
 // runPortfolio runs the default four-member race under the harness limits,
-// cooperatively or isolated.
-func runPortfolio(p *pb.Problem, lim Limits, isolated bool) portfolio.Result {
+// cooperatively or isolated; withLS appends one UB-only local-search member
+// (the portfolio-ls column). noteInc receives every member's incumbent
+// reports for the FirstIncumbent column.
+func runPortfolio(p *pb.Problem, lim Limits, isolated, withLS bool, noteInc func(int64)) portfolio.Result {
 	configs := portfolio.DefaultConfigs()
 	for i := range configs {
 		configs[i].Options.TimeLimit = lim.Time
@@ -369,8 +438,46 @@ func runPortfolio(p *pb.Problem, lim Limits, isolated bool) portfolio.Result {
 		configs[i].Options.NoCuts = lim.NoCuts
 		configs[i].Options.CutRounds = lim.CutRounds
 		configs[i].Options.CutMaxPool = lim.CutMaxPool
+		configs[i].Options.OnIncumbent = noteInc
+	}
+	if withLS {
+		cfg := portfolio.LSConfig("ls", 101, lsFlipBudget(lim))
+		cfg.LS.TimeLimit = lim.Time
+		cfg.LS.OnIncumbent = noteInc
+		// The LS member goes FIRST: with spare cores the order is
+		// irrelevant (everyone races concurrently), but when members are
+		// serialized (MaxConcurrent or GOMAXPROCS caps, single-core CI) the
+		// UB-only worker must run before the exact members so its incumbent
+		// is already on the board warming their pruning — the reverse order
+		// would delay the first incumbent to the very end of the race.
+		configs = append([]portfolio.Config{cfg}, configs...)
 	}
 	return portfolio.SolveOpts(p, configs, portfolio.Options{NoSharing: isolated})
+}
+
+// lsFlipBudget bounds a local-search member when the cell has no wall-clock
+// limit: LS has no conflict budget of its own, so the B&B conflict limit is
+// scaled into a flip limit (flips are far cheaper than conflicts). With a
+// time limit the clock governs and flips stay unlimited.
+func lsFlipBudget(lim Limits) int64 {
+	if lim.Time > 0 || lim.MaxConflicts == 0 {
+		return 0
+	}
+	return 256 * lim.MaxConflicts
+}
+
+// fillLS maps a standalone local-search outcome onto the table cell. LS is
+// UB-only: the cell counts as solved only for the verified SAT witness on an
+// objective-free instance, never for optimality or infeasibility.
+func fillLS(rr *RunResult, res ls.Result) {
+	rr.Solved = res.Satisfiable
+	rr.HasUB = res.HasSolution
+	rr.Best = res.Best
+	rr.Flips = res.Stats.Flips
+	if res.Err != nil {
+		rr.Solved, rr.HasUB = false, false
+		rr.Err = res.Err.Error()
+	}
 }
 
 // fillPortfolio maps a portfolio outcome onto the table cell: the verdict and
@@ -389,6 +496,7 @@ func fillPortfolio(rr *RunResult, res portfolio.Result) {
 		rr.ShClausesImp += m.Stats.ImportedClauses
 		rr.ShForeignPrunes += m.Stats.Sharing.ForeignUBPrunes
 		rr.Propagations += m.Stats.Propagations
+		rr.Flips += m.Stats.Flips
 	}
 }
 
@@ -484,20 +592,26 @@ func fmtDur(d time.Duration) string {
 // LP warm/cold solve counts — zero for the non-bsolo columns), the search
 // effort (conflicts, decisions — summed across members for the portfolio
 // columns), the cut-pool counters (cuts separated/live/evicted — zero unless
-// the LPR column ran with cuts), and the sharing counters (members, clauses
+// the LPR column ran with cuts), the sharing counters (members, clauses
 // published/imported, foreign-UB prunes — zero outside the cooperative
-// portfolio column).
+// portfolio column), and the incumbent-latency columns (ttfiMs: wall-clock
+// milliseconds to the first incumbent any member reported, empty when none;
+// flips: local-search flips, zero for the exact columns).
 func FormatCSV(results []RunResult) string {
 	var sb strings.Builder
 	sb.WriteString("instance,family,solver,solved,best,ms,boundCalls,boundMs,lpWarm,lpCold," +
 		"cutsSep,cutsActive,cutsPruned," +
-		"conflicts,decisions,fixedVars,propsPerSec,members,shPub,shImp,shPrunes\n")
+		"conflicts,decisions,fixedVars,propsPerSec,members,shPub,shImp,shPrunes,ttfiMs,flips\n")
 	for _, r := range results {
 		best := ""
 		if r.HasUB {
 			best = fmt.Sprint(r.Best)
 		}
-		fmt.Fprintf(&sb, "%s,%s,%s,%t,%s,%.2f,%d,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%.0f,%d,%d,%d,%d\n",
+		ttfi := ""
+		if r.FirstIncumbent > 0 {
+			ttfi = fmt.Sprintf("%.2f", float64(r.FirstIncumbent.Microseconds())/1000)
+		}
+		fmt.Fprintf(&sb, "%s,%s,%s,%t,%s,%.2f,%d,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%.0f,%d,%d,%d,%d,%s,%d\n",
 			r.Instance, r.Family, r.Solver, r.Solved, best,
 			float64(r.Duration.Microseconds())/1000,
 			r.BoundCalls(), float64(r.BoundTime().Microseconds())/1000,
@@ -505,7 +619,8 @@ func FormatCSV(results []RunResult) string {
 			r.Bounds.Cuts.Separated, r.Bounds.Cuts.Active, r.Bounds.Cuts.Pruned,
 			r.Conflicts, r.Decisions,
 			r.FixedVars, r.PropsPerSec(),
-			r.Members, r.ShClausesPub, r.ShClausesImp, r.ShForeignPrunes)
+			r.Members, r.ShClausesPub, r.ShClausesImp, r.ShForeignPrunes,
+			ttfi, r.Flips)
 	}
 	return sb.String()
 }

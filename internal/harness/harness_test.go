@@ -140,3 +140,86 @@ func TestRunAblationSmall(t *testing.T) {
 		t.Fatalf("format missing variants:\n%s", out)
 	}
 }
+
+func TestSatFamilyAndLSColumns(t *testing.T) {
+	insts, err := Instances([]Family{FamilySat}, Scale{SatNodes: 10, PerFamily: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 2 {
+		t.Fatalf("instances=%d want 2", len(insts))
+	}
+	for _, in := range insts {
+		if err := in.Prob.Validate(); err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if !in.Prob.HasObjective() {
+			t.Fatalf("%s: sat family is an optimization family", in.Name)
+		}
+	}
+	// Note the short clock: a standalone UB-only worker has nothing to prove
+	// and therefore always runs out its budget.
+	lim := Limits{Time: time.Second, MaxConflicts: 50000}
+	solvers := []SolverID{SolverLPR, SolverLS, SolverPortfolioLS}
+	results := RunMatrix(insts, solvers, lim)
+	opt := map[string]int64{}
+	for _, r := range results {
+		if r.Solver == SolverLPR {
+			if !r.Solved {
+				t.Fatalf("%s/lpr unsolved at tiny scale", r.Instance)
+			}
+			opt[r.Instance] = r.Best
+		}
+	}
+	for _, r := range results {
+		if r.Err != "" {
+			t.Fatalf("%s/%s: %s", r.Instance, r.Solver, r.Err)
+		}
+		switch r.Solver {
+		case SolverLS:
+			// UB-only: never "solved" on an optimization instance, but the
+			// tiny always-feasible instances must yield an incumbent, and it
+			// must never undercut the exact optimum.
+			if r.Solved {
+				t.Fatalf("%s/ls claims solved on an optimization instance", r.Instance)
+			}
+			if !r.HasUB {
+				t.Fatalf("%s/ls found no incumbent on a feasible instance", r.Instance)
+			}
+			if r.Best < opt[r.Instance] {
+				t.Fatalf("%s/ls incumbent %d undercuts optimum %d", r.Instance, r.Best, opt[r.Instance])
+			}
+			if r.Flips == 0 {
+				t.Fatalf("%s/ls reports zero flips", r.Instance)
+			}
+			if r.FirstIncumbent <= 0 {
+				t.Fatalf("%s/ls has an incumbent but no first-incumbent stamp", r.Instance)
+			}
+		case SolverPortfolioLS:
+			if !r.Solved || r.Best != opt[r.Instance] {
+				t.Fatalf("%s/portfolio-ls: solved=%t best=%d want optimum %d",
+					r.Instance, r.Solved, r.Best, opt[r.Instance])
+			}
+			if r.Members != 5 {
+				t.Fatalf("%s/portfolio-ls: members=%d want 5", r.Instance, r.Members)
+			}
+			if r.FirstIncumbent <= 0 {
+				t.Fatalf("%s/portfolio-ls solved but has no first-incumbent stamp", r.Instance)
+			}
+		}
+	}
+	// The new CSV columns round-trip: an ls row carries ttfiMs and flips.
+	csv := FormatCSV(results)
+	if !strings.Contains(csv, ",ttfiMs,flips\n") {
+		t.Fatalf("csv header missing incumbent-latency columns:\n%s", csv)
+	}
+	for _, r := range results {
+		row := r.BenchRow()
+		if time.Duration(r.FirstIncumbent) > 0 && row.TtfiMs <= 0 {
+			t.Fatalf("%s/%s: BenchRow dropped ttfi", r.Instance, r.Solver)
+		}
+		if row.Flips != r.Flips {
+			t.Fatalf("%s/%s: BenchRow flips=%d want %d", r.Instance, r.Solver, row.Flips, r.Flips)
+		}
+	}
+}

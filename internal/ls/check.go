@@ -1,0 +1,51 @@
+package ls
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/pb"
+)
+
+// checkState recomputes the incremental scorer state (per-row lhs, the
+// violated set, the objective cost) from scratch and returns the first
+// inconsistency found. Used by the solver's CheckInvariants test hook; kept
+// free of solver fields so tests can also validate snapshots directly.
+func checkState(rows *engine.ScoreRows, values []bool, lhs []int64, unsat []int32, pos []int32, p *pb.Problem, cost int64) error {
+	if len(values) != p.NumVars {
+		return fmt.Errorf("values length %d, problem has %d vars", len(values), p.NumVars)
+	}
+	inUnsat := make(map[int32]bool, len(unsat))
+	for i, ri := range unsat {
+		if inUnsat[ri] {
+			return fmt.Errorf("row %d appears twice in the violated set", ri)
+		}
+		inUnsat[ri] = true
+		if pos[ri] != int32(i) {
+			return fmt.Errorf("row %d: pos says %d, violated set says %d", ri, pos[ri], i)
+		}
+	}
+	for i := int32(0); i < int32(rows.NumRows()); i++ {
+		want := rows.TrueSum(i, values)
+		if lhs[i] != want {
+			return fmt.Errorf("row %d: incremental lhs %d, recomputed %d", i, lhs[i], want)
+		}
+		viol := want < rows.Degree[i]
+		if viol != inUnsat[i] {
+			return fmt.Errorf("row %d: violated=%v but inUnsat=%v", i, viol, inUnsat[i])
+		}
+		if !viol && pos[i] != -1 {
+			return fmt.Errorf("row %d: satisfied but pos=%d", i, pos[i])
+		}
+	}
+	var want int64
+	for v, c := range p.Cost {
+		if c != 0 && values[v] {
+			want += c
+		}
+	}
+	if cost != want {
+		return fmt.Errorf("incremental cost %d, recomputed %d", cost, want)
+	}
+	return nil
+}

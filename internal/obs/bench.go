@@ -51,6 +51,14 @@ type BenchRow struct {
 	ShPub    int64 `json:"sh_pub,omitempty"`
 	ShImp    int64 `json:"sh_imp,omitempty"`
 	ShPrunes int64 `json:"sh_prunes,omitempty"`
+
+	// Incumbent-latency columns (additive; omitted for rows that never
+	// reported an incumbent or never flipped, which keeps historic
+	// snapshots byte-comparable). TtfiMs is wall-clock milliseconds from
+	// run start to the first incumbent any member reported; Flips counts
+	// local-search flips (ls / portfolio-ls rows only).
+	TtfiMs float64 `json:"ttfi_ms,omitempty"`
+	Flips  int64   `json:"flips,omitempty"`
 }
 
 // BenchSnapshot is one pbbench run's machine-readable record — the unit of

@@ -65,6 +65,10 @@ type SolverMetrics struct {
 	ImportedClauses int64 `json:"imported_clauses"`
 	RandomDecisions int64 `json:"random_decisions"`
 
+	// Flips is the local-search move count; 0 for branch-and-bound members
+	// (additive field, schema-compatible with repro.metrics/v1 consumers).
+	Flips int64 `json:"flips,omitempty"`
+
 	Bounds BoundsMetrics `json:"bounds"`
 	// Sharing is nil when the solve ran without a board.
 	Sharing *SharingMetrics `json:"sharing,omitempty"`
@@ -112,6 +116,7 @@ type SharingMetrics struct {
 	IncumbentsPublished int64 `json:"incumbents_published"`
 	IncumbentsWon       int64 `json:"incumbents_won"`
 	ForeignIncumbents   int64 `json:"foreign_incumbents"`
+	ForeignRejected     int64 `json:"foreign_rejected,omitempty"`
 	ForeignUBPrunes     int64 `json:"foreign_ub_prunes"`
 	UBInterrupts        int64 `json:"ub_interrupts"`
 	ClausesPublished    int64 `json:"clauses_published"`
@@ -125,7 +130,11 @@ type SharingMetrics struct {
 
 // BoardMetrics is the sharing board's global block (share.Stats).
 type BoardMetrics struct {
-	Members          int    `json:"members"`
+	Members int `json:"members"`
+	// ClauseMembers counts the members participating in clause exchange;
+	// UB-only members (local search) join with clauses opted out and are
+	// excluded from ring cursor/lap accounting.
+	ClauseMembers    int    `json:"clause_members,omitempty"`
 	ClausesPublished int64  `json:"clauses_published"`
 	ClausesTooLong   int64  `json:"clauses_too_long"`
 	ClausesHighLBD   int64  `json:"clauses_high_lbd"`

@@ -11,6 +11,7 @@ import (
 func BoardMetrics(st share.Stats) obs.BoardMetrics {
 	return obs.BoardMetrics{
 		Members:          st.Members,
+		ClauseMembers:    st.ClauseMembers,
 		ClausesPublished: st.ClausesPublished,
 		ClausesTooLong:   st.ClausesTooLong,
 		ClausesHighLBD:   st.ClausesHighLBD,

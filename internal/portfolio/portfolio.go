@@ -34,24 +34,40 @@ import (
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/ls"
 	"repro/internal/obs"
 	"repro/internal/pb"
 	"repro/internal/share"
 )
 
 // The share.Member handle is the concrete Sharer the portfolio hands to each
-// member's solver; asserting it here keeps the import direction one-way
-// (portfolio → core + share, never core → share).
-var _ core.Sharer = (*share.Member)(nil)
+// member's solver — and the concrete incumbent Pool it hands to local-search
+// members; asserting both here keeps the import direction one-way
+// (portfolio → core + ls + share, never core/ls → share).
+var (
+	_ core.Sharer = (*share.Member)(nil)
+	_ ls.Pool     = (*share.Member)(nil)
+)
 
 // Config is one portfolio member.
 type Config struct {
 	// Name labels the member in the result.
 	Name string
 	// Options configures the member's solver. Cancel and Share are managed
-	// by Solve and must be nil.
+	// by Solve and must be nil. Ignored when LS is set.
 	Options core.Options
+	// LS, when non-nil, makes this member a stochastic local-search worker
+	// (internal/ls) instead of a branch-and-bound solver: a UB-only member
+	// that contributes incumbents (and, on objective-free instances, a
+	// verified SAT witness) but can never prove optimality or
+	// unsatisfiability — the winner logic treats its outcomes accordingly.
+	// Share/Cancel/Audit/Trace/Live are managed by Solve and must be nil.
+	LS *ls.Options
 }
+
+// UBOnly reports whether the member can contribute only upper bounds
+// (no exhaustion proofs).
+func (c Config) UBOnly() bool { return c.LS != nil }
 
 // DefaultConfigs returns the paper's four bsolo columns as portfolio
 // members. Each member carries an explicit distinct seed and a small random
@@ -71,6 +87,17 @@ func DefaultConfigs() []Config {
 		{Name: "lpr", Options: core.Options{LowerBound: core.LBLPR, CardinalityInference: true,
 			Seed: 4, RandomBranchFreq: diversify}},
 	}
+}
+
+// LSConfig returns one local-search member for a mixed portfolio. The seed
+// diversifies it from other LS members; maxFlips bounds its work (0 = run
+// until cancelled — the usual mixed-portfolio setting, where a B&B member's
+// proof ends the race).
+func LSConfig(name string, seed int64, maxFlips int64) Config {
+	if name == "" {
+		name = "ls"
+	}
+	return Config{Name: name, LS: &ls.Options{Seed: seed, MaxFlips: maxFlips}}
 }
 
 // Options configures the portfolio run as a whole (per-member limits live in
@@ -122,6 +149,9 @@ type Options struct {
 type MemberResult struct {
 	// Name is the member's label (Config.Name or the lower-bound method).
 	Name string
+	// UBOnly marks a member that can contribute only upper bounds (local
+	// search): its terminal status is never an exhaustion proof.
+	UBOnly bool
 	core.Result
 }
 
@@ -207,7 +237,14 @@ func SolveOpts(p *pb.Problem, configs []Config, opts Options) Result {
 		board = share.NewBoard(opts.Share)
 		handles = make([]*share.Member, len(configs))
 		for i, cfg := range configs {
-			handles[i] = board.Join(cfg.name())
+			if cfg.UBOnly() {
+				// UB-only members neither publish nor drain clauses; joining
+				// with clauses opted out keeps the ring's cursor/lap stats
+				// scoped to actual consumers.
+				handles[i] = board.JoinNoClauses(cfg.name())
+			} else {
+				handles[i] = board.Join(cfg.name())
+			}
 		}
 		SeedIncumbent(board, p, opts.WarmIncumbent)
 	}
@@ -275,8 +312,13 @@ func SolveOpts(p *pb.Problem, configs []Config, opts Options) Result {
 				if lives != nil {
 					live = lives[i]
 				}
-				results <- outcome{i, cfg.name(), runMember(p, cfg, cancel, m, opts.Audit,
-					opts.Trace.Named(cfg.name()), live)}
+				if cfg.UBOnly() {
+					results <- outcome{i, cfg.name(), runLSMember(p, cfg, cancel, m, opts.Audit,
+						opts.Trace.Named(cfg.name()), live)}
+				} else {
+					results <- outcome{i, cfg.name(), runMember(p, cfg, cancel, m, opts.Audit,
+						opts.Trace.Named(cfg.name()), live)}
+				}
 			}
 		}()
 	}
@@ -291,7 +333,10 @@ func SolveOpts(p *pb.Problem, configs []Config, opts Options) Result {
 	members := make([]MemberResult, len(configs))
 	for i := 0; i < len(configs); i++ {
 		oc := <-results
-		members[oc.idx] = MemberResult{Name: oc.name, Result: oc.res}
+		if configs[oc.idx].UBOnly() {
+			oc.res = sanitizeUBOnly(p, oc.res)
+		}
+		members[oc.idx] = MemberResult{Name: oc.name, UBOnly: configs[oc.idx].UBOnly(), Result: oc.res}
 		if oc.res.Status == core.StatusError {
 			// Panic isolation: record the crash and keep consuming results —
 			// the race degrades instead of aborting.
@@ -349,7 +394,79 @@ func SeedIncumbent(board *share.Board, p *pb.Problem, values []bool) bool {
 			cost += c
 		}
 	}
-	return board.Join("warm").PublishIncumbent(cost, values)
+	// The seeder is incumbent-only: were it a clause member, its permanently
+	// stalled ring cursor would (wrongly) show up in the lap accounting.
+	return board.JoinNoClauses("warm").PublishIncumbent(cost, values)
+}
+
+// sanitizeUBOnly enforces the UB-only contract on a local-search member's
+// outcome before the winner logic can see it: an exhaustion verdict
+// (optimal/unsat) is structurally impossible for a member that merely
+// samples assignments, and a satisfiability claim is accepted only as a
+// verified witness on an objective-free instance. Anything else is demoted
+// to the inconclusive StatusLimit — defense in depth so that no future ls
+// change can turn an upper bound into a fake proof.
+func sanitizeUBOnly(p *pb.Problem, res core.Result) core.Result {
+	switch res.Status {
+	case core.StatusOptimal, core.StatusUnsat:
+		res.Status = core.StatusLimit
+	case core.StatusSatisfiable:
+		if p.HasObjective() || !res.HasSolution || len(res.Values) != p.NumVars || !p.Feasible(res.Values) {
+			res.Status = core.StatusLimit
+		}
+	}
+	return res
+}
+
+// runLSMember executes one local-search configuration behind the same panic
+// barrier as runMember and maps its UB-only outcome into the core.Result
+// shape the portfolio aggregates: a verified SAT witness on an
+// objective-free instance is conclusive (StatusSatisfiable); everything else
+// is StatusLimit, carrying the best incumbent when one was found.
+func runLSMember(p *pb.Problem, cfg Config, cancel <-chan struct{}, m *share.Member, aud *audit.Auditor, trace *obs.Tracer, live *obs.Live) (res core.Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = core.Result{
+				Status: core.StatusError,
+				Err:    fmt.Errorf("portfolio: member %q panicked: %v\n%s", cfg.name(), r, debug.Stack()),
+			}
+		}
+	}()
+	fault.Fire("portfolio.worker", cfg.name())
+	opt := *cfg.LS
+	opt.Cancel = cancel
+	if m != nil {
+		opt.Share = m
+	}
+	if aud != nil {
+		opt.Audit = aud
+	}
+	opt.Trace = trace
+	if live != nil {
+		opt.Live = live
+	}
+	lr := ls.Solve(p, opt)
+	if lr.Err != nil {
+		return core.Result{Status: core.StatusError, Err: lr.Err}
+	}
+	res = core.Result{
+		Status:      core.StatusLimit,
+		HasSolution: lr.HasSolution,
+		Best:        lr.Best,
+		Values:      lr.Values,
+	}
+	if lr.Satisfiable {
+		res.Status = core.StatusSatisfiable
+	}
+	res.Stats.Restarts = lr.Stats.Restarts
+	res.Stats.Solutions = lr.Stats.Improvements
+	res.Stats.Flips = lr.Stats.Flips
+	if m != nil {
+		res.Stats.Sharing.IncumbentsPublished = lr.Stats.BoardPublished
+		res.Stats.Sharing.IncumbentsWon = lr.Stats.BoardWon
+		res.Stats.Sharing.ForeignIncumbents = lr.Stats.BoardImports
+	}
+	return res
 }
 
 // runMember executes one configuration behind a panic barrier, so a member
@@ -386,6 +503,9 @@ func runMember(p *pb.Problem, cfg Config, cancel <-chan struct{}, m *share.Membe
 func (c Config) name() string {
 	if c.Name != "" {
 		return c.Name
+	}
+	if c.LS != nil {
+		return "ls"
 	}
 	return c.Options.LowerBound.String()
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/pb"
 )
@@ -115,5 +116,141 @@ func TestConfigNameFallback(t *testing.T) {
 	c := Config{Options: core.Options{LowerBound: core.LBLGR}}
 	if c.name() != "lgr" {
 		t.Fatalf("name=%q", c.name())
+	}
+}
+
+// TestMixedPortfolioAgreesWithBruteForce is the acceptance gate for the
+// local-search member: one UB-only LS worker racing one B&B member per
+// lower-bound method (shared board), under the auditor, must prove exactly
+// the brute-force verdict — the LS member accelerates the incumbent but can
+// never fake the proof.
+func TestMixedPortfolioAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, lb := range []core.Method{core.LBNone, core.LBMIS, core.LBLGR, core.LBLPR} {
+		for iter := 0; iter < 8; iter++ {
+			p := randomPBO(rng, 2+rng.Intn(7), 1+rng.Intn(8))
+			want := pb.BruteForce(p)
+			aud := audit.New(p)
+			members := []Config{
+				{Name: lb.String(), Options: core.Options{LowerBound: lb,
+					Seed: 1, RandomBranchFreq: 0.02}},
+				LSConfig("ls", 7, 0),
+			}
+			res := SolveOpts(p, members, Options{MaxConcurrent: 2, Audit: aud})
+			if rep := aud.Snapshot(); !rep.Ok() {
+				t.Fatalf("%s iter %d: audit: %v", lb, iter, rep.Violations)
+			}
+			if want.Feasible {
+				if res.Status != core.StatusOptimal {
+					t.Fatalf("%s iter %d: status=%v want optimal (winner %q)", lb, iter, res.Status, res.Winner)
+				}
+				if res.Best != want.Optimum {
+					t.Fatalf("%s iter %d: best=%d want %d", lb, iter, res.Best, want.Optimum)
+				}
+				if res.Winner == "ls" {
+					t.Fatalf("%s iter %d: UB-only member declared the optimality winner", lb, iter)
+				}
+				if !p.Feasible(res.Values) {
+					t.Fatalf("%s iter %d: infeasible certificate", lb, iter)
+				}
+			} else if res.Status != core.StatusUnsat {
+				t.Fatalf("%s iter %d: status=%v want unsat", lb, iter, res.Status)
+			}
+			// Roster bookkeeping: the LS member is flagged UB-only and its
+			// status is never an exhaustion verdict.
+			var sawLS bool
+			for _, m := range res.Members {
+				if m.Name == "ls" {
+					sawLS = true
+					if !m.UBOnly {
+						t.Fatalf("%s iter %d: ls member not flagged UBOnly", lb, iter)
+					}
+					if m.Status == core.StatusOptimal || m.Status == core.StatusUnsat {
+						t.Fatalf("%s iter %d: UB-only member reported %v", lb, iter, m.Status)
+					}
+				}
+			}
+			if !sawLS {
+				t.Fatalf("%s iter %d: ls member missing from roster", lb, iter)
+			}
+		}
+	}
+}
+
+// TestLSOnlyPortfolioNeverConcludes: a portfolio of only UB-only members on
+// an objective instance can deliver an incumbent but never a verdict.
+func TestLSOnlyPortfolioNeverConcludes(t *testing.T) {
+	p := randomPBO(rand.New(rand.NewSource(77)), 8, 6)
+	want := pb.BruteForce(p)
+	if !want.Feasible {
+		t.Skip("generator produced an UNSAT instance")
+	}
+	res := SolveOpts(p, []Config{LSConfig("ls", 3, 30_000)}, Options{MaxConcurrent: 1})
+	if res.Status != core.StatusLimit {
+		t.Fatalf("status=%v, a UB-only portfolio must end at StatusLimit", res.Status)
+	}
+	if !res.HasSolution {
+		t.Fatal("no incumbent from the LS member")
+	}
+	if res.Best < want.Optimum {
+		t.Fatalf("incumbent %d undercuts the optimum %d", res.Best, want.Optimum)
+	}
+	if !p.Feasible(res.Values) {
+		t.Fatal("infeasible incumbent")
+	}
+}
+
+// TestLSOnlyPortfolioSatWitness: on objective-free instances a verified LS
+// witness IS a sound conclusive answer.
+func TestLSOnlyPortfolioSatWitness(t *testing.T) {
+	p := pb.NewProblem(3)
+	_ = p.AddConstraint([]pb.Term{{Coef: 1, Lit: pb.PosLit(0)}, {Coef: 1, Lit: pb.PosLit(1)}}, pb.GE, 1)
+	_ = p.AddConstraint([]pb.Term{{Coef: 2, Lit: pb.PosLit(2)}}, pb.GE, 2)
+	aud := audit.New(p)
+	res := SolveOpts(p, []Config{LSConfig("ls", 1, 20_000)}, Options{MaxConcurrent: 1, Audit: aud})
+	if rep := aud.Snapshot(); !rep.Ok() {
+		t.Fatalf("audit: %v", rep.Violations)
+	}
+	if res.Status != core.StatusSatisfiable {
+		t.Fatalf("status=%v want satisfiable", res.Status)
+	}
+	if !p.Feasible(res.Values) {
+		t.Fatal("witness infeasible")
+	}
+}
+
+// TestSanitizeUBOnly pins the defense-in-depth demotion: exhaustion verdicts
+// and unverifiable SAT claims from a UB-only member collapse to StatusLimit.
+func TestSanitizeUBOnly(t *testing.T) {
+	p := pb.NewProblem(2)
+	p.SetCost(0, 1)
+	_ = p.AddConstraint([]pb.Term{{Coef: 1, Lit: pb.PosLit(0)}, {Coef: 1, Lit: pb.PosLit(1)}}, pb.GE, 1)
+	feas := []bool{true, false}
+	cases := []struct {
+		name string
+		in   core.Result
+		want core.Status
+	}{
+		{"optimal demoted", core.Result{Status: core.StatusOptimal, HasSolution: true, Best: 1, Values: feas}, core.StatusLimit},
+		{"unsat demoted", core.Result{Status: core.StatusUnsat}, core.StatusLimit},
+		{"sat with objective demoted", core.Result{Status: core.StatusSatisfiable, HasSolution: true, Best: 1, Values: feas}, core.StatusLimit},
+		{"limit passes through", core.Result{Status: core.StatusLimit, HasSolution: true, Best: 1, Values: feas}, core.StatusLimit},
+		{"error passes through", core.Result{Status: core.StatusError}, core.StatusError},
+	}
+	for _, tc := range cases {
+		if got := sanitizeUBOnly(p, tc.in); got.Status != tc.want {
+			t.Errorf("%s: status=%v want %v", tc.name, got.Status, tc.want)
+		}
+	}
+	// Objective-free: a verified witness survives, a bogus one does not.
+	pf := pb.NewProblem(2)
+	_ = pf.AddConstraint([]pb.Term{{Coef: 1, Lit: pb.PosLit(0)}}, pb.GE, 1)
+	ok := core.Result{Status: core.StatusSatisfiable, HasSolution: true, Values: []bool{true, false}}
+	if got := sanitizeUBOnly(pf, ok); got.Status != core.StatusSatisfiable {
+		t.Errorf("verified witness demoted: %v", got.Status)
+	}
+	bad := core.Result{Status: core.StatusSatisfiable, HasSolution: true, Values: []bool{false, false}}
+	if got := sanitizeUBOnly(pf, bad); got.Status != core.StatusLimit {
+		t.Errorf("infeasible witness not demoted: %v", got.Status)
 	}
 }

@@ -100,6 +100,13 @@ type Board struct {
 	seen map[uint64]uint64 // clause hash -> publish seq (dedup window)
 
 	members atomic.Int32
+	// clauseMembers counts the members participating in clause exchange.
+	// UB-only members (local search, the warm-incumbent seeder) join via
+	// JoinNoClauses and are excluded: they never drain, so including them in
+	// ring cursor/lap accounting would charge every ring overwrite to a
+	// consumer that was never going to consume (the stats would claim massive
+	// clause loss on perfectly healthy boards).
+	clauseMembers atomic.Int32
 
 	// filter counters (atomic: the length filter rejects without cmu).
 	tooLong atomic.Int64
@@ -120,8 +127,19 @@ func NewBoard(cfg Config) *Board {
 // Join registers a new member and returns its handle. The name labels the
 // member in the incumbent certificate and the stats.
 func (b *Board) Join(name string) *Member {
+	b.clauseMembers.Add(1)
 	id := b.members.Add(1) - 1
 	return &Member{board: b, id: id, name: name}
+}
+
+// JoinNoClauses registers a member with clause participation opted out:
+// PublishClause rejects, DrainClauses is a no-op, and the member is excluded
+// from clause cursor/lap accounting (Stats.ClauseMembers). Incumbent exchange
+// is unaffected. For UB-only members — local search, the warm-incumbent
+// seeder — that neither learn nor consume clauses.
+func (b *Board) JoinNoClauses(name string) *Member {
+	id := b.members.Add(1) - 1
+	return &Member{board: b, id: id, name: name, noClauses: true}
 }
 
 // BestUB returns the current global internal upper bound (one atomic load).
@@ -254,8 +272,11 @@ func hashLits(lits []pb.Lit) uint64 {
 
 // Stats is a point-in-time snapshot of the board's global counters.
 type Stats struct {
-	// Members is the number of handles issued by Join.
+	// Members is the number of handles issued by Join/JoinNoClauses.
 	Members int
+	// ClauseMembers is the number of members participating in clause
+	// exchange (Join only); UB-only members are excluded.
+	ClauseMembers int
 	// ClausesPublished counts clauses accepted into the ring.
 	ClausesPublished int64
 	// ClausesTooLong / ClausesHighLBD / ClausesDuplicate count publisher-side
@@ -278,6 +299,7 @@ type Stats struct {
 func (b *Board) Snapshot() Stats {
 	st := Stats{
 		Members:          int(b.members.Load()),
+		ClauseMembers:    int(b.clauseMembers.Load()),
 		ClausesPublished: int64(b.seq.Load()),
 		ClausesTooLong:   b.tooLong.Load(),
 		ClausesHighLBD:   b.highLBD.Load(),
@@ -304,6 +326,10 @@ type Member struct {
 	id     int32
 	name   string
 	cursor uint64 // next ring seq to drain
+	// noClauses opts the member out of clause exchange (JoinNoClauses): its
+	// cursor never moves, so it must never reach drainSince — a permanently
+	// stalled cursor would count every ring overwrite as a lapped loss.
+	noClauses bool
 }
 
 // Name returns the member's label.
@@ -335,6 +361,9 @@ func (m *Member) BestIncumbent(below int64) (cost int64, values []bool, ok bool)
 // PublishClause offers a learned clause with its LBD; returns true when the
 // exchange accepted it.
 func (m *Member) PublishClause(lits []pb.Lit, lbd int) bool {
+	if m.noClauses {
+		return false // opted out: not a filter rejection, no counter noise
+	}
 	return m.board.publishClause(m.id, lits, lbd)
 }
 
@@ -342,6 +371,9 @@ func (m *Member) PublishClause(lits []pb.Lit, lbd int) bool {
 // last drain. The delivered slices are shared read-only snapshots; callers
 // must not mutate them.
 func (m *Member) DrainClauses(fn func(lits []pb.Lit)) {
+	if m.noClauses {
+		return // opted out: the stalled cursor must not reach lap accounting
+	}
 	if m.board.seq.Load() == m.cursor {
 		return // nothing new: one atomic load, no lock
 	}

@@ -220,3 +220,48 @@ func TestChaosCorruptShapes(t *testing.T) {
 		}
 	}
 }
+
+func TestNoClausesMemberExcludedFromLapAccounting(t *testing.T) {
+	b := NewBoard(Config{Capacity: 4})
+	pub := b.Join("pub")
+	ub := b.JoinNoClauses("ls")
+	drainer := b.Join("drainer")
+	for v := 0; v < 12; v++ {
+		if !pub.PublishClause(lits(v, v+20), 1) {
+			t.Fatalf("publish %d rejected", v)
+		}
+	}
+	// The opted-out member neither publishes nor drains, and — crucially —
+	// its permanently stalled cursor must not be charged as lapped loss.
+	if ub.PublishClause(lits(0, 1), 1) {
+		t.Fatal("no-clauses member published a clause")
+	}
+	ub.DrainClauses(func([]pb.Lit) { t.Fatal("no-clauses member received a clause") })
+	if st := b.Snapshot(); st.ClausesLapped != 0 {
+		t.Fatalf("lapped=%d before any real drain, want 0", st.ClausesLapped)
+	}
+	// The real drainer's window loss is still counted exactly: 12 published
+	// into a 4-slot ring from cursor 0 → 8 lost, 4 delivered.
+	n := 0
+	drainer.DrainClauses(func([]pb.Lit) { n++ })
+	if n != 4 {
+		t.Fatalf("drained %d clauses, want the live window 4", n)
+	}
+	st := b.Snapshot()
+	if st.ClausesLapped != 8 {
+		t.Fatalf("lapped=%d want exactly 8", st.ClausesLapped)
+	}
+	if st.ClausesPublished != 12 || st.ClausesTooLong != 0 || st.ClausesHighLBD != 0 || st.ClausesDuplicate != 0 {
+		t.Fatalf("opt-out publish leaked into filter counters: %+v", st)
+	}
+	if st.Members != 3 || st.ClauseMembers != 2 {
+		t.Fatalf("members=%d clauseMembers=%d, want 3/2", st.Members, st.ClauseMembers)
+	}
+	// Incumbent exchange is unaffected by the opt-out.
+	if !ub.PublishIncumbent(5, []bool{true}) {
+		t.Fatal("no-clauses member's incumbent rejected")
+	}
+	if got, ok := drainer.BestUB(); !ok || got != 5 {
+		t.Fatalf("incumbent did not reach the board: ub=%d ok=%t", got, ok)
+	}
+}
