@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-bounds bench-engine bench-portfolio bench-cuts bench-ls bench-snapshot bench-baseline bench-compare escape-check load-smoke table examples clean ci vet
+.PHONY: all build test race fuzz bench bench-bounds bench-engine bench-portfolio bench-cuts bench-ls bench-wbo bench-snapshot bench-baseline bench-compare escape-check load-smoke table examples clean ci vet
 
 all: build test
 
@@ -18,7 +18,7 @@ vet:
 # baseline, then a single-iteration smoke pass over the bound-pipeline
 # and portfolio-sharing benchmarks and a small bench snapshot.
 ci: vet build test
-	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/share ./internal/ls ./internal/fault ./internal/bounds ./internal/lp ./internal/cuts ./internal/fuzz ./internal/obs ./internal/preprocess ./internal/serve
+	$(GO) test -race ./internal/engine ./internal/core ./internal/portfolio ./internal/share ./internal/ls ./internal/fault ./internal/bounds ./internal/lp ./internal/cuts ./internal/fuzz ./internal/obs ./internal/preprocess ./internal/serve ./internal/wbo ./internal/wcnf
 	$(MAKE) escape-check
 	$(MAKE) load-smoke
 	$(MAKE) bench-compare
@@ -27,6 +27,7 @@ ci: vet build test
 	$(MAKE) bench-portfolio BENCHTIME=1x
 	$(MAKE) bench-snapshot BENCH_FAMILY=synth BENCH_N=2 BENCH_TIME=3s
 	$(MAKE) bench-ls BENCH_LS_N=2 BENCH_LS_TIME=2s BENCH_LS_NODES=20 BENCH_LS_OUT=/tmp/bench_ls_smoke.json
+	$(MAKE) bench-wbo BENCH_WBO_N=2 BENCH_WBO_TIME=2s BENCH_WBO_VARS=12 BENCH_WBO_OUT=/tmp/bench_wbo_smoke.json
 	$(MAKE) fuzz FUZZTIME=10s PBFUZZ_N=500
 
 # bsolvd load/chaos smoke under the race detector: 50 concurrent solves with
@@ -53,10 +54,12 @@ race:
 FUZZTIME ?= 30s
 PBFUZZ_N ?= 2000
 fuzz:
-	$(GO) test -run 'TestFuzzCorpus|TestAdversarialDifferential' -count=1 ./internal/fuzz
+	$(GO) test -run 'TestFuzzCorpus|TestAdversarialDifferential|TestWBODifferential' -count=1 ./internal/fuzz
+	$(GO) test -run 'TestWCNFCorpus' -count=1 ./internal/wcnf
 	$(GO) run ./cmd/pbfuzz -n $(PBFUZZ_N) -seed 1
 	$(GO) test -fuzz=FuzzDifferential -fuzztime=$(FUZZTIME) ./internal/fuzz
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/opb
+	$(GO) test -fuzz=FuzzWCNFParse -fuzztime=$(FUZZTIME) ./internal/wcnf
 
 # Table 1 benches + ablations A1-A6 (see DESIGN.md section 4).
 bench:
@@ -136,6 +139,19 @@ BENCH_LS_NODES ?= 0
 BENCH_LS_OUT ?= auto
 bench-ls:
 	$(GO) run ./cmd/pbbench -family sat -n $(BENCH_LS_N) -time $(BENCH_LS_TIME) -sat-nodes $(BENCH_LS_NODES) -solvers lpr,portfolio,portfolio-ls -snapshot $(BENCH_LS_OUT)
+
+# Core-guided payoff benchmark (see DESIGN.md section 16): the cooperative
+# race plus the WPM1 core-guided member (portfolio-wbo) vs the B&B-only race
+# (portfolio) on generated weighted instances, with the solo core-guided
+# column as the pure-strategy reference. Both portfolio columns must prove
+# the same optima; the mixed one should match or beat the B&B-only wall
+# clock. Writes a versioned snapshot (BENCH_wbo_<date>.json).
+BENCH_WBO_N ?= 3
+BENCH_WBO_TIME ?= 5s
+BENCH_WBO_VARS ?= 0
+BENCH_WBO_OUT ?= auto
+bench-wbo:
+	$(GO) run ./cmd/pbbench -family wbo -n $(BENCH_WBO_N) -time $(BENCH_WBO_TIME) -wbo-vars $(BENCH_WBO_VARS) -solvers core-guided,portfolio,portfolio-wbo -snapshot $(BENCH_WBO_OUT)
 
 # Benchmark-trajectory snapshot: run the bench matrix and write a versioned
 # BENCH_<family>_<date>.json document (schema repro.bench/v1). Compare two

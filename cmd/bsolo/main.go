@@ -8,6 +8,13 @@
 //	bsolo [flags] [instance.opb]
 //
 // With no file argument the instance is read from standard input.
+//
+// Weighted Boolean Optimization inputs are selected with -wcnf (DIMACS
+// weighted CNF) or -wbo (soft OPB). They solve through the big-M compilation
+// by default; -core-guided switches to the WPM1 core-guided loop (or, with
+// -portfolio, adds it to the race). Weighted runs report the penalty optimum
+// in instance space and exit 30 (optimum), 20 (the hard constraints alone
+// are contradictory) or 0 (unknown), per the MaxSAT-evaluation convention.
 package main
 
 import (
@@ -25,16 +32,22 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/opb"
+	"repro/internal/pb"
 	"repro/internal/portfolio"
 	"repro/internal/preprocess"
 	"repro/internal/share"
 	"repro/internal/verify"
+	"repro/internal/wbo"
+	"repro/internal/wcnf"
 )
 
 func main() {
 	var (
 		lbFlag       = flag.String("lb", "lpr", "lower bound method: plain|mis|lgr|lpr")
 		strategy     = flag.String("strategy", "bb", "search strategy: bb (branch-and-bound) | linear")
+		wcnfIn       = flag.Bool("wcnf", false, "parse the input as weighted CNF (DIMACS wcnf; weights at or above the header top are hard)")
+		wboIn        = flag.Bool("wbo", false, "parse the input as soft OPB (soft: header plus [w]-prefixed soft constraints)")
+		coreGuided   = flag.Bool("core-guided", false, "with -wcnf/-wbo: WPM1 core-guided search instead of big-M branch-and-bound (with -portfolio: joins the race as an extra member)")
 		timeLimit    = flag.Duration("time", 0, "wall-clock limit (e.g. 30s; 0 = none)")
 		maxConflicts = flag.Int64("conflicts", 0, "conflict limit (0 = none)")
 		chrono       = flag.Bool("chrono", false, "chronological backtracking on bound conflicts (§4 ablation)")
@@ -83,11 +96,50 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	prob, err := opb.Parse(in)
-	if err != nil {
-		fatal(err)
+	var (
+		prob *pb.Problem
+		wi   *wbo.Instance // weighted instance (-wcnf/-wbo); nil for plain OPB
+		err  error
+	)
+	switch {
+	case *wcnfIn && *wboIn:
+		fatal(fmt.Errorf("-wcnf and -wbo are mutually exclusive"))
+	case *wcnfIn, *wboIn:
+		if *wcnfIn {
+			wi, err = wcnf.Parse(in)
+		} else {
+			wi, err = wcnf.ParseWBO(in)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		// The big-M compilation is the problem every exact member, the
+		// auditor and the share board see; core-guided witnesses are mapped
+		// into it via ExtendedWitness before they are verified or published.
+		b, berr := wi.Builder()
+		if berr != nil {
+			fatal(berr)
+		}
+		if prob, err = b.Problem(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("c parsed weighted instance: %d variables, %d hard, %d soft (offset %d)\n",
+			wi.NumVars, len(wi.Hard), len(wi.Soft), wi.Offset)
+		fmt.Printf("c compiled to %d variables, %d constraints\n", prob.NumVars, len(prob.Constraints))
+	default:
+		if prob, err = opb.Parse(in); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("c parsed %d variables, %d constraints\n", prob.NumVars, len(prob.Constraints))
 	}
-	fmt.Printf("c parsed %d variables, %d constraints\n", prob.NumVars, len(prob.Constraints))
+	if *coreGuided && wi == nil {
+		fatal(fmt.Errorf("-core-guided requires a weighted instance (-wcnf or -wbo)"))
+	}
+	if wi != nil && (*pre || *presolve || *coverRed) {
+		// These passes renumber or rewrite variables, which would silently
+		// break the soft-constraint index mapping behind ExtendedWitness.
+		fatal(fmt.Errorf("-preprocess/-presolve/-cover are not supported with -wcnf/-wbo"))
+	}
 
 	if *pre || *coverRed {
 		var info preprocess.Info
@@ -224,6 +276,7 @@ func main() {
 	start := time.Now()
 	var res core.Result
 	var pres *portfolio.Result
+	var wres *wbo.Result
 	if *portfolioRun {
 		configs := portfolio.DefaultConfigs()
 		for i := range configs {
@@ -250,6 +303,13 @@ func main() {
 			lsConfigs = append(lsConfigs, cfg)
 		}
 		configs = append(lsConfigs, configs...)
+		if *coreGuided {
+			cg := portfolio.Config{Name: "core-guided", CoreGuided: &portfolio.CoreGuided{
+				Instance: wi,
+				Options:  wbo.Options{TimeLimit: opt.TimeLimit, MaxConflicts: opt.MaxConflicts},
+			}}
+			configs = append([]portfolio.Config{cg}, configs...)
+		}
 		p := portfolio.SolveOpts(prob, configs, portfolio.Options{
 			NoSharing:     !*shareOn,
 			Share:         share.Config{Capacity: *shareCap, MaxLen: *shareLen, MaxLBD: *shareLBD},
@@ -265,6 +325,29 @@ func main() {
 			p.Winner, len(p.Members), p.Concurrency, p.Sharing)
 		for name, err := range p.Errors {
 			fmt.Printf("c portfolio member %s crashed: %v\n", name, firstLine(err))
+		}
+	} else if *coreGuided {
+		r := wbo.Solve(wi, wbo.Options{
+			TimeLimit:    opt.TimeLimit,
+			MaxConflicts: opt.MaxConflicts,
+			Cancel:       cancel,
+		})
+		wres = &r
+		if auditor != nil {
+			// The auditor is scoped to the compiled problem: replay the
+			// witness there (selectors set on exactly the violated softs) and
+			// state the verdict in compiled-objective terms (minus Offset).
+			if r.HasSolution {
+				auditor.Incumbent(r.Best-wi.Offset, wi.ExtendedWitness(r.Values))
+			}
+			switch {
+			case r.Status == core.StatusOptimal:
+				auditor.Termination(audit.Claim{Optimal: true, Best: r.Best - wi.Offset})
+			case r.HardUnsat:
+				auditor.Termination(audit.Claim{Unsat: true})
+			case r.HasSolution:
+				auditor.Termination(audit.Claim{UpperBound: true, Best: r.Best - wi.Offset})
+			}
 		}
 	} else {
 		opt.Trace = tracer.Named(strings.ToLower(*lbFlag))
@@ -285,6 +368,101 @@ func main() {
 		for _, line := range strings.Split(rep.String(), "\n") {
 			fmt.Printf("c audit: %s\n", strings.TrimSpace(line))
 		}
+	}
+
+	// Weighted (-wcnf/-wbo) runs report in instance space, with the
+	// hard-UNSAT vs penalty-optimum distinction explicit: "s UNSATISFIABLE"
+	// means the hard constraints alone are contradictory (exit 20), while an
+	// optimum that merely pays soft penalties prints the penalty on the o
+	// line under "s OPTIMUM FOUND" (exit 30). Witnesses are re-verified
+	// against both the original soft penalties and the compiled hard rows
+	// before printing; any disagreement is a soundness bug (exit 2).
+	if wi != nil {
+		var (
+			status    core.Status
+			hardUnsat bool
+			hasSol    bool
+			best      int64 // instance-space penalty, Offset included
+			values    []bool
+		)
+		if wres != nil {
+			status, hardUnsat, hasSol, best = wres.Status, wres.HardUnsat, wres.HasSolution, wres.Best
+			values = wres.Values
+			fmt.Printf("c core-guided: iterations=%d cores=%d cardRewrites=%d conflicts=%d\n",
+				wres.Iterations, wres.Cores, wres.CardRewrites, wres.Conflicts)
+			if status == core.StatusLimit {
+				fmt.Printf("c proved penalty lower bound %d\n", wres.LowerBound)
+			}
+			if status == core.StatusError {
+				fmt.Printf("c solver error: %v\n", firstLine(wres.Err))
+			}
+		} else {
+			status, hasSol = res.Status, res.HasSolution
+			// The compiled soft rows are always satisfiable through their
+			// selectors, so compiled-UNSAT can only mean the hard skeleton is.
+			hardUnsat = res.Status == core.StatusUnsat
+			if res.Status == core.StatusSatisfiable {
+				// No soft constraints survived compilation (objective-free
+				// problem): a feasible model is the penalty-free optimum.
+				status = core.StatusOptimal
+			}
+			if res.Status == core.StatusError {
+				fmt.Printf("c solver error: %v\n", firstLine(res.Err))
+			}
+			if hasSol {
+				values = res.Values[:wi.NumVars]
+				best = res.Best + wi.Offset
+			}
+		}
+		sound := true
+		if hasSol {
+			if pen, _ := wi.Penalty(values); pen+wi.Offset != best {
+				fmt.Printf("c weighted: SOUNDNESS BUG — witness pays penalty %d, solver claimed %d\n",
+					pen+wi.Offset, best)
+				sound = false
+			}
+			if rep := verify.Check(prob, wi.ExtendedWitness(values)); !rep.Feasible {
+				fmt.Printf("c weighted: SOUNDNESS BUG — witness violates compiled constraint %d\n",
+					rep.ViolatedIdx)
+				sound = false
+			}
+		}
+		code := 0
+		switch {
+		case status == core.StatusOptimal && hasSol:
+			fmt.Printf("o %d\n", best)
+			fmt.Println("s OPTIMUM FOUND")
+			code = 30
+		case status == core.StatusUnsat && hardUnsat:
+			fmt.Println("c the hard constraints alone are contradictory (not a penalty optimum)")
+			fmt.Println("s UNSATISFIABLE")
+			code = 20
+		default:
+			if hasSol {
+				fmt.Printf("c best penalty upper bound %d\n", best)
+				fmt.Printf("o %d\n", best)
+			}
+			fmt.Println("s UNKNOWN")
+		}
+		if hasSol && *showModel {
+			fmt.Println(weightedValueLine(wi, values))
+		}
+		if *showStats {
+			if pres != nil {
+				printPortfolioStats(pres)
+			} else if wres == nil {
+				st := res.Stats
+				fmt.Printf("c decisions=%d conflicts=%d boundConflicts=%d boundCalls=%d boundPrunes=%d\n",
+					st.Decisions, st.Conflicts, st.BoundConflicts, st.BoundCalls, st.BoundPrunes)
+			}
+		}
+		if err := writeObsOutputs(tracer, registry, *tracePath, *tracePretty, *metricsPath); err != nil {
+			fatal(err)
+		}
+		if !auditOK || !sound {
+			os.Exit(2)
+		}
+		os.Exit(code)
 	}
 
 	// When presolve fixes every costed variable, the reduced problem has no
@@ -461,6 +639,26 @@ func printSharing(prefix string, sh *core.SharingStats, imported int64) {
 	fmt.Printf("c %ssharing: clausesPub=%d rejected=%d imported=%d (units=%d) dropped=%d invalid=%d conflicts=%d\n",
 		prefix, sh.ClausesPublished, sh.ClausesRejected, imported,
 		sh.ImportedUnits, sh.ImportsDropped, sh.ImportsRejected, sh.ImportConflicts)
+}
+
+// weightedValueLine renders a weighted-instance witness over the ORIGINAL
+// variables only — the compiled selector variables are an encoding artifact
+// and never appear on the v line.
+func weightedValueLine(wi *wbo.Instance, values []bool) string {
+	var sb strings.Builder
+	sb.WriteString("v")
+	for v := 0; v < wi.NumVars; v++ {
+		sb.WriteByte(' ')
+		if !values[v] {
+			sb.WriteByte('-')
+		}
+		if v < len(wi.Names) && wi.Names[v] != "" {
+			sb.WriteString(wi.Names[v])
+		} else {
+			fmt.Fprintf(&sb, "x%d", v+1)
+		}
+	}
+	return sb.String()
 }
 
 // firstLine trims a multi-line error (StatusError carries a stack trace) to

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/wbo"
+)
+
+// TestMain re-execs the test binary as bsolo itself when BSOLO_RUN_MAIN is
+// set: end-to-end tests drive real argv/stdin/exit-code behavior without a
+// separate build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("BSOLO_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runBsolo runs bsolo with the given stdin and flags, returning the combined
+// output and the exit code.
+func runBsolo(t *testing.T, stdin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "BSOLO_RUN_MAIN=1")
+	cmd.Stdin = strings.NewReader(stdin)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("exec: %v\n%s", err, out)
+	}
+	return string(out), code
+}
+
+// wcnfSplit forces WPM1 weight splitting; penalty optimum 5 (see the
+// testdata/fuzz-corpus ground-truth table).
+const wcnfSplit = `p wcnf 2 4 100
+100 -1 -2 0
+7 1 0
+2 -1 0
+3 2 0
+`
+
+func TestWeightedCoreGuidedOptimum(t *testing.T) {
+	out, code := runBsolo(t, wcnfSplit, "-wcnf", "-core-guided", "-audit")
+	if !strings.Contains(out, "s OPTIMUM FOUND") || !strings.Contains(out, "o 5\n") {
+		t.Fatalf("missing optimum lines:\n%s", out)
+	}
+	if !strings.Contains(out, "v x1 -x2") {
+		t.Fatalf("value line must cover the original variables only:\n%s", out)
+	}
+	if code != 30 {
+		t.Fatalf("exit code %d, want 30 (optimum)", code)
+	}
+}
+
+// TestWeightedBigMAgrees runs the same instance through the default big-M
+// branch-and-bound path: same penalty, same exit code.
+func TestWeightedBigMAgrees(t *testing.T) {
+	out, code := runBsolo(t, wcnfSplit, "-wcnf", "-audit")
+	if !strings.Contains(out, "s OPTIMUM FOUND") || !strings.Contains(out, "o 5\n") {
+		t.Fatalf("big-M path disagrees with core-guided:\n%s", out)
+	}
+	if code != 30 {
+		t.Fatalf("exit code %d, want 30", code)
+	}
+}
+
+// TestWeightedHardUnsat pins the hard-UNSAT vs penalty-optimum distinction:
+// a hard empty clause is UNSATISFIABLE (exit 20), never a penalty optimum.
+func TestWeightedHardUnsat(t *testing.T) {
+	in := "p wcnf 1 2 9\n9 0\n5 1 0\n"
+	for _, extra := range [][]string{{"-core-guided"}, nil} {
+		out, code := runBsolo(t, in, append([]string{"-wcnf"}, extra...)...)
+		if !strings.Contains(out, "s UNSATISFIABLE") ||
+			!strings.Contains(out, "hard constraints alone are contradictory") {
+			t.Fatalf("args %v: missing hard-UNSAT verdict:\n%s", extra, out)
+		}
+		if code != 20 {
+			t.Fatalf("args %v: exit code %d, want 20 (hard-UNSAT)", extra, code)
+		}
+	}
+}
+
+// TestWeightedSoftEmptyOffset: a soft empty clause folds into the offset and
+// must still be paid on the o line.
+func TestWeightedSoftEmptyOffset(t *testing.T) {
+	in := "p wcnf 2 4 10\n10 1 2 0\n4 0\n2 -1 0\n1 -2 0\n"
+	out, code := runBsolo(t, in, "-wcnf", "-core-guided")
+	if !strings.Contains(out, "o 5\n") || code != 30 {
+		t.Fatalf("exit %d, want offset-inclusive optimum 5:\n%s", code, out)
+	}
+}
+
+func TestSoftOPBInput(t *testing.T) {
+	in := "* toy wbo\nsoft: 10 ;\n+1 a +1 b >= 1 ;\n[3] +1 ~a >= 1 ;\n[2] +1 ~b >= 1 ;\n"
+	out, code := runBsolo(t, in, "-wbo", "-core-guided")
+	if !strings.Contains(out, "s OPTIMUM FOUND") || !strings.Contains(out, "o 2\n") {
+		t.Fatalf("soft-OPB optimum wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "v -a b") {
+		t.Fatalf("value line must use the declared names:\n%s", out)
+	}
+	if code != 30 {
+		t.Fatalf("exit code %d, want 30", code)
+	}
+}
+
+// TestMixedPortfolioWeighted races the core-guided member against the exact
+// members on the compiled problem, under the auditor.
+func TestMixedPortfolioWeighted(t *testing.T) {
+	out, code := runBsolo(t, wcnfSplit, "-wcnf", "-core-guided", "-portfolio", "-audit")
+	if !strings.Contains(out, "s OPTIMUM FOUND") || !strings.Contains(out, "o 5\n") {
+		t.Fatalf("mixed portfolio disagrees:\n%s", out)
+	}
+	if code != 30 {
+		t.Fatalf("exit code %d, want 30", code)
+	}
+}
+
+func TestCoreGuidedRequiresWeightedInput(t *testing.T) {
+	out, code := runBsolo(t, "min: +1 x1 ;\n+1 x1 >= 0 ;\n", "-core-guided")
+	if code != 1 || !strings.Contains(out, "-core-guided requires") {
+		t.Fatalf("exit %d, want usage error:\n%s", code, out)
+	}
+}
+
+// TestPlainOPBExitZero guards the pre-existing contract: plain OPB runs keep
+// exit code 0 regardless of the weighted-mode exit-code convention.
+func TestPlainOPBExitZero(t *testing.T) {
+	out, code := runBsolo(t, "min: +1 x1 ;\n+1 x1 +1 x2 >= 1 ;\n")
+	if !strings.Contains(out, "s OPTIMUM FOUND") || code != 0 {
+		t.Fatalf("exit %d, want 0 with optimum:\n%s", code, out)
+	}
+}
+
+func TestWeightedValueLineNames(t *testing.T) {
+	wi := &wbo.Instance{NumVars: 3, Names: []string{"a", ""}}
+	got := weightedValueLine(wi, []bool{true, false, true})
+	if got != "v a -x2 x3" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -30,6 +30,17 @@
 // measures how much earlier the mixed portfolio reaches a feasible solution
 // (make bench-ls wraps exactly this comparison).
 //
+// The family list further accepts "wbo" (generated Weighted Boolean
+// Optimization instances: hard-feasible skeletons plus weighted soft rows),
+// and the solver list accepts "core-guided" (the WPM1 core-guided loop on
+// the WBO payload) and "portfolio-wbo" (the cooperative race plus the
+// core-guided member), so
+//
+//	pbbench -family wbo -solvers portfolio,portfolio-wbo -csv out.csv
+//
+// measures what core-guided search adds over pure branch-and-bound on
+// penalty optimization (make bench-wbo wraps exactly this comparison).
+//
 // Benchmark trajectory: -snapshot writes the run as a versioned
 // BENCH_<family>_<date>.json document (-snapshot auto picks the canonical
 // name), and -compare old.json re-runs the same cells and flags regressions
@@ -60,7 +71,7 @@ func main() {
 func run(stdout, stderr io.Writer, args []string) int {
 	fs := flag.NewFlagSet("pbbench", flag.ExitOnError)
 	var (
-		family    = fs.String("family", "", "family to run: grout|synth|mcnc|acc|sat (empty with -all = the four Table 1 families)")
+		family    = fs.String("family", "", "family to run: grout|synth|mcnc|acc|sat|wbo (empty with -all = the four Table 1 families)")
 		all       = fs.Bool("all", false, "run all four families")
 		solvers   = fs.String("solvers", "", "comma-separated solver subset (default: all seven columns)")
 		timeLimit = fs.Duration("time", 10*time.Second, "per-run wall-clock limit")
@@ -73,6 +84,7 @@ func run(stdout, stderr io.Writer, args []string) int {
 		mcncInputs = fs.Int("mcnc-inputs", 0, "override mcnc input count")
 		accTeams   = fs.Int("acc-teams", 0, "override acc team count")
 		satNodes   = fs.Int("sat-nodes", 0, "override sat-family node count")
+		wboVars    = fs.Int("wbo-vars", 0, "override wbo-family variable count")
 		csvOut     = fs.String("csv", "", "also write machine-readable results to this file")
 		ablations  = fs.Bool("ablations", false, "run the A1-A7 ablations instead of Table 1")
 
@@ -146,6 +158,9 @@ func run(stdout, stderr io.Writer, args []string) int {
 	}
 	if *satNodes > 0 {
 		sc.SatNodes = *satNodes
+	}
+	if *wboVars > 0 {
+		sc.WboVars = *wboVars
 	}
 
 	insts, err := harness.Instances(fams, sc)

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pb"
+)
+
+func TestAssumptionsSatisfiable(t *testing.T) {
+	// x0 ∨ x1, assume ¬x0: the witness must set x1 and respect the
+	// assumption.
+	p := pb.NewProblem(2)
+	_ = p.AddClause(pb.PosLit(0), pb.PosLit(1))
+	res := Solve(p, Options{Assumptions: []pb.Lit{pb.NegLit(0)}})
+	if res.Status != StatusSatisfiable || !res.HasSolution {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if res.Values[0] || !res.Values[1] {
+		t.Fatalf("values=%v violate the assumption", res.Values)
+	}
+	if len(res.FailedAssumptions) != 0 {
+		t.Fatalf("unexpected core %v", res.FailedAssumptions)
+	}
+}
+
+func TestAssumptionsUnsatCore(t *testing.T) {
+	// x0 ∨ x1, assume ¬x0 and ¬x1: UNSAT with both assumptions in the core.
+	p := pb.NewProblem(3)
+	_ = p.AddClause(pb.PosLit(0), pb.PosLit(1))
+	as := []pb.Lit{pb.PosLit(2), pb.NegLit(0), pb.NegLit(1)}
+	res := Solve(p, Options{Assumptions: as})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status=%v want unsat", res.Status)
+	}
+	if len(res.FailedAssumptions) == 0 {
+		t.Fatal("expected a non-empty failed-assumption core")
+	}
+	inAs := map[pb.Lit]bool{}
+	for _, a := range as {
+		inAs[a] = true
+	}
+	seen := map[pb.Lit]bool{}
+	for _, l := range res.FailedAssumptions {
+		if !inAs[l] {
+			t.Fatalf("core literal %v is not an assumption", l)
+		}
+		seen[l] = true
+	}
+	if seen[pb.PosLit(2)] {
+		t.Fatalf("irrelevant assumption x2 in core %v", res.FailedAssumptions)
+	}
+	if !seen[pb.NegLit(0)] || !seen[pb.NegLit(1)] {
+		t.Fatalf("core=%v want {¬x0, ¬x1}", res.FailedAssumptions)
+	}
+}
+
+func TestAssumptionsHardUnsatEmptyCore(t *testing.T) {
+	// Contradictory unit clauses: hard UNSAT regardless of assumptions, and
+	// the empty core distinguishes it from an assumption-relative refutation.
+	p := pb.NewProblem(2)
+	_ = p.AddClause(pb.PosLit(0))
+	_ = p.AddClause(pb.NegLit(0))
+	res := Solve(p, Options{Assumptions: []pb.Lit{pb.PosLit(1)}})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status=%v want unsat", res.Status)
+	}
+	if len(res.FailedAssumptions) != 0 {
+		t.Fatalf("hard UNSAT must carry an empty core, got %v", res.FailedAssumptions)
+	}
+}
+
+func TestAssumptionsRootFalsified(t *testing.T) {
+	// A root-level unit entails ¬x0; assuming x0 yields the singleton core.
+	p := pb.NewProblem(2)
+	_ = p.AddClause(pb.NegLit(0))
+	_ = p.AddClause(pb.PosLit(1))
+	res := Solve(p, Options{Assumptions: []pb.Lit{pb.PosLit(0)}})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status=%v want unsat", res.Status)
+	}
+	if len(res.FailedAssumptions) != 1 || res.FailedAssumptions[0] != pb.PosLit(0) {
+		t.Fatalf("core=%v want {x0}", res.FailedAssumptions)
+	}
+}
+
+func TestAssumptionsWithObjective(t *testing.T) {
+	// min x0 subject to x0 ∨ x1. Unrestricted optimum is 0 (take x1);
+	// assuming ¬x1 forces x0, so the optimum under the assumption is 1.
+	p := pb.NewProblem(2)
+	p.SetCost(0, 1)
+	_ = p.AddClause(pb.PosLit(0), pb.PosLit(1))
+	res := Solve(p, Options{LowerBound: LBMIS, Assumptions: []pb.Lit{pb.NegLit(1)}})
+	if res.Status != StatusOptimal || res.Best != 1 {
+		t.Fatalf("status=%v best=%d want optimal/1", res.Status, res.Best)
+	}
+	if res.Values[1] {
+		t.Fatalf("values=%v violate the assumption", res.Values)
+	}
+}
+
+func TestAssumptionsSweepAgainstRestrictedBruteForce(t *testing.T) {
+	// Differential check: on small random satisfiable-or-not instances, the
+	// assumption answer must agree with brute force over the restricted
+	// space, and every reported core must really be jointly contradictory.
+	rng := rand.New(rand.NewSource(411))
+	for iter := 0; iter < 120; iter++ {
+		n := 3 + rng.Intn(4)
+		p := pb.NewProblem(n)
+		nc := 1 + rng.Intn(5)
+		for i := 0; i < nc; i++ {
+			var lits []pb.Lit
+			nl := 1 + rng.Intn(3)
+			for k := 0; k < nl; k++ {
+				lits = append(lits, pb.MkLit(pb.Var(rng.Intn(n)), rng.Intn(2) == 0))
+			}
+			_ = p.AddClause(lits...)
+		}
+		na := 1 + rng.Intn(3)
+		var as []pb.Lit
+		used := map[pb.Var]bool{}
+		for len(as) < na {
+			v := pb.Var(rng.Intn(n))
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			as = append(as, pb.MkLit(v, rng.Intn(2) == 0))
+		}
+		res := Solve(p, Options{Assumptions: as, MaxConflicts: 100000})
+
+		feasible := false
+		for mask := 0; mask < 1<<n; mask++ {
+			vals := make([]bool, n)
+			for v := 0; v < n; v++ {
+				vals[v] = mask&(1<<v) != 0
+			}
+			ok := p.Feasible(vals)
+			for _, a := range as {
+				if vals[a.Var()] == a.IsNeg() {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				feasible = true
+				break
+			}
+		}
+		switch {
+		case feasible && res.Status != StatusSatisfiable:
+			t.Fatalf("iter %d: feasible under assumptions but status=%v", iter, res.Status)
+		case !feasible && res.Status != StatusUnsat:
+			t.Fatalf("iter %d: infeasible under assumptions but status=%v", iter, res.Status)
+		}
+		if res.Status == StatusUnsat && len(res.FailedAssumptions) > 0 {
+			// The core must itself be contradictory with the constraints.
+			for mask := 0; mask < 1<<n; mask++ {
+				vals := make([]bool, n)
+				for v := 0; v < n; v++ {
+					vals[v] = mask&(1<<v) != 0
+				}
+				if !p.Feasible(vals) {
+					continue
+				}
+				ok := true
+				for _, l := range res.FailedAssumptions {
+					if vals[l.Var()] == l.IsNeg() {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					t.Fatalf("iter %d: reported core %v is satisfiable with the constraints",
+						iter, res.FailedAssumptions)
+				}
+			}
+		}
+	}
+}

@@ -237,6 +237,23 @@ type Options struct {
 	// random unassigned variable instead of the VSIDS maximum (portfolio
 	// diversification). 0 (the default) disables randomization entirely.
 	RandomBranchFreq float64
+
+	// Assumptions are literals the search must satisfy on top of the
+	// problem's constraints. They are placed as decisions, in order, before
+	// any real branching, and re-placed after every backjump that unassigns
+	// them — so whenever the search branches, every assumption already holds.
+	// If the constraints entail the negation of some assumption, Solve
+	// returns StatusUnsat with Result.FailedAssumptions carrying an unsat
+	// core: a subset of the assumptions that is jointly contradictory with
+	// the constraints (engine.AnalyzeFinal). StatusUnsat with an empty
+	// FailedAssumptions means the constraints alone are unsatisfiable.
+	//
+	// Assumption solving is meant for feasibility queries (the core-guided
+	// WBO loop in internal/wbo): combining Assumptions with an objective is
+	// supported but a proved optimum is then "optimal under the assumptions",
+	// and the terminal audit claim is suppressed for assumption-relative
+	// UNSAT answers because they are not claims about the bare problem.
+	Assumptions []pb.Lit
 }
 
 // Status reports how a solve ended.
@@ -355,6 +372,11 @@ type Result struct {
 	// Err is set with StatusError: the recovered panic value and stack of a
 	// crashed solve (see SafeSolve).
 	Err error
+	// FailedAssumptions, set only with StatusUnsat under Options.Assumptions,
+	// is an unsat core: a subset of the assumptions jointly contradictory
+	// with the constraints. Empty with StatusUnsat means the constraints are
+	// unsatisfiable on their own (hard UNSAT).
+	FailedAssumptions []pb.Lit
 }
 
 const upperInf = int64(math.MaxInt64 / 2)
@@ -638,11 +660,22 @@ func (s *solver) auditTermination(res Result) {
 	}
 	switch res.Status {
 	case StatusOptimal:
+		// An optimum under assumptions is only optimal for the restricted
+		// space; claim no more than the (still valid) upper bound.
+		if len(s.opt.Assumptions) > 0 {
+			s.aud.Termination(audit.Claim{UpperBound: true, Best: res.Best})
+			return
+		}
 		s.aud.Termination(audit.Claim{Optimal: true, Best: res.Best})
 	case StatusSatisfiable:
 		s.aud.Termination(audit.Claim{Satisfiable: true})
 	case StatusUnsat:
-		s.aud.Termination(audit.Claim{Unsat: true})
+		// UNSAT relative to Options.Assumptions is not a claim about the
+		// bare problem (which may well be satisfiable) — only hard UNSAT
+		// (empty core) is replayed against the auditor's problem.
+		if len(res.FailedAssumptions) == 0 {
+			s.aud.Termination(audit.Claim{Unsat: true})
+		}
 	}
 }
 
@@ -952,6 +985,48 @@ func (s *solver) search() Result {
 			}
 			s.maybeRestart()
 			continue
+		}
+
+		// Assumption placement: before any real branching, every assumption
+		// must hold. Scan in order at the propagation fixpoint of every node
+		// (backjumps may have unassigned some): a True assumption is done, an
+		// Unassigned one becomes the next decision, a False one is refuted by
+		// the constraints plus the assumptions decided so far — extract the
+		// failed subset and answer UNSAT-under-assumptions. Because this scan
+		// precedes pickBranch, the trail's decisions are all assumptions until
+		// the scan completes, which is the invariant AnalyzeFinal relies on to
+		// read NoReason decisions as assumption literals.
+		if len(s.opt.Assumptions) > 0 {
+			decided := false
+			for _, a := range s.opt.Assumptions {
+				switch s.eng.LitValue(a) {
+				case engine.True:
+					continue
+				case engine.Unassigned:
+					s.eng.Decide(a)
+					decided = true
+				default: // False: refuted
+					// With an incumbent in hand, the refutation may rest on
+					// clauses learned under the cost bound (bound conflicts),
+					// so it proves "no solution under the assumptions beats
+					// the incumbent" — optimality, not infeasibility. The
+					// incumbent itself was found with every assumption held
+					// (this scan precedes the solution check), so it is the
+					// optimum of the restricted space.
+					if hasObjective && s.bestVals != nil {
+						return s.finish(true)
+					}
+					// No incumbent: every learned clause is implied by the
+					// constraints alone, so the failed subset is a genuine
+					// unsat core over the assumptions.
+					return Result{Status: StatusUnsat,
+						FailedAssumptions: s.eng.AnalyzeFinal(a)}
+				}
+				break
+			}
+			if decided {
+				continue // propagate the new assumption before scanning on
+			}
 		}
 
 		// Propagation fixpoint.

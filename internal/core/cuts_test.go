@@ -1,21 +1,22 @@
-package core
+package core_test
 
 import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/pb"
 )
 
 // TestCutsOptimaUnchanged asserts cutting-plane separation is a pure
 // strengthening: for every lower-bound method, solving with cuts enabled and
-// disabled must agree on feasibility and on the optimum. (Only LBLPR actually
+// disabled must agree on feasibility and on the optimum. (Only core.LBLPR actually
 // separates — the other methods are included to pin that the flag is inert
 // for them.)
 func TestCutsOptimaUnchanged(t *testing.T) {
 	rng := rand.New(rand.NewSource(4242))
-	methods := []Method{LBNone, LBMIS, LBLGR, LBLPR}
+	methods := []core.Method{core.LBNone, core.LBMIS, core.LBLGR, core.LBLPR}
 	names := []string{"plain", "mis", "lgr", "lpr"}
 	var totalSeparated int64
 	for iter := 0; iter < 8; iter++ {
@@ -58,17 +59,17 @@ func TestCutsOptimaUnchanged(t *testing.T) {
 			}
 		}
 		for mi, method := range methods {
-			on := Solve(p, Options{LowerBound: method, MaxConflicts: 500000})
-			off := Solve(p, Options{LowerBound: method, MaxConflicts: 500000,
+			on := core.Solve(p, core.Options{LowerBound: method, MaxConflicts: 500000})
+			off := core.Solve(p, core.Options{LowerBound: method, MaxConflicts: 500000,
 				NoCuts: true})
-			if on.Status == StatusLimit || off.Status == StatusLimit {
+			if on.Status == core.StatusLimit || off.Status == core.StatusLimit {
 				continue
 			}
 			if on.Status != off.Status {
 				t.Fatalf("iter %d %s: status disagreement cuts=%v nocuts=%v",
 					iter, names[mi], on.Status, off.Status)
 			}
-			if on.Status != StatusOptimal {
+			if on.Status != core.StatusOptimal {
 				continue
 			}
 			if on.Best != off.Best {
@@ -81,7 +82,7 @@ func TestCutsOptimaUnchanged(t *testing.T) {
 			if off.Stats.Bounds.Cuts.Separated != 0 {
 				t.Fatalf("iter %d %s: cuts separated with NoCuts set", iter, names[mi])
 			}
-			if method != LBLPR && on.Stats.Bounds.Cuts.Separated != 0 {
+			if method != core.LBLPR && on.Stats.Bounds.Cuts.Separated != 0 {
 				t.Fatalf("iter %d %s: non-LPR method separated cuts", iter, names[mi])
 			}
 			totalSeparated += on.Stats.Bounds.Cuts.Separated
@@ -121,15 +122,15 @@ func TestCardinalityNormalizationEngages(t *testing.T) {
 			}
 			_ = p.AddConstraint(terms, pb.GE, c*int64(1+rng.Intn(2)))
 		}
-		pbRes := Solve(p, Options{LowerBound: LBMIS, PBLearning: true, MaxConflicts: 500000})
-		plain := Solve(p, Options{LowerBound: LBMIS, MaxConflicts: 500000})
-		if pbRes.Status == StatusLimit || plain.Status == StatusLimit {
+		pbRes := core.Solve(p, core.Options{LowerBound: core.LBMIS, PBLearning: true, MaxConflicts: 500000})
+		plain := core.Solve(p, core.Options{LowerBound: core.LBMIS, MaxConflicts: 500000})
+		if pbRes.Status == core.StatusLimit || plain.Status == core.StatusLimit {
 			continue
 		}
 		if pbRes.Status != plain.Status {
 			t.Fatalf("iter %d: status disagreement pb=%v plain=%v", iter, pbRes.Status, plain.Status)
 		}
-		if pbRes.Status == StatusOptimal && pbRes.Best != plain.Best {
+		if pbRes.Status == core.StatusOptimal && pbRes.Best != plain.Best {
 			t.Fatalf("iter %d: optimum disagreement pb=%d plain=%d", iter, pbRes.Best, plain.Best)
 		}
 		normalized += pbRes.Stats.PBCardNormalized

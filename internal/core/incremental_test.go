@@ -1,9 +1,10 @@
-package core
+package core_test
 
 import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/pb"
 )
@@ -14,7 +15,7 @@ import (
 // disabled must agree on feasibility and on the optimum.
 func TestIncrementalPipelineOptimaUnchanged(t *testing.T) {
 	rng := rand.New(rand.NewSource(777))
-	methods := []Method{LBNone, LBMIS, LBLGR, LBLPR}
+	methods := []core.Method{core.LBNone, core.LBMIS, core.LBLGR, core.LBLPR}
 	names := []string{"plain", "mis", "lgr", "lpr"}
 	var totalWarm int64
 	for iter := 0; iter < 8; iter++ {
@@ -51,17 +52,17 @@ func TestIncrementalPipelineOptimaUnchanged(t *testing.T) {
 			}
 		}
 		for mi, method := range methods {
-			on := Solve(p, Options{LowerBound: method, MaxConflicts: 500000})
-			off := Solve(p, Options{LowerBound: method, MaxConflicts: 500000,
+			on := core.Solve(p, core.Options{LowerBound: method, MaxConflicts: 500000})
+			off := core.Solve(p, core.Options{LowerBound: method, MaxConflicts: 500000,
 				NoIncrementalReduce: true, NoWarmLP: true})
-			if on.Status == StatusLimit || off.Status == StatusLimit {
+			if on.Status == core.StatusLimit || off.Status == core.StatusLimit {
 				continue
 			}
 			if on.Status != off.Status {
 				t.Fatalf("iter %d %s: status disagreement incremental=%v rebuild=%v",
 					iter, names[mi], on.Status, off.Status)
 			}
-			if on.Status != StatusOptimal {
+			if on.Status != core.StatusOptimal {
 				continue
 			}
 			if on.Best != off.Best {

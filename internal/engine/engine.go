@@ -1105,6 +1105,59 @@ func (e *Engine) clauseFromSeed(seed []pb.Lit, bump []pb.Var) AnalyzeResult {
 	return AnalyzeResult{Learnt: out, BackLevel: max2}
 }
 
+// AnalyzeFinal explains why assumption literal l cannot be set True: it
+// returns the subset of currently-assigned decision literals (the caller's
+// assumptions, when assumptions are the only decisions on the trail) whose
+// joint assignment propagates l to False, with l itself included. The caller
+// must have observed LitValue(l) == False.
+//
+// The walk mirrors AnalyzeClause but resolves all the way back instead of
+// stopping at the first UIP: starting from l's variable, repeatedly replace
+// propagated literals by their reason-side antecedents; literals with
+// NoReason are decisions and are emitted verbatim. When every decision below
+// the walk is an assumption (the assumption-placement discipline in
+// internal/core guarantees this: real branching only starts once all
+// assumptions are enqueued), the returned set is exactly the failed
+// assumption subset — an unsat core over the assumptions.
+func (e *Engine) AnalyzeFinal(l pb.Lit) []pb.Lit {
+	out := []pb.Lit{l}
+	if e.Level(l.Var()) == 0 {
+		// l is falsified by root-level propagation alone: the core is {l}.
+		return out
+	}
+	for v := range e.seen {
+		e.seen[v] = false
+	}
+	e.seen[l.Var()] = true
+	scratch := make([]pb.Lit, 0, 16)
+	start := 0
+	if len(e.trailLim) > 0 {
+		start = e.trailLim[0]
+	}
+	for idx := len(e.trail) - 1; idx >= start; idx-- {
+		p := e.trail[idx]
+		if !e.seen[p.Var()] {
+			continue
+		}
+		if r := e.reason[p.Var()]; r == NoReason {
+			// A decision the falsification depends on: part of the core. The
+			// trail holds the literal as decided, which is the assumption as
+			// assumed — including p == l.Neg() when two contradictory
+			// assumptions were both passed in.
+			out = append(out, p)
+		} else {
+			scratch = scratch[:0]
+			scratch = e.reasonSide(p, r, scratch)
+			for _, q := range scratch {
+				if e.level[q.Var()] > 0 {
+					e.seen[q.Var()] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
 // LearnAndBackjump installs the result of an analysis: backtracks to
 // res.BackLevel, adds the learned clause, and asserts its first literal.
 // It returns the new constraint index, or -1 when res is Unsat or the learned

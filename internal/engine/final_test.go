@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/pb"
+)
+
+// litSet collects a core into a map for order-independent comparison.
+func litSet(lits []pb.Lit) map[pb.Lit]bool {
+	m := make(map[pb.Lit]bool, len(lits))
+	for _, l := range lits {
+		m[l] = true
+	}
+	return m
+}
+
+func TestAnalyzeFinalPropagationChain(t *testing.T) {
+	// x0 → x1 → ¬x3. Assume x0 and (independently) x2; x3 is then falsified
+	// through the chain, and the core must name x0 but not the irrelevant
+	// decision x2.
+	p := mkProblem(t, 4, func(p *pb.Problem) {
+		_ = p.AddClause(pb.NegLit(0), pb.PosLit(1))
+		_ = p.AddClause(pb.NegLit(1), pb.NegLit(3))
+	})
+	e := New(p)
+	e.Decide(pb.PosLit(0))
+	if confl := e.Propagate(); confl != -1 {
+		t.Fatalf("unexpected conflict %d", confl)
+	}
+	e.Decide(pb.PosLit(2))
+	if confl := e.Propagate(); confl != -1 {
+		t.Fatalf("unexpected conflict %d", confl)
+	}
+	if e.LitValue(pb.PosLit(3)) != False {
+		t.Fatalf("x3 should be propagated false")
+	}
+	core := e.AnalyzeFinal(pb.PosLit(3))
+	got := litSet(core)
+	if len(got) != 2 || !got[pb.PosLit(3)] || !got[pb.PosLit(0)] {
+		t.Fatalf("core=%v want {x3, x0}", core)
+	}
+}
+
+func TestAnalyzeFinalRootLevel(t *testing.T) {
+	// Unit clause ¬x0 at the root: the core for assumption x0 is {x0} alone.
+	p := mkProblem(t, 2, func(p *pb.Problem) {
+		_ = p.AddClause(pb.NegLit(0))
+	})
+	e := New(p)
+	if e.SeedUnits() < 0 {
+		t.Fatal("seed units should not conflict")
+	}
+	if confl := e.Propagate(); confl != -1 {
+		t.Fatalf("unexpected conflict %d", confl)
+	}
+	if e.LitValue(pb.PosLit(0)) != False {
+		t.Fatal("x0 should be false at the root")
+	}
+	core := e.AnalyzeFinal(pb.PosLit(0))
+	if len(core) != 1 || core[0] != pb.PosLit(0) {
+		t.Fatalf("core=%v want {x0}", core)
+	}
+}
+
+func TestAnalyzeFinalContradictoryAssumptions(t *testing.T) {
+	// Assume x0, then ask why ¬x0 fails: both polarities belong to the core.
+	p := mkProblem(t, 2, func(p *pb.Problem) {
+		_ = p.AddClause(pb.PosLit(0), pb.PosLit(1)) // keep x0 constrained
+	})
+	e := New(p)
+	e.Decide(pb.PosLit(0))
+	if confl := e.Propagate(); confl != -1 {
+		t.Fatalf("unexpected conflict %d", confl)
+	}
+	core := e.AnalyzeFinal(pb.NegLit(0))
+	got := litSet(core)
+	if len(got) != 2 || !got[pb.NegLit(0)] || !got[pb.PosLit(0)] {
+		t.Fatalf("core=%v want {¬x0, x0}", core)
+	}
+}
+
+func TestAnalyzeFinalPBChain(t *testing.T) {
+	// A PB (non-clausal) propagation feeding the final conflict:
+	// 2x0 + x1 + x2 ≥ 3 under ¬x1 forces x0 (and x2); clause ¬x0 ∨ ¬x3
+	// then falsifies assumption x3. Core: {x3, ¬x1}.
+	p := mkProblem(t, 4, func(p *pb.Problem) {
+		if err := p.AddConstraint([]pb.Term{
+			{Coef: 2, Lit: pb.PosLit(0)},
+			{Coef: 1, Lit: pb.PosLit(1)},
+			{Coef: 1, Lit: pb.PosLit(2)},
+		}, pb.GE, 3); err != nil {
+			t.Fatal(err)
+		}
+		_ = p.AddClause(pb.NegLit(0), pb.NegLit(3))
+	})
+	e := New(p)
+	e.Decide(pb.NegLit(1))
+	if confl := e.Propagate(); confl != -1 {
+		t.Fatalf("unexpected conflict %d", confl)
+	}
+	if e.LitValue(pb.PosLit(3)) != False {
+		t.Fatal("x3 should be propagated false")
+	}
+	core := e.AnalyzeFinal(pb.PosLit(3))
+	got := litSet(core)
+	if len(got) != 2 || !got[pb.PosLit(3)] || !got[pb.NegLit(1)] {
+		t.Fatalf("core=%v want {x3, ¬x1}", core)
+	}
+}

@@ -1,0 +1,117 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/pb"
+	"repro/internal/portfolio"
+	"repro/internal/wbo"
+)
+
+// CheckWBO runs the Weighted Boolean Optimization differential cells on an
+// instance: the core-guided loop solo and the mixed core-guided + B&B
+// portfolio, each compared against the brute-force oracle of the shared
+// soft-relaxed compilation, with the portfolio under the exhaustive auditor
+// (scoped to the compiled problem — the space ExtendedWitness maps
+// incumbents into). Instances outside the oracle gates return nil.
+func CheckWBO(in *wbo.Instance, budget int64) []Mismatch {
+	if err := in.Validate(); err != nil {
+		return []Mismatch{{Config: "wbo-validate", Detail: err.Error()}}
+	}
+	b, err := in.Builder()
+	if err != nil {
+		// Compile-time rejection (e.g. big-M overflow) is not a finding;
+		// the parser/validator cells own those inputs.
+		return nil
+	}
+	p, err := b.Problem()
+	if err != nil {
+		return nil
+	}
+	if p.NumVars > MaxVars || len(p.Constraints) > MaxCons {
+		return nil
+	}
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	want := pb.BruteForce(p)
+
+	var out []Mismatch
+
+	// Cell 1: the core-guided loop alone against the oracle.
+	res := wbo.Solve(in, wbo.Options{MaxConflicts: budget})
+	switch res.Status {
+	case core.StatusError:
+		out = append(out, Mismatch{Config: "core-guided", Detail: "crashed: " + firstLine(res.Err)})
+	case core.StatusLimit:
+		// Budget-bound: only the lower bound is checkable.
+		if want.Feasible && res.LowerBound-in.Offset > want.Optimum {
+			out = append(out, Mismatch{Config: "core-guided",
+				Detail: fmt.Sprintf("lower bound %d exceeds brute-force optimum %d",
+					res.LowerBound-in.Offset, want.Optimum)})
+		}
+	case core.StatusUnsat:
+		if want.Feasible {
+			out = append(out, Mismatch{Config: "core-guided",
+				Detail: fmt.Sprintf("claimed hard-UNSAT, brute force found optimum %d", want.Optimum)})
+		}
+	case core.StatusOptimal:
+		switch {
+		case !want.Feasible:
+			out = append(out, Mismatch{Config: "core-guided", Detail: "claimed an optimum on a hard-UNSAT instance"})
+		case res.Best-in.Offset != want.Optimum:
+			out = append(out, Mismatch{Config: "core-guided",
+				Detail: fmt.Sprintf("claimed optimum %d, brute force says %d", res.Best-in.Offset, want.Optimum)})
+		default:
+			ext := in.ExtendedWitness(res.Values)
+			if !p.Feasible(ext) {
+				out = append(out, Mismatch{Config: "core-guided",
+					Detail: "extended witness violates the compiled problem"})
+			} else if got := p.ObjectiveValue(ext); got != res.Best-in.Offset {
+				out = append(out, Mismatch{Config: "core-guided",
+					Detail: fmt.Sprintf("extended witness costs %d, claim was %d", got, res.Best-in.Offset)})
+			}
+		}
+	}
+
+	// Cell 2: the mixed portfolio (core-guided member + one B&B member per
+	// budgeted race) under the auditor. MaxConcurrent 2 keeps the members
+	// genuinely interleaved while bounding fuzz cost.
+	aud := audit.New(p)
+	members := []portfolio.Config{
+		{Name: "core-guided", CoreGuided: &portfolio.CoreGuided{
+			Instance: in, Options: wbo.Options{MaxConflicts: budget}}},
+		{Name: "mis", Options: core.Options{LowerBound: core.LBMIS, MaxConflicts: budget, Seed: 2}},
+	}
+	pres := portfolio.SolveOpts(p, members, portfolio.Options{MaxConcurrent: 2, Audit: aud})
+	if rep := aud.Snapshot(); !rep.Ok() {
+		for _, v := range rep.Violations {
+			out = append(out, Mismatch{Config: "portfolio-wbo", Detail: "audit: " + v.String()})
+		}
+	}
+	switch pres.Status {
+	case core.StatusError:
+		out = append(out, Mismatch{Config: "portfolio-wbo", Detail: "crashed: " + firstLine(pres.Err)})
+	case core.StatusLimit:
+		// No verdict to compare (the incumbent, if any, was audit-verified).
+	case core.StatusUnsat:
+		if want.Feasible {
+			out = append(out, Mismatch{Config: "portfolio-wbo",
+				Detail: fmt.Sprintf("claimed UNSAT, brute force found optimum %d", want.Optimum)})
+		}
+	case core.StatusSatisfiable, core.StatusOptimal:
+		switch {
+		case !want.Feasible:
+			out = append(out, Mismatch{Config: "portfolio-wbo", Detail: "claimed a solution on an UNSAT instance"})
+		case pres.Status == core.StatusOptimal && pres.Best != want.Optimum:
+			out = append(out, Mismatch{Config: "portfolio-wbo",
+				Detail: fmt.Sprintf("claimed optimum %d, brute force says %d (winner %s)",
+					pres.Best, want.Optimum, pres.Winner)})
+		case pres.Values != nil && !p.Feasible(pres.Values):
+			out = append(out, Mismatch{Config: "portfolio-wbo", Detail: "winning witness infeasible"})
+		}
+	}
+	return out
+}

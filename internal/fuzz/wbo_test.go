@@ -1,0 +1,64 @@
+package fuzz
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/pb"
+	"repro/internal/wbo"
+)
+
+// TestWBODifferential is the always-on WBO slice of the fuzzer: generated
+// weighted instances through the core-guided and mixed-portfolio cells on
+// every `go test` run, under the exhaustive auditor.
+func TestWBODifferential(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		// Small enough that the compiled problem (vars + one selector per
+		// soft) stays inside the MaxVars oracle gate.
+		in, err := gen.WBO(gen.WBOConfig{Vars: 4, HardRows: 3, SoftRows: 4, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if ms := CheckWBO(in, 20_000); len(ms) != 0 {
+			for _, m := range ms {
+				t.Errorf("seed %d: %s", seed, m)
+			}
+		}
+	}
+}
+
+// TestWBODifferentialHardUnsat pins the hard-UNSAT cell: both paths must
+// agree that a hard-contradictory instance has no solution at all.
+func TestWBODifferentialHardUnsat(t *testing.T) {
+	in := &wbo.Instance{
+		NumVars: 1,
+		Hard: []wbo.HardCons{
+			{Terms: []pb.Term{{Coef: 1, Lit: pb.PosLit(0)}}, Cmp: pb.GE, Rhs: 1},
+			{Terms: []pb.Term{{Coef: 1, Lit: pb.NegLit(0)}}, Cmp: pb.GE, Rhs: 1},
+		},
+		Soft: []wbo.SoftCons{
+			{Weight: 5, Terms: []pb.Term{{Coef: 1, Lit: pb.PosLit(0)}}, Cmp: pb.GE, Rhs: 1}},
+	}
+	if ms := CheckWBO(in, 0); len(ms) != 0 {
+		for _, m := range ms {
+			t.Error(m)
+		}
+	}
+}
+
+// TestCheckWBOFlagsWrongOracle sanity-checks the checker itself: feeding it
+// an instance and manually broken expectations is impossible through the
+// public surface, so instead verify it gates oversized instances.
+func TestCheckWBOGates(t *testing.T) {
+	in, err := gen.WBO(gen.WBOConfig{Vars: MaxVars + 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := CheckWBO(in, 0); ms != nil {
+		t.Fatalf("oversized instance must be gated, got %v", ms)
+	}
+}

@@ -1,0 +1,138 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pb"
+	"repro/internal/wbo"
+)
+
+// WBOConfig parameterizes a random Weighted Boolean Optimization instance:
+// a hard clause skeleton repaired against a planted witness (so the hard
+// constraints are feasible by construction — a WBO benchmark that is
+// hard-UNSAT measures nothing) plus weighted soft constraints that the
+// witness deliberately does NOT have to satisfy. Mixed soft shapes (clauses,
+// pseudo-Boolean inequalities, equalities) keep the family exercising the
+// full relaxation machinery rather than plain weighted MaxSAT.
+type WBOConfig struct {
+	// Vars is the number of Boolean variables.
+	Vars int
+	// HardRows is the hard clause count (0 = default 2·Vars).
+	HardRows int
+	// SoftRows is the soft constraint count (0 = default 3·Vars).
+	SoftRows int
+	// MaxWeight bounds soft weights, uniform in [1, MaxWeight] (0 = 9).
+	// Repeated weights are likely by design: WPM1's weight splitting only
+	// engages when cores mix distinct weights, and its AMO bookkeeping only
+	// when they do not — the family needs both.
+	MaxWeight int64
+	// PBFrac is the fraction of soft rows that are pseudo-Boolean
+	// inequalities or equalities instead of clauses (0 = default 0.3).
+	PBFrac float64
+	Seed   int64
+}
+
+// WBO generates the instance.
+func WBO(cfg WBOConfig) (*wbo.Instance, error) {
+	if cfg.Vars < 3 {
+		return nil, fmt.Errorf("gen: wbo needs ≥3 variables, got %d", cfg.Vars)
+	}
+	if cfg.HardRows == 0 {
+		cfg.HardRows = 2 * cfg.Vars
+	}
+	if cfg.SoftRows == 0 {
+		cfg.SoftRows = 3 * cfg.Vars
+	}
+	if cfg.SoftRows < 1 {
+		return nil, fmt.Errorf("gen: wbo needs ≥1 soft row, got %d", cfg.SoftRows)
+	}
+	if cfg.MaxWeight <= 0 {
+		cfg.MaxWeight = 9
+	}
+	if cfg.PBFrac == 0 {
+		cfg.PBFrac = 0.3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	in := &wbo.Instance{NumVars: cfg.Vars}
+	witness := make([]bool, cfg.Vars)
+	for v := range witness {
+		witness[v] = rng.Intn(2) == 0
+	}
+	litTrue := func(l pb.Lit) bool { return witness[l.Var()] != l.IsNeg() }
+
+	sampleLits := func(k int) []pb.Term {
+		terms := make([]pb.Term, 0, k)
+		seen := map[pb.Var]bool{}
+		for len(terms) < k {
+			v := pb.Var(rng.Intn(cfg.Vars))
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			terms = append(terms, pb.Term{Coef: 1, Lit: pb.MkLit(v, rng.Intn(2) == 0)})
+		}
+		return terms
+	}
+
+	for r := 0; r < cfg.HardRows; r++ {
+		terms := sampleLits(2 + rng.Intn(2))
+		// Repair toward the planted witness so the hard skeleton stays
+		// feasible.
+		sat := false
+		for _, t := range terms {
+			if litTrue(t.Lit) {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			i := rng.Intn(len(terms))
+			terms[i].Lit = terms[i].Lit.Neg()
+		}
+		in.Hard = append(in.Hard, wbo.HardCons{Terms: terms, Cmp: pb.GE, Rhs: 1})
+	}
+
+	for r := 0; r < cfg.SoftRows; r++ {
+		w := 1 + rng.Int63n(cfg.MaxWeight)
+		if rng.Float64() < cfg.PBFrac {
+			// Pseudo-Boolean soft row: mixed coefficients, GE/LE/EQ.
+			terms := sampleLits(2 + rng.Intn(3))
+			var sum int64
+			for i := range terms {
+				terms[i].Coef = int64(1 + rng.Intn(4))
+				sum += terms[i].Coef
+			}
+			in.Soft = append(in.Soft, wbo.SoftCons{
+				Weight: w,
+				Terms:  terms,
+				Cmp:    pb.Cmp(rng.Intn(3)),
+				Rhs:    rng.Int63n(sum + 1),
+			})
+			continue
+		}
+		in.Soft = append(in.Soft, wbo.SoftCons{
+			Weight: w, Terms: sampleLits(1 + rng.Intn(3)), Cmp: pb.GE, Rhs: 1})
+	}
+
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: wbo: %w", err)
+	}
+	if p, _ := in.Penalty(witness); p < 0 {
+		return nil, fmt.Errorf("gen: wbo witness penalty negative (generator bug)")
+	}
+	for i := range in.Hard {
+		h := &in.Hard[i]
+		var lhs int64
+		for _, t := range h.Terms {
+			if litTrue(t.Lit) {
+				lhs += t.Coef
+			}
+		}
+		if lhs < h.Rhs {
+			return nil, fmt.Errorf("gen: wbo planted witness violates hard row %d (generator bug)", i)
+		}
+	}
+	return in, nil
+}

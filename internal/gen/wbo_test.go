@@ -1,0 +1,75 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pb"
+	"repro/internal/wbo"
+)
+
+func TestWBOHardFeasibleAndDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		in, err := WBO(WBOConfig{Vars: 10, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(in.Soft) == 0 || len(in.Hard) == 0 {
+			t.Fatalf("seed %d: degenerate instance hard=%d soft=%d", seed, len(in.Hard), len(in.Soft))
+		}
+		// The hard skeleton must be feasible (planted witness): the
+		// core-guided loop must never report HardUnsat on this family.
+		res := wbo.Solve(in, wbo.Options{MaxConflicts: 200000})
+		if res.HardUnsat {
+			t.Fatalf("seed %d: generated instance is hard-UNSAT", seed)
+		}
+		if res.Status != core.StatusOptimal {
+			t.Fatalf("seed %d: status=%v want optimal", seed, res.Status)
+		}
+
+		// Same seed, same instance (bit-reproducible benchmarks).
+		again, err := WBO(WBOConfig{Vars: 10, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Hard) != len(in.Hard) || len(again.Soft) != len(in.Soft) {
+			t.Fatalf("seed %d: regeneration differs", seed)
+		}
+		for i := range in.Soft {
+			if again.Soft[i].Weight != in.Soft[i].Weight || again.Soft[i].Rhs != in.Soft[i].Rhs {
+				t.Fatalf("seed %d: soft row %d differs across regenerations", seed, i)
+			}
+		}
+	}
+}
+
+func TestWBOMixedSoftShapes(t *testing.T) {
+	in, err := WBO(WBOConfig{Vars: 20, SoftRows: 80, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := map[pb.Cmp]int{}
+	clause := 0
+	for i := range in.Soft {
+		sc := &in.Soft[i]
+		shapes[sc.Cmp]++
+		if sc.Cmp == pb.GE && sc.Rhs == 1 {
+			clause++
+		}
+	}
+	if clause == 0 {
+		t.Fatal("no soft clauses generated")
+	}
+	if shapes[pb.LE]+shapes[pb.EQ] == 0 {
+		t.Fatal("no PB-shaped soft rows generated — family degenerates to weighted MaxSAT")
+	}
+}
+
+func TestWBORejectsBadConfig(t *testing.T) {
+	if _, err := WBO(WBOConfig{Vars: 2}); err == nil {
+		t.Fatal("accepted 2-variable config")
+	}
+	if _, err := WBO(WBOConfig{Vars: 5, SoftRows: -1}); err == nil {
+		t.Fatal("accepted negative soft row count")
+	}
+}

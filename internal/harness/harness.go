@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -21,6 +22,8 @@ import (
 	"repro/internal/pb"
 	"repro/internal/portfolio"
 	"repro/internal/preprocess"
+	"repro/internal/soft"
+	"repro/internal/wbo"
 )
 
 // Family identifies a Table 1 benchmark family.
@@ -42,6 +45,15 @@ const (
 // and is not part of Families() — select it explicitly (pbbench -family sat).
 const FamilySat Family = "sat"
 
+// FamilyWbo (beyond Table 1) is a Weighted Boolean Optimization family:
+// a feasible hard clause skeleton plus weighted soft constraints of mixed
+// shapes (clauses, PB inequalities, equalities). It exists for the
+// core-guided columns (make bench-wbo) and is not part of Families() —
+// select it explicitly (pbbench -family wbo). Its instances carry the WBO
+// payload alongside the soft-relaxed compilation, so both the core-guided
+// and the branch-and-bound columns run on the same problem.
+const FamilyWbo Family = "wbo"
+
 // Families lists all families in Table 1 order.
 func Families() []Family {
 	return []Family{FamilyGrout, FamilySynth, FamilyMcnc, FamilyAcc}
@@ -52,6 +64,11 @@ type Instance struct {
 	Name   string
 	Family Family
 	Prob   *pb.Problem
+	// WBO is the Weighted Boolean Optimization payload of a FamilyWbo row
+	// (nil otherwise). Prob is its Builder() compilation, so the exact
+	// columns and the core-guided columns report comparable incumbents
+	// (the generator keeps Offset at 0).
+	WBO *wbo.Instance
 }
 
 // Scale adjusts instance sizes: 1 is the default reproduction scale
@@ -64,6 +81,7 @@ type Scale struct {
 	McncInputs int
 	AccTeams   int
 	SatNodes   int
+	WboVars    int
 	// PerFamily is the number of instances per family (default 10, as in
 	// Table 1).
 	PerFamily int
@@ -71,7 +89,7 @@ type Scale struct {
 
 // DefaultScale returns the reproduction-scale configuration.
 func DefaultScale() Scale {
-	return Scale{GroutNets: 22, SynthNodes: 36, McncInputs: 8, AccTeams: 12, SatNodes: 420, PerFamily: 10}
+	return Scale{GroutNets: 22, SynthNodes: 36, McncInputs: 8, AccTeams: 12, SatNodes: 420, WboVars: 24, PerFamily: 10}
 }
 
 // Instances generates the benchmark suite for the given families.
@@ -95,6 +113,9 @@ func Instances(families []Family, sc Scale) ([]Instance, error) {
 	if sc.SatNodes == 0 {
 		sc.SatNodes = d.SatNodes
 	}
+	if sc.WboVars == 0 {
+		sc.WboVars = d.WboVars
+	}
 	var out []Instance
 	for _, fam := range families {
 		for k := 0; k < sc.PerFamily; k++ {
@@ -102,6 +123,7 @@ func Instances(families []Family, sc Scale) ([]Instance, error) {
 			var p *pb.Problem
 			var err error
 			var name string
+			var wi *wbo.Instance
 			switch fam {
 			case FamilyGrout:
 				// Net count ramps across the family (like the paper's
@@ -172,6 +194,24 @@ func Instances(families []Family, sc Scale) ([]Instance, error) {
 					Vars: vars,
 					Seed: seed,
 				})
+			case FamilyWbo:
+				// Variable count ramps across the family; soft density and
+				// the weight range stay fixed so the rows differ in search
+				// depth, not in character. The compiled problem is the
+				// Builder() relaxation of the SAME instance the core-guided
+				// columns solve — both report comparable incumbents.
+				vars := sc.WboVars - 4 + k
+				if vars < 6 {
+					vars = 6
+				}
+				name = fmt.Sprintf("wbo-%d-%d", vars, k+1)
+				wi, err = gen.WBO(gen.WBOConfig{Vars: vars, Seed: seed})
+				if err == nil {
+					var b *soft.Builder
+					if b, err = wi.Builder(); err == nil {
+						p, err = b.Problem()
+					}
+				}
 			case FamilyAcc:
 				name = fmt.Sprintf("acc-tight-%d-%d", sc.AccTeams, k+1)
 				p, err = gen.ACC(gen.ACCConfig{
@@ -186,7 +226,7 @@ func Instances(families []Family, sc Scale) ([]Instance, error) {
 			if err != nil {
 				return nil, fmt.Errorf("harness: generating %s: %w", name, err)
 			}
-			out = append(out, Instance{Name: name, Family: fam, Prob: p})
+			out = append(out, Instance{Name: name, Family: fam, Prob: p, WBO: wi})
 		}
 	}
 	return out, nil
@@ -224,6 +264,13 @@ const (
 	// the mixed portfolio the first-incumbent benchmarks (make bench-ls)
 	// compare against SolverPortfolio.
 	SolverPortfolioLS SolverID = "portfolio-ls"
+	// SolverCoreGuided runs the core-guided WBO loop alone (internal/wbo).
+	// Valid only on FamilyWbo rows (the cell needs the WBO payload).
+	SolverCoreGuided SolverID = "core-guided"
+	// SolverPortfolioWbo is the cooperative race extended with one
+	// core-guided member: the mixed portfolio the WBO benchmarks
+	// (make bench-wbo) compare against SolverPortfolio. FamilyWbo only.
+	SolverPortfolioWbo SolverID = "portfolio-wbo"
 )
 
 // Solvers lists the columns in Table 1 order.
@@ -384,6 +431,23 @@ func Run(inst Instance, id SolverID, lim Limits) RunResult {
 			fillPortfolio(&rr, runPortfolio(prob, lim, true, false, noteInc))
 		case SolverPortfolioLS:
 			fillPortfolio(&rr, runPortfolio(prob, lim, false, true, noteInc))
+		case SolverCoreGuided:
+			if inst.WBO == nil {
+				rr.Err = "core-guided requires a wbo-family instance"
+				return
+			}
+			fillWBO(&rr, wbo.Solve(inst.WBO, wbo.Options{
+				TimeLimit: lim.Time, MaxConflicts: lim.MaxConflicts}))
+		case SolverPortfolioWbo:
+			if inst.WBO == nil {
+				rr.Err = "portfolio-wbo requires a wbo-family instance"
+				return
+			}
+			// The mixed race pairs the core-guided member with the exact
+			// members on the ORIGINAL compilation: presolve would renumber
+			// the compiled problem away from the WBO instance's extended
+			// space and break the witness mapping.
+			fillPortfolio(&rr, runPortfolioWbo(inst, lim, noteInc))
 		case SolverLS:
 			fillLS(&rr, ls.Solve(prob, ls.Options{
 				Seed:        1,
@@ -453,6 +517,58 @@ func runPortfolio(p *pb.Problem, lim Limits, isolated, withLS bool, noteInc func
 		configs = append([]portfolio.Config{cfg}, configs...)
 	}
 	return portfolio.SolveOpts(p, configs, portfolio.Options{NoSharing: isolated})
+}
+
+// runPortfolioWbo runs the default four-member race plus one core-guided
+// member on a FamilyWbo instance. The race operates on the instance's
+// Builder() compilation (inst.Prob), which is exactly the space the
+// core-guided member's ExtendedWitness maps into.
+func runPortfolioWbo(inst Instance, lim Limits, noteInc func(int64)) portfolio.Result {
+	configs := portfolio.DefaultConfigs()
+	for i := range configs {
+		configs[i].Options.TimeLimit = lim.Time
+		configs[i].Options.MaxConflicts = lim.MaxConflicts
+		configs[i].Options.NoIncrementalReduce = lim.NoIncrementalReduce
+		configs[i].Options.NoWarmLP = lim.NoWarmLP
+		configs[i].Options.NoCuts = lim.NoCuts
+		configs[i].Options.CutRounds = lim.CutRounds
+		configs[i].Options.CutMaxPool = lim.CutMaxPool
+		configs[i].Options.OnIncumbent = noteInc
+	}
+	cg := portfolio.Config{CoreGuided: &portfolio.CoreGuided{
+		Instance: inst.WBO,
+		Options:  wbo.Options{TimeLimit: lim.Time, MaxConflicts: lim.MaxConflicts},
+	}}
+	configs = append([]portfolio.Config{cg}, configs...)
+	// Core-guided must genuinely race the exact members, not replace them:
+	// on a single-CPU box the default concurrency (GOMAXPROCS) serializes
+	// the members, and whichever strategy happens to run first would
+	// monopolize the cell. A floor of two keeps the core-guided member and
+	// at least one B&B member timesharing, so the faster strategy wins the
+	// row either way.
+	conc := runtime.GOMAXPROCS(0)
+	if conc < 2 {
+		conc = 2
+	}
+	return portfolio.SolveOpts(inst.Prob, configs, portfolio.Options{MaxConcurrent: conc})
+}
+
+// fillWBO maps a core-guided outcome onto the table cell. Optimal and
+// hard-UNSAT verdicts both count as solved — the core-guided loop is a
+// complete method, unlike the UB-only LS column.
+func fillWBO(rr *RunResult, res wbo.Result) {
+	rr.Solved = res.Status == core.StatusOptimal || res.Status == core.StatusUnsat
+	rr.HasUB = res.HasSolution
+	rr.Best = res.Best
+	rr.Conflicts = res.Conflicts
+	if res.Status == core.StatusError {
+		rr.Solved, rr.HasUB = false, false
+		if res.Err != nil {
+			rr.Err = res.Err.Error()
+		} else {
+			rr.Err = "error"
+		}
+	}
 }
 
 // lsFlipBudget bounds a local-search member when the cell has no wall-clock

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/pb"
+)
+
+// TestWboFamilyMatrix runs the WBO family at test scale through the
+// core-guided column, the mixed portfolio and a plain exact column: every
+// cell must solve, and the three verdicts must agree with the brute-force
+// optimum of the shared compilation.
+func TestWboFamilyMatrix(t *testing.T) {
+	insts, err := Instances([]Family{FamilyWbo}, Scale{WboVars: 7, PerFamily: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 3 {
+		t.Fatalf("got %d instances, want 3", len(insts))
+	}
+	lim := Limits{MaxConflicts: 500000}
+	for _, inst := range insts {
+		if inst.WBO == nil {
+			t.Fatalf("%s: missing WBO payload", inst.Name)
+		}
+		if inst.WBO.Offset != 0 {
+			t.Fatalf("%s: generator produced nonzero offset %d — columns not comparable",
+				inst.Name, inst.WBO.Offset)
+		}
+		want := pb.BruteForce(inst.Prob)
+		if !want.Feasible {
+			t.Fatalf("%s: compiled problem infeasible (relaxation bug)", inst.Name)
+		}
+		for _, id := range []SolverID{SolverCoreGuided, SolverPortfolioWbo, SolverMIS} {
+			rr := Run(inst, id, lim)
+			if rr.Err != "" {
+				t.Fatalf("%s/%s: %s", inst.Name, id, rr.Err)
+			}
+			if !rr.Solved || rr.Best != want.Optimum {
+				t.Fatalf("%s/%s: solved=%v best=%d want optimal/%d",
+					inst.Name, id, rr.Solved, rr.Best, want.Optimum)
+			}
+		}
+	}
+}
+
+// TestCoreGuidedColumnRefusesNonWboRows pins the guard: the core-guided
+// columns are meaningless without the WBO payload and must fail the cell
+// rather than silently solving nothing.
+func TestCoreGuidedColumnRefusesNonWboRows(t *testing.T) {
+	insts, err := Instances([]Family{FamilySynth}, Scale{SynthNodes: 6, PerFamily: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []SolverID{SolverCoreGuided, SolverPortfolioWbo} {
+		rr := Run(insts[0], id, Limits{MaxConflicts: 1000})
+		if rr.Err == "" || rr.Solved {
+			t.Fatalf("%s on a non-wbo row: err=%q solved=%v want error cell", id, rr.Err, rr.Solved)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pb"
 	"repro/internal/share"
+	"repro/internal/wbo"
 )
 
 // The share.Member handle is the concrete Sharer the portfolio hands to each
@@ -63,6 +64,29 @@ type Config struct {
 	// unsatisfiability — the winner logic treats its outcomes accordingly.
 	// Share/Cancel/Audit/Trace/Live are managed by Solve and must be nil.
 	LS *ls.Options
+	// CoreGuided, when non-nil, makes this member a core-guided WBO solver
+	// (internal/wbo) racing the branch-and-bound members. The portfolio's
+	// problem MUST be the instance's Builder() compilation (original
+	// variables first, then one selector per soft constraint, in order):
+	// witnesses are mapped into that space via Instance.ExtendedWitness and
+	// re-verified against the compiled problem before they can win the race
+	// or reach the board — an inconsistent instance/problem pair demotes
+	// every claim to the inconclusive StatusLimit instead of poisoning the
+	// race (the same defense-in-depth discipline as sanitizeUBOnly).
+	// Cancel is managed by Solve; the board's Share handle is used only for
+	// verified incumbent publication and is never passed into the wbo
+	// sub-solves.
+	CoreGuided *CoreGuided
+}
+
+// CoreGuided configures a core-guided portfolio member.
+type CoreGuided struct {
+	// Instance is the WBO instance whose Builder() compilation the
+	// portfolio is racing on.
+	Instance *wbo.Instance
+	// Options configure the core-guided loop. Cancel is managed by Solve
+	// and must be nil.
+	Options wbo.Options
 }
 
 // UBOnly reports whether the member can contribute only upper bounds
@@ -237,10 +261,10 @@ func SolveOpts(p *pb.Problem, configs []Config, opts Options) Result {
 		board = share.NewBoard(opts.Share)
 		handles = make([]*share.Member, len(configs))
 		for i, cfg := range configs {
-			if cfg.UBOnly() {
-				// UB-only members neither publish nor drain clauses; joining
-				// with clauses opted out keeps the ring's cursor/lap stats
-				// scoped to actual consumers.
+			if cfg.UBOnly() || cfg.CoreGuided != nil {
+				// UB-only and core-guided members neither publish nor drain
+				// clauses; joining with clauses opted out keeps the ring's
+				// cursor/lap stats scoped to actual consumers.
 				handles[i] = board.JoinNoClauses(cfg.name())
 			} else {
 				handles[i] = board.Join(cfg.name())
@@ -312,10 +336,13 @@ func SolveOpts(p *pb.Problem, configs []Config, opts Options) Result {
 				if lives != nil {
 					live = lives[i]
 				}
-				if cfg.UBOnly() {
+				switch {
+				case cfg.CoreGuided != nil:
+					results <- outcome{i, cfg.name(), runCoreGuidedMember(p, cfg, cancel, m, opts.Audit)}
+				case cfg.UBOnly():
 					results <- outcome{i, cfg.name(), runLSMember(p, cfg, cancel, m, opts.Audit,
 						opts.Trace.Named(cfg.name()), live)}
-				} else {
+				default:
 					results <- outcome{i, cfg.name(), runMember(p, cfg, cancel, m, opts.Audit,
 						opts.Trace.Named(cfg.name()), live)}
 				}
@@ -469,6 +496,79 @@ func runLSMember(p *pb.Problem, cfg Config, cancel <-chan struct{}, m *share.Mem
 	return res
 }
 
+// sanitizeCoreGuided maps a core-guided outcome into the compiled problem's
+// space under the same defense-in-depth discipline as sanitizeUBOnly: the
+// witness is lifted via ExtendedWitness and re-verified against p, and an
+// optimality claim survives only when the verified compiled cost matches the
+// claimed optimum (minus the instance offset, which lives outside the
+// compiled objective). A hard-UNSAT verdict passes through — the compiled
+// problem's soft rows are always satisfiable via their selectors, so its
+// infeasibility is exactly the hard skeleton's. Anything that fails
+// verification is demoted to the inconclusive StatusLimit.
+func sanitizeCoreGuided(p *pb.Problem, in *wbo.Instance, r wbo.Result) core.Result {
+	res := core.Result{Status: core.StatusLimit, Err: r.Err}
+	res.Stats.Conflicts = r.Conflicts
+	if r.HasSolution && len(r.Values) >= in.NumVars {
+		ext := in.ExtendedWitness(r.Values)
+		if len(ext) == p.NumVars && p.Feasible(ext) {
+			res.HasSolution = true
+			res.Values = ext
+			res.Best = p.ObjectiveValue(ext)
+		}
+	}
+	switch r.Status {
+	case core.StatusOptimal:
+		if res.HasSolution && res.Best == r.Best-in.Offset {
+			res.Status = core.StatusOptimal
+		}
+	case core.StatusUnsat:
+		if r.HardUnsat {
+			res.Status = core.StatusUnsat
+		}
+	case core.StatusError:
+		res.Status = core.StatusError
+	}
+	return res
+}
+
+// runCoreGuidedMember executes one core-guided configuration behind the same
+// panic barrier as runMember. The board handle is used only to publish the
+// verified terminal incumbent — the wbo sub-solves never see the board, so
+// no foreign clause or incumbent can leak into the core extraction — and
+// every claim is audited against the compiled problem after sanitization.
+func runCoreGuidedMember(p *pb.Problem, cfg Config, cancel <-chan struct{}, m *share.Member, aud *audit.Auditor) (res core.Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = core.Result{
+				Status: core.StatusError,
+				Err:    fmt.Errorf("portfolio: member %q panicked: %v\n%s", cfg.name(), r, debug.Stack()),
+			}
+		}
+	}()
+	fault.Fire("portfolio.worker", cfg.name())
+	cg := cfg.CoreGuided
+	opt := cg.Options
+	opt.Cancel = cancel
+	res = sanitizeCoreGuided(p, cg.Instance, wbo.Solve(cg.Instance, opt))
+	if res.HasSolution {
+		aud.Incumbent(res.Best, res.Values)
+		if m != nil && m.PublishIncumbent(res.Best, res.Values) {
+			res.Stats.Sharing.IncumbentsPublished++
+		}
+	}
+	switch res.Status {
+	case core.StatusOptimal:
+		aud.Termination(audit.Claim{Optimal: true, Best: res.Best})
+	case core.StatusUnsat:
+		aud.Termination(audit.Claim{Unsat: true})
+	case core.StatusLimit:
+		if res.HasSolution {
+			aud.Termination(audit.Claim{UpperBound: true, Best: res.Best})
+		}
+	}
+	return res
+}
+
 // runMember executes one configuration behind a panic barrier, so a member
 // crash (including one injected at the "portfolio.worker" fault point,
 // keyed by member name) becomes a StatusError outcome.
@@ -506,6 +606,9 @@ func (c Config) name() string {
 	}
 	if c.LS != nil {
 		return "ls"
+	}
+	if c.CoreGuided != nil {
+		return "core-guided"
 	}
 	return c.Options.LowerBound.String()
 }

@@ -89,9 +89,64 @@ func (b *Builder) HardClause(lits ...pb.Lit) {
 	b.err = b.prob.AddClause(lits...)
 }
 
+// relaxCoef computes the big-M relaxation coefficient for a soft constraint:
+// M = Σ|a_j| + |rhs| (at least 1) makes an active relaxation variable satisfy
+// the row for EVERY assignment of the other literals, including after
+// normalization of negative coefficients. All arithmetic is overflow-checked:
+// adversarial coefficients must surface pb.ErrOverflow instead of silently
+// wrapping M into a too-small value that compiles a wrong relaxation.
+func relaxCoef(terms []pb.Term, rhs int64) (int64, error) {
+	var absSum int64
+	for _, t := range terms {
+		a := t.Coef
+		if a < 0 {
+			var err error
+			if a, err = pb.CheckedNeg(a); err != nil {
+				return 0, fmt.Errorf("soft: relaxation coefficient: %w", err)
+			}
+		}
+		var err error
+		if absSum, err = pb.CheckedAdd(absSum, a); err != nil {
+			return 0, fmt.Errorf("soft: relaxation coefficient: %w", err)
+		}
+	}
+	ar := rhs
+	if ar < 0 {
+		var err error
+		if ar, err = pb.CheckedNeg(ar); err != nil {
+			return 0, fmt.Errorf("soft: relaxation coefficient: %w", err)
+		}
+	}
+	m, err := pb.CheckedAdd(absSum, ar)
+	if err != nil {
+		return 0, fmt.Errorf("soft: relaxation coefficient: %w", err)
+	}
+	return maxInt64(m, 1), nil
+}
+
 // Soft adds a violable constraint Σ terms cmp rhs with the given positive
-// weight, returning its index (for Violated lookups on solutions).
+// weight, returning its index (for Violated lookups on solutions). On failure
+// (bad weight, unknown comparison, overflow in the relaxation coefficient,
+// AddConstraint rejection) it returns -1 and poisons the builder: the error
+// surfaces from Problem()/Solve(), and the soft-constraint bookkeeping is
+// never left pointing at a half-added constraint.
 func (b *Builder) Soft(weight int64, terms []pb.Term, cmp pb.Cmp, rhs int64) int {
+	return b.SoftWithRelaxers(weight, terms, cmp, rhs)
+}
+
+// SoftWithRelaxers is Soft with additional pre-allocated relaxation
+// ("blocking") variables: each relaxer receives the same big-M coefficient as
+// the constraint's own fresh relaxation variable, so setting ANY of them
+// satisfies the compiled row(s) outright. This is the WPM1 clone shape used
+// by internal/wbo — a soft constraint that earlier unsat cores have extended
+// with blocking variables — and it is why equalities work: both relaxed rows
+// of an EQ share every relaxer with row-appropriate signs, which a caller
+// appending a single signed term could not express.
+//
+// The relaxers must be existing variables of this builder's problem; their
+// cost is left untouched (blocking-variable bookkeeping, e.g. at-most-one
+// rows and core weights, belongs to the caller).
+func (b *Builder) SoftWithRelaxers(weight int64, terms []pb.Term, cmp pb.Cmp, rhs int64, relaxers ...pb.Var) int {
 	if b.err != nil {
 		return -1
 	}
@@ -99,7 +154,48 @@ func (b *Builder) Soft(weight int64, terms []pb.Term, cmp pb.Cmp, rhs int64) int
 		b.err = fmt.Errorf("soft: weight must be positive, got %d", weight)
 		return -1
 	}
+	switch cmp {
+	case pb.GE, pb.LE, pb.EQ:
+	default:
+		b.err = fmt.Errorf("soft: unknown comparison %v", cmp)
+		return -1
+	}
+	// Compute the relaxation coefficient (and fail) BEFORE any mutation, so
+	// an overflowing soft constraint cannot leave a half-built row behind.
+	m, err := relaxCoef(terms, rhs)
+	if err != nil {
+		b.err = err
+		return -1
+	}
+
 	r := b.prob.AddVar(weight)
+	addRow := func(c pb.Cmp) error {
+		coef := m
+		if c == pb.LE {
+			coef = -m
+		}
+		aug := make([]pb.Term, 0, len(terms)+1+len(relaxers))
+		aug = append(aug, terms...)
+		aug = append(aug, pb.Term{Coef: coef, Lit: pb.PosLit(r)})
+		for _, rv := range relaxers {
+			aug = append(aug, pb.Term{Coef: coef, Lit: pb.PosLit(rv)})
+		}
+		return b.prob.AddConstraint(aug, c, rhs)
+	}
+	switch cmp {
+	case pb.GE, pb.LE:
+		b.err = addRow(cmp)
+	case pb.EQ:
+		if b.err = addRow(pb.GE); b.err == nil {
+			b.err = addRow(pb.LE)
+		}
+	}
+	if b.err != nil {
+		// The problem may hold the orphaned relaxation variable (and, for a
+		// failed EQ, its first row); the sticky error makes the builder
+		// unusable, and relax/originals stay consistent with each other.
+		return -1
+	}
 	idx := len(b.relax)
 	b.relax = append(b.relax, r)
 	b.originals = append(b.originals, softCons{
@@ -108,55 +204,20 @@ func (b *Builder) Soft(weight int64, terms []pb.Term, cmp pb.Cmp, rhs int64) int
 		cmp:    cmp,
 		rhs:    rhs,
 	})
-
-	// absSum bounds |Σ a·l| over all assignments.
-	var absSum int64
-	for _, t := range terms {
-		a := t.Coef
-		if a < 0 {
-			a = -a
-		}
-		absSum += a
-	}
-	relaxTerm := func(ts []pb.Term, c pb.Cmp, rh int64) {
-		if b.err != nil {
-			return
-		}
-		// The relaxation coefficient must make r = 1 satisfy the hard
-		// constraint for EVERY assignment of the other literals, including
-		// after normalization of negative coefficients. The worst-case lhs
-		// magnitude is absSum, so M = absSum + |rh| (at least 1) always
-		// suffices in either direction.
-		m := absSum
-		if rh < 0 {
-			m -= rh
-		} else {
-			m += rh
-		}
-		m = maxInt64(m, 1)
-		switch c {
-		case pb.GE:
-			aug := append(append([]pb.Term(nil), ts...), pb.Term{Coef: m, Lit: pb.PosLit(r)})
-			b.err = b.prob.AddConstraint(aug, pb.GE, rh)
-		case pb.LE:
-			aug := append(append([]pb.Term(nil), ts...), pb.Term{Coef: -m, Lit: pb.PosLit(r)})
-			b.err = b.prob.AddConstraint(aug, pb.LE, rh)
-		default:
-			b.err = fmt.Errorf("soft: unsupported comparison %v in relaxTerm", c)
-		}
-	}
-
-	switch cmp {
-	case pb.GE, pb.LE:
-		relaxTerm(terms, cmp, rhs)
-	case pb.EQ:
-		relaxTerm(terms, pb.GE, rhs)
-		relaxTerm(terms, pb.LE, rhs)
-	default:
-		b.err = fmt.Errorf("soft: unknown comparison %v", cmp)
-	}
 	return idx
 }
+
+// NumSoft returns the number of successfully added soft constraints.
+func (b *Builder) NumSoft() int { return len(b.relax) }
+
+// RelaxVar returns the relaxation (selector) variable of soft constraint i:
+// the compiled rows of soft i are satisfied outright whenever it is set, so
+// assuming its negation asserts "soft i holds" — the selector literal the
+// core-guided loop in internal/wbo passes as core.Options.Assumptions.
+func (b *Builder) RelaxVar(i int) pb.Var { return b.relax[i] }
+
+// Err returns the builder's sticky error (nil while usable).
+func (b *Builder) Err() error { return b.err }
 
 // SoftClause adds a violable clause with the given weight.
 func (b *Builder) SoftClause(weight int64, lits ...pb.Lit) int {
@@ -183,6 +244,13 @@ type Solution struct {
 	Violated []int
 	// Penalty is the total violation weight paid.
 	Penalty int64
+	// HardUnsat reports that the HARD skeleton is infeasible: the compiled
+	// problem (where every soft constraint can always be bought off by its
+	// relaxation variable) has no solution at all. This is the categorical
+	// difference between "there is no assignment" and "the optimum simply
+	// pays every penalty" — a solution violating all softs has Status
+	// Optimal, a positive Penalty and HardUnsat false.
+	HardUnsat bool
 }
 
 // Solve compiles and solves with the given options.
@@ -193,6 +261,12 @@ func (b *Builder) Solve(opt core.Options) (Solution, error) {
 	}
 	res := core.Solve(p, opt)
 	sol := Solution{Result: res}
+	// Relaxation keeps every soft constraint satisfiable, so compiled UNSAT
+	// can only come from the hard constraints (assumption-relative UNSAT is
+	// different — but Solve passes no assumptions).
+	if res.Status == core.StatusUnsat {
+		sol.HardUnsat = true
+	}
 	if res.HasSolution {
 		// Evaluate the original constraints rather than the relaxation
 		// variables: on non-optimal incumbents a relaxation variable can be

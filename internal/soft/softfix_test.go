@@ -1,0 +1,150 @@
+package soft
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pb"
+)
+
+func TestSoftBigMOverflowSurfaced(t *testing.T) {
+	// Near-MaxInt64 coefficients must surface pb.ErrOverflow through the
+	// builder instead of wrapping the big-M into a too-small (wrong)
+	// relaxation coefficient. PR 4's fuzzer forced the same bug class in the
+	// OPB parser; this pins the soft layer.
+	cases := []struct {
+		name  string
+		terms []pb.Term
+		rhs   int64
+	}{
+		{"absSum wraps", []pb.Term{
+			{Coef: math.MaxInt64/2 + 10, Lit: pb.PosLit(0)},
+			{Coef: math.MaxInt64/2 + 10, Lit: pb.PosLit(1)},
+		}, 1},
+		{"rhs pushes over", []pb.Term{
+			{Coef: math.MaxInt64 - 5, Lit: pb.PosLit(0)},
+		}, 100},
+		{"MinInt64 coefficient", []pb.Term{
+			{Coef: math.MinInt64, Lit: pb.PosLit(0)},
+		}, 0},
+		{"MinInt64 rhs", []pb.Term{
+			{Coef: 1, Lit: pb.PosLit(0)},
+		}, math.MinInt64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder(2)
+			if idx := b.Soft(3, tc.terms, pb.GE, tc.rhs); idx != -1 {
+				t.Fatalf("overflowing Soft returned index %d, want -1", idx)
+			}
+			if _, err := b.Problem(); !errors.Is(err, pb.ErrOverflow) {
+				t.Fatalf("err=%v want pb.ErrOverflow", err)
+			}
+		})
+	}
+}
+
+func TestSoftFailureLeavesBuilderConsistent(t *testing.T) {
+	// A failed Soft must not leave bookkeeping pointing at a half-added
+	// constraint: no new index, the sticky error poisons later calls, and
+	// relax/originals stay in lockstep.
+	b := NewBuilder(2)
+	ok := b.SoftClause(2, pb.PosLit(0))
+	if ok != 0 {
+		t.Fatalf("first soft index=%d want 0", ok)
+	}
+	bad := b.Soft(5, []pb.Term{{Coef: math.MinInt64, Lit: pb.PosLit(1)}}, pb.GE, 0)
+	if bad != -1 {
+		t.Fatalf("failed Soft returned %d, want -1", bad)
+	}
+	if b.NumSoft() != 1 {
+		t.Fatalf("NumSoft=%d want 1 (failed soft must not be recorded)", b.NumSoft())
+	}
+	if len(b.relax) != len(b.originals) {
+		t.Fatalf("relax/originals out of lockstep: %d vs %d", len(b.relax), len(b.originals))
+	}
+	if b.Err() == nil {
+		t.Fatal("builder must be poisoned after a failed Soft")
+	}
+	// Unusable: every later mutation is a no-op returning -1, and solving
+	// surfaces the original error.
+	if idx := b.SoftClause(1, pb.PosLit(0)); idx != -1 {
+		t.Fatalf("post-failure SoftClause returned %d, want -1", idx)
+	}
+	if _, err := b.Problem(); !errors.Is(err, pb.ErrOverflow) {
+		t.Fatalf("Problem err=%v want pb.ErrOverflow", err)
+	}
+	if _, err := b.Solve(core.Options{}); err == nil {
+		t.Fatal("Solve must refuse a poisoned builder")
+	}
+}
+
+func TestSoftHardUnsatVsAllPenaltiesPaid(t *testing.T) {
+	// Hard skeleton infeasible: HardUnsat set, no solution.
+	b := NewBuilder(1)
+	b.HardClause(pb.PosLit(0))
+	b.HardClause(pb.NegLit(0))
+	b.SoftClause(4, pb.PosLit(0))
+	sol, err := b.Solve(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != core.StatusUnsat || !sol.HardUnsat {
+		t.Fatalf("status=%v hardUnsat=%v want unsat/true", sol.Status, sol.HardUnsat)
+	}
+
+	// Every soft violated but the hards feasible: an optimum with full
+	// penalty, categorically different from UNSAT.
+	b2 := NewBuilder(1)
+	b2.HardClause(pb.PosLit(0))
+	b2.SoftClause(4, pb.NegLit(0))
+	sol2, err := b2.Solve(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Status != core.StatusOptimal || sol2.HardUnsat {
+		t.Fatalf("status=%v hardUnsat=%v want optimal/false", sol2.Status, sol2.HardUnsat)
+	}
+	if sol2.Penalty != 4 || sol2.Best != 4 {
+		t.Fatalf("penalty=%d best=%d want 4/4", sol2.Penalty, sol2.Best)
+	}
+}
+
+func TestSoftWithRelaxersFreesBothEqualityRows(t *testing.T) {
+	// A single blocking variable must buy off BOTH rows of a relaxed
+	// equality — the reason SoftWithRelaxers exists instead of the caller
+	// appending one signed term. Hard constraints force x0 = x1 = 1 so the
+	// equality x0 + x1 = 1 is violated; with the zero-cost blocker available
+	// the optimum is 0 (blocker on) rather than the selector weight 5.
+	b := NewBuilder(2)
+	blocker := b.Var(0)
+	b.HardClause(pb.PosLit(0))
+	b.HardClause(pb.PosLit(1))
+	idx := b.SoftWithRelaxers(5,
+		[]pb.Term{{Coef: 1, Lit: pb.PosLit(0)}, {Coef: 1, Lit: pb.PosLit(1)}},
+		pb.EQ, 1, blocker)
+	if idx != 0 {
+		t.Fatalf("idx=%d err=%v", idx, b.Err())
+	}
+	if got := b.RelaxVar(0); got == blocker {
+		t.Fatal("selector must be a fresh variable, not the relaxer")
+	}
+	sol, err := b.Solve(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != core.StatusOptimal || sol.Best != 0 {
+		t.Fatalf("status=%v best=%d want optimal/0 (blocker should absorb the violation)",
+			sol.Status, sol.Best)
+	}
+	if !sol.Values[blocker] {
+		t.Fatal("blocker should be set in the witness")
+	}
+	// The original constraint is still reported violated: Violated tracks
+	// the pre-relaxation semantics, not the compiled rows.
+	if len(sol.Violated) != 1 || sol.Penalty != 5 {
+		t.Fatalf("violated=%v penalty=%d want [0]/5", sol.Violated, sol.Penalty)
+	}
+}

@@ -1,0 +1,87 @@
+package wcnf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/wbo"
+)
+
+// wcnfWant records the ground truth for every committed WCNF reproducer in
+// testdata/fuzz-corpus (cross-checked against branch-and-bound inside the
+// test, so the literal values guard against parser/offset drift).
+var wcnfWant = map[string]struct {
+	hardUnsat bool
+	optimum   int64
+}{
+	"wcnf-soft-empty-offset.wcnf":  {optimum: 5},
+	"wcnf-weight-split-cores.wcnf": {optimum: 5},
+	"wcnf-hard-empty-unsat.wcnf":   {hardUnsat: true},
+}
+
+// TestWCNFCorpus replays every committed WCNF reproducer through both
+// solving paths: the core-guided loop and branch-and-bound over the
+// soft-relaxed compilation must agree with each other and with the table.
+func TestWCNFCorpus(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "fuzz-corpus")
+	files, err := filepath.Glob(filepath.Join(dir, "*.wcnf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 2 {
+		t.Fatalf("want at least 2 WCNF reproducers in %s, found %d", dir, len(files))
+	}
+	seen := 0
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			want, ok := wcnfWant[filepath.Base(f)]
+			if !ok {
+				t.Fatalf("reproducer %s has no recorded ground truth", filepath.Base(f))
+			}
+			seen++
+			fh, err := os.Open(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fh.Close()
+			in, err := Parse(fh)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cg := wbo.Solve(in, wbo.Options{})
+			if want.hardUnsat {
+				if cg.Status != core.StatusUnsat || !cg.HardUnsat {
+					t.Fatalf("core-guided: status=%v hardUnsat=%v want unsat/true", cg.Status, cg.HardUnsat)
+				}
+			} else if cg.Status != core.StatusOptimal || cg.Best != want.optimum {
+				t.Fatalf("core-guided: got %v/%d want optimal/%d", cg.Status, cg.Best, want.optimum)
+			}
+
+			b, err := in.Builder()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, err := b.Solve(core.Options{LowerBound: core.LBMIS})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.hardUnsat {
+				if sol.Status != core.StatusUnsat || !sol.HardUnsat {
+					t.Fatalf("b&b: status=%v hardUnsat=%v want unsat/true", sol.Status, sol.HardUnsat)
+				}
+				return
+			}
+			if sol.Status != core.StatusOptimal || sol.Best+in.Offset != want.optimum {
+				t.Fatalf("b&b: got %v/%d (+offset %d) want optimal/%d",
+					sol.Status, sol.Best, in.Offset, want.optimum)
+			}
+		})
+	}
+	if seen != len(wcnfWant) {
+		t.Fatalf("corpus has %d reproducers, table has %d", seen, len(wcnfWant))
+	}
+}
